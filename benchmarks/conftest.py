@@ -1,0 +1,53 @@
+"""Benchmark fixtures: paper-scale (laptop-scaled) synthetic datasets.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at a
+scale a pure-Python implementation can run in minutes. `BENCH_SCALE` can be
+raised via the REPRO_BENCH_SCALE environment variable for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.traces.synthetic import generate_fsl_like, generate_ms_like
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+#: Sketch width used by trade-off benches; the paper's 2^21..2^25 sweep is
+#: shifted down proportionally to the trace volume (DESIGN.md §4).
+BENCH_SKETCH_WIDTH = 2**16
+
+
+@pytest.fixture(scope="session")
+def fsl_dataset():
+    """FSL-like dataset: per-user snapshot series, varying sizes."""
+    return generate_fsl_like(
+        users=3, snapshots_per_user=2, scale=BENCH_SCALE, seed=2013
+    )
+
+
+@pytest.fixture(scope="session")
+def ms_dataset():
+    """MS-like dataset: per-machine snapshots of similar size."""
+    return generate_ms_like(machines=6, scale=BENCH_SCALE, seed=2011)
+
+
+def print_table(title: str, rows, columns=None) -> None:
+    """Render experiment rows the way the paper prints its tables."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))

@@ -1,0 +1,67 @@
+"""Experiment A.4 (Figure 5): controllability of the storage blowup.
+
+BTED with one fixed t produces widely varying actual blowups across
+snapshots (frequency characteristics differ per snapshot); FTED with
+b = 1.05 pins the actual blowup near b everywhere by re-deriving t per
+snapshot. The bench prints the per-snapshot series sorted ascending, as the
+paper plots them.
+"""
+
+from conftest import BENCH_SKETCH_WIDTH, print_table
+
+from repro.analysis.tradeoff import experiment_a4
+
+
+def _spread(series):
+    return max(series) - min(series)
+
+
+def _report(result, label):
+    rows = [
+        {
+            "snapshot_rank": i + 1,
+            "bted_t5_blowup": round(b, 4),
+            "fted_b1.05_blowup": round(f, 4),
+            "bted_t5_kld": round(bk, 4),
+            "fted_b1.05_kld": round(fk, 4),
+        }
+        for i, (b, f, bk, fk) in enumerate(
+            zip(
+                result["bted_blowup"],
+                result["fted_blowup"],
+                result["bted_kld"],
+                result["fted_kld"],
+            )
+        )
+    ]
+    print_table(f"Figure 5 ({label}): per-snapshot series (sorted)", rows)
+    print(
+        f"blowup spread: BTED(t=5) {_spread(result['bted_blowup']):.4f} vs "
+        f"FTED(b=1.05) {_spread(result['fted_blowup']):.4f}"
+    )
+
+
+def test_a4_fsl(benchmark, fsl_dataset):
+    result = benchmark.pedantic(
+        experiment_a4,
+        args=(fsl_dataset,),
+        kwargs={"t": 5, "b": 1.05, "sketch_width": BENCH_SKETCH_WIDTH},
+        rounds=1,
+        iterations=1,
+    )
+    _report(result, "FSL-like")
+    # FTED pins the blowup near b with a tighter spread than BTED.
+    assert _spread(result["fted_blowup"]) <= _spread(result["bted_blowup"])
+    assert max(result["fted_blowup"]) <= 1.05 + 0.05
+
+
+def test_a4_ms(benchmark, ms_dataset):
+    result = benchmark.pedantic(
+        experiment_a4,
+        args=(ms_dataset,),
+        kwargs={"t": 5, "b": 1.05, "sketch_width": BENCH_SKETCH_WIDTH},
+        rounds=1,
+        iterations=1,
+    )
+    _report(result, "MS-like")
+    assert max(result["fted_blowup"]) <= 1.05 + 0.05

@@ -1,0 +1,59 @@
+"""Experiment A.5 (Figure 6): impact of the key-generation batch size.
+
+With batching, FTED initializes t = 1 and retunes per batch, so early
+chunks are encrypted with maximal spreading — actual blowup comes out
+slightly above the "Nil" (tune-once-from-exact-frequencies) arm, and grows
+mildly with the batch size (larger batches delay the t increase). The
+paper's 12k-96k batch range is scaled to the synthetic snapshot sizes.
+"""
+
+from conftest import BENCH_SKETCH_WIDTH, print_table
+
+from repro.analysis.tradeoff import experiment_a5
+
+_BS = (1.05, 1.1, 1.15, 1.2)
+_BATCHES = (None, 500, 1000, 2000, 4000)
+
+
+def test_a5_fsl(benchmark, fsl_dataset):
+    rows = benchmark.pedantic(
+        experiment_a5,
+        args=(fsl_dataset,),
+        kwargs={
+            "bs": _BS,
+            "batch_sizes": _BATCHES,
+            "sketch_width": BENCH_SKETCH_WIDTH,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 6 (FSL-like): batch-size impact (batch 0 = Nil)",
+        rows,
+        columns=["b", "batch_size", "kld", "blowup"],
+    )
+    for b in _BS:
+        series = {r["batch_size"]: r for r in rows if r["b"] == b}
+        nil = series[0]
+        for batch_size in (500, 1000, 2000, 4000):
+            # Batching costs at most a modest extra blowup over Nil.
+            assert series[batch_size]["blowup"] >= nil["blowup"] - 0.03
+
+
+def test_a5_ms(benchmark, ms_dataset):
+    rows = benchmark.pedantic(
+        experiment_a5,
+        args=(ms_dataset,),
+        kwargs={
+            "bs": _BS,
+            "batch_sizes": _BATCHES,
+            "sketch_width": BENCH_SKETCH_WIDTH,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Figure 6 (MS-like): batch-size impact (batch 0 = Nil)",
+        rows,
+        columns=["b", "batch_size", "kld", "blowup"],
+    )

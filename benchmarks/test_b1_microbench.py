@@ -1,0 +1,54 @@
+"""Experiment B.1 (Table 1): single-machine microbenchmark on unique data.
+
+Uploads a file of globally unique chunks through the full client pipeline
+(all entities in-process, provider in memory — the paper's no-disk-I/O
+setup) and reports the per-step compute time per MB for the paper's Fast
+(MD5 + AES-128) and Secure (SHA-256 + AES-256) profiles, plus our shactr
+throughput profile.
+
+The headline to reproduce: fingerprinting and encryption dominate; TED key
+generation (hashing + key seeding + key derivation) is a small share —
+"TED is not a performance bottleneck" (§5.3.1). Note the pure-Python AES
+exaggerates the encryption share relative to OpenSSL; shactr is the
+closer-to-paper ratio (DESIGN.md §4).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis.perf import UPLOAD_STEPS, experiment_b1
+
+_SIZES = {"fast": 96 << 10, "secure": 96 << 10, "shactr": 1 << 20}
+
+_results = {}
+
+
+@pytest.mark.parametrize("profile", ["fast", "secure", "shactr"])
+def test_b1_profile(benchmark, profile):
+    breakdown = benchmark.pedantic(
+        experiment_b1,
+        kwargs={
+            "file_bytes": _SIZES[profile],
+            "profile_name": profile,
+            "batch_size": 2000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    _results[profile] = breakdown
+    assert breakdown.keygen_share < 0.5
+    if len(_results) == 3:
+        rows = []
+        for step in UPLOAD_STEPS:
+            row = {"step": step}
+            for name, result in _results.items():
+                row[f"{name} (ms/MB)"] = result.ms_per_mb().get(step, "-")
+            rows.append(row)
+        print_table("Table 1: computational time per 1 MB of uploads", rows)
+        for name, result in _results.items():
+            print(
+                f"{name}: TED key generation share = "
+                f"{100 * result.keygen_share:.2f}% "
+                f"(paper: 7.2% fast / 6.1% secure)"
+            )

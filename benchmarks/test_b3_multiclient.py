@@ -1,0 +1,41 @@
+"""Experiment B.3 (Figure 8): multi-client aggregate upload/download speed.
+
+1..N clients connect over TCP (loopback), each uploading a file of unique
+data, then downloading it back; concurrent phases are barrier-synchronized
+exactly as in §5.3.1. The paper's shape: aggregate upload speed grows with
+the client count (server-side parallelism); download growth saturates or
+dips earlier due to read contention.
+
+Absolute MB/s is ~10^3x below the paper's 10 GbE testbed (pure Python);
+the scaling trend is the reproduction target.
+"""
+
+from conftest import print_table
+
+from repro.analysis.perf import experiment_b3
+
+_CLIENTS = (1, 2, 4, 8)
+_FILE_BYTES = 512 << 10
+
+
+def test_b3_multi_client(benchmark):
+    def run():
+        return [
+            experiment_b3(n, file_bytes=_FILE_BYTES, batch_size=1000)
+            for n in _CLIENTS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "clients": r.clients,
+            "aggregate upload (MB/s)": round(r.upload_mb_s, 2),
+            "aggregate download (MB/s)": round(r.download_mb_s, 2),
+        }
+        for r in results
+    ]
+    print_table("Figure 8: multi-client performance", rows)
+    # Aggregate upload throughput must not collapse as clients are added;
+    # the multi-threaded provider should extract some parallelism.
+    assert results[-1].upload_mb_s > results[0].upload_mb_s * 0.5
+    assert all(r.upload_mb_s > 0 and r.download_mb_s > 0 for r in results)

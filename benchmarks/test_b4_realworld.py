@@ -1,0 +1,85 @@
+"""Experiment B.4 (Table 2): trace-replay microbenchmark with dedup + disk.
+
+Replays the median-size snapshot of each dataset (content materialized from
+fingerprints, §5.3.2) into an on-disk provider and reports the per-step
+upload breakdown. Chunking is omitted (trace replay), and the write step
+includes provider-side dedup and disk I/O, as in the paper's Table 2.
+
+Shape targets: per-MB step times are higher for the MS-like snapshot
+because its chunks are smaller (more chunks per MB — the effect §5.3.2
+attributes to FSL's larger average chunk size), and TED key generation
+remains a small share of the upload time.
+"""
+
+import tempfile
+
+from conftest import print_table
+
+from repro.analysis.perf import experiment_b4
+
+_results = {}
+
+
+def _median_snapshot(dataset):
+    ordered = sorted(dataset.snapshots, key=lambda s: s.total_bytes)
+    return ordered[len(ordered) // 2]
+
+
+def _run(dataset):
+    snapshot = _median_snapshot(dataset)
+    return experiment_b4(
+        snapshot,
+        directory=tempfile.mkdtemp(prefix="repro-b4-"),
+        batch_size=2000,
+        container_bytes=1 << 20,
+    ), snapshot
+
+
+def _finish():
+    steps = (
+        "fingerprinting",
+        "hashing",
+        "key seeding",
+        "key derivation",
+        "encryption",
+        "write",
+    )
+    rows = []
+    for step in steps:
+        row = {"step": step}
+        for label, (breakdown, _) in _results.items():
+            row[f"{label} (ms/MB)"] = breakdown.ms_per_mb().get(step, "-")
+        rows.append(row)
+    print_table(
+        "Table 2: computational time per 1 MB of uploads (trace replay)",
+        rows,
+    )
+    for label, (breakdown, snapshot) in _results.items():
+        chunks_per_mb = len(snapshot) / (snapshot.total_bytes / (1 << 20))
+        print(
+            f"{label}: {len(snapshot)} chunks, "
+            f"{chunks_per_mb:.0f} chunks/MB, TED keygen share = "
+            f"{100 * breakdown.keygen_share:.2f}%"
+        )
+
+
+def test_b4_fsl(benchmark, fsl_dataset):
+    breakdown, snapshot = benchmark.pedantic(
+        _run, args=(fsl_dataset,), rounds=1, iterations=1
+    )
+    _results["FSL-like"] = (breakdown, snapshot)
+    assert breakdown.keygen_share < 0.5
+
+
+def test_b4_ms(benchmark, ms_dataset):
+    breakdown, snapshot = benchmark.pedantic(
+        _run, args=(ms_dataset,), rounds=1, iterations=1
+    )
+    _results["MS-like"] = (breakdown, snapshot)
+    _finish()
+    # MS chunks are smaller → more per-chunk work per MB. Compare the
+    # per-MB cost of the per-chunk stages across datasets.
+    fsl_breakdown, fsl_snapshot = _results["FSL-like"]
+    fsl_per_chunk_ms = fsl_breakdown.ms_per_mb()["hashing"]
+    ms_per_chunk_ms = breakdown.ms_per_mb()["hashing"]
+    assert ms_per_chunk_ms > fsl_per_chunk_ms * 0.9

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Frequency-analysis attack demo: watch TED blunt the attack end to end.
+
+Plays both sides of the threat model (§2.3):
+
+* The *defender* encrypts a backup snapshot under MLE, MinHash encryption,
+  and FTED at several blowup factors.
+* The *adversary* holds an auxiliary dataset — here, the previous backup
+  snapshot of the same system, the scenario of Li et al. [DSN '17] — and
+  runs rank-based frequency analysis against the observed ciphertexts.
+
+Printed for each scheme: the measured KLD, the attack's inference rate
+(fraction of unique ciphertext chunks whose plaintext the adversary
+recovers), and the storage cost. SKE is included as the
+perfect-but-unaffordable endpoint.
+
+Usage:
+    python examples/attack_demo.py
+"""
+
+import random
+
+from repro.analysis.attack import attack_scheme
+from repro.analysis.tradeoff import make_fted
+from repro.core.schemes import MLEScheme, MinHashScheme, SKEScheme
+from repro.traces.synthetic import SyntheticTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    config = TraceConfig(
+        name="attack-demo",
+        files_per_snapshot=120,
+        file_copy_prob=0.4,
+        popular_pool_size=2000,
+        popular_prob=0.25,
+        zipf_s=1.7,
+        modify_prob=0.2,
+    )
+    generator = SyntheticTraceGenerator(config, "victim", seed=13)
+    auxiliary = generator.snapshot("monday-backup")   # leaked prior backup
+    target = generator.snapshot("tuesday-backup")     # what the adversary sees
+    overlap = len(
+        {fp for fp, _ in auxiliary.records}
+        & {fp for fp, _ in target.records}
+    ) / target.unique_chunks
+    print(
+        f"target: {len(target)} chunks ({target.unique_chunks} unique); "
+        f"adversary's auxiliary covers {overlap:.0%} of them\n"
+    )
+
+    schemes = [
+        MLEScheme(),
+        MinHashScheme(),
+        make_fted(1.05, sketch_width=2**16, seed=3),
+        make_fted(1.10, sketch_width=2**16, seed=3),
+        make_fted(1.20, sketch_width=2**16, seed=3),
+        SKEScheme(rng=random.Random(3)),
+    ]
+
+    header = (
+        f"{'scheme':<14} {'KLD':>7} {'top-50 inference':>17} "
+        f"{'overall':>8} {'blowup':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme in schemes:
+        output = scheme.process(target.records)
+        result = attack_scheme(scheme, target, auxiliary)
+        print(
+            f"{scheme.name:<14} {output.kld():>7.3f} "
+            f"{result.top_inference_rate:>16.1%} "
+            f"{result.inference_rate:>8.2%} {output.blowup():>7.3f}"
+        )
+
+    print(
+        "\nMLE leaks the most (deterministic encryption preserves the whole "
+        "frequency distribution); TED's probabilistic, frequency-aware keys "
+        "flatten the ciphertext histogram so rank matching collapses — at a "
+        "storage cost you chose, not one the scheme imposed."
+    )
+
+
+if __name__ == "__main__":
+    main()

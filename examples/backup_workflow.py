@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Backup workflow: an organization backs up several clients over TCP.
+
+This is the paper's application scenario (§3.1): an organization runs a key
+manager, rents provider storage in the cloud, and lets its clients back up
+through TEDStore. The script:
+
+1. starts a key manager (FTED, b = 1.05) and an on-disk provider over TCP;
+2. has three clients upload a week of evolving backup snapshots
+   (synthetic trace replay — content materialized from fingerprints);
+3. prints per-upload dedup statistics and the provider's realized storage
+   blowup versus exact deduplication;
+4. restores one client's latest backup and verifies it byte-for-byte.
+
+Usage:
+    python examples/backup_workflow.py
+"""
+
+import tempfile
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.tedstore import (
+    KeyManagerService,
+    ProviderService,
+    RemoteKeyManager,
+    RemoteProvider,
+    TedStoreClient,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.traces.synthetic import SyntheticTraceGenerator, TraceConfig
+from repro.traces.workload import snapshot_to_chunks
+
+NUM_CLIENTS = 3
+SNAPSHOTS_PER_CLIENT = 3
+
+
+def main() -> None:
+    storage_dir = tempfile.mkdtemp(prefix="tedstore-backup-")
+    key_manager = KeyManagerService(
+        TedKeyManager(
+            secret=b"organization-global-secret",
+            blowup_factor=1.05,
+            batch_size=4000,
+            sketch_width=2**18,
+        )
+    )
+    provider = ProviderService(directory=storage_dir, container_bytes=4 << 20)
+
+    with serve_key_manager(key_manager) as km, serve_provider(provider) as pr:
+        print(f"key manager on {km.address}, provider on {pr.address}")
+        print(f"provider storage under {storage_dir}\n")
+
+        config = TraceConfig(
+            name="org-backups",
+            files_per_snapshot=60,
+            file_copy_prob=0.4,
+            popular_pool_size=2000,
+            popular_prob=0.25,
+            zipf_s=1.6,
+        )
+        clients = []
+        backups = {}
+        for cid in range(NUM_CLIENTS):
+            client = TedStoreClient(
+                RemoteKeyManager(km.address),
+                RemoteProvider(pr.address),
+                master_key=bytes([cid + 1]) * 32,  # per-client master key
+                profile=SHACTR,
+                sketch_width=2**18,
+                batch_size=4000,
+            )
+            clients.append(client)
+            generator = SyntheticTraceGenerator(config, f"client{cid}", seed=cid)
+            backups[cid] = [
+                generator.snapshot(f"client{cid}/day{day}")
+                for day in range(SNAPSHOTS_PER_CLIENT)
+            ]
+
+        unique_plaintext = set()
+        for day in range(SNAPSHOTS_PER_CLIENT):
+            for cid, client in enumerate(clients):
+                snapshot = backups[cid][day]
+                unique_plaintext.update(fp for fp, _ in snapshot.records)
+                chunks = [c for _, c in snapshot_to_chunks(snapshot)]
+                result = client.upload_chunks(snapshot.snapshot_id, chunks)
+                dedup_pct = 100 * result.duplicate_chunks / result.chunk_count
+                print(
+                    f"day {day} client {cid}: {result.chunk_count:>6} chunks "
+                    f"uploaded, {dedup_pct:5.1f}% deduplicated at provider"
+                )
+        provider.flush()
+
+        stats = dict(clients[0].provider.stats())
+        blowup = stats["unique_chunks"] / len(unique_plaintext)
+        print(
+            f"\nprovider: {stats['logical_chunks']} logical chunks -> "
+            f"{stats['unique_chunks']} stored ciphertext chunks across "
+            f"{stats['containers']} containers"
+        )
+        print(
+            f"realized storage blowup over exact dedup: {blowup:.3f} "
+            f"(configured b = 1.05)"
+        )
+        print(
+            "the overshoot beyond b is the batched tuner's cold start: t "
+            "begins at 1 for each client's stream and rises as the key "
+            "manager accumulates evidence (Experiment A.5's effect), so "
+            "early duplicates were spread more aggressively than the "
+            "steady-state budget. longer series amortize this toward b."
+        )
+
+        snapshot = backups[0][-1]
+        expected = b"".join(c for _, c in snapshot_to_chunks(snapshot))
+        restored = clients[0].download(snapshot.snapshot_id)
+        assert restored == expected
+        print(
+            f"\nrestored {snapshot.snapshot_id} "
+            f"({len(restored)} bytes) and verified byte-for-byte"
+        )
+
+        for client in clients:
+            client.key_manager.close()
+            client.provider.close()
+
+
+if __name__ == "__main__":
+    main()

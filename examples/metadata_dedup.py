@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Metadata deduplication: shrinking recipe storage across a backup series.
+
+TEDStore's prototype stores every file's recipes verbatim (§4 lists
+metadata dedup as an open limitation, pointing at Metadedup [43]). This
+example quantifies what that costs — and what the Metadedup-style extension
+(`metadata_dedup=True` on the client) recovers:
+
+1. One user backs up 7 daily snapshots of an evolving file system.
+2. Arm A stores recipes verbatim (the paper's prototype behaviour).
+3. Arm B splits recipes into content-keyed metadata chunks that ride the
+   normal dedup path.
+4. We compare the metadata bytes the provider actually keeps.
+
+Usage:
+    python examples/metadata_dedup.py
+"""
+
+from repro.storage.recipe import FileRecipe, KeyRecipe, seal
+from repro.storage.metadedup import pack_metadata_chunks
+from repro.traces.synthetic import SyntheticTraceGenerator, TraceConfig
+
+DAYS = 7
+MASTER = b"\x07" * 32
+
+
+def build_recipes(snapshot):
+    """Recipes as the TEDStore client would build them (MLE keys here,
+    since only recipe *structure* matters for metadata dedup)."""
+    from repro.crypto.hashes import hash_concat
+
+    file_recipe = FileRecipe(file_name=snapshot.snapshot_id)
+    key_recipe = KeyRecipe()
+    for fingerprint, size in snapshot.records:
+        file_recipe.add(fingerprint, size)
+        key_recipe.add(hash_concat([b"key", fingerprint]))
+    return file_recipe, key_recipe
+
+
+def main() -> None:
+    config = TraceConfig(
+        name="meta-demo",
+        files_per_snapshot=80,
+        file_copy_prob=0.35,
+        popular_pool_size=1500,
+        popular_prob=0.2,
+        zipf_s=1.5,
+        modify_prob=0.15,
+        delete_prob=0.03,
+        growth_files=3,
+    )
+    generator = SyntheticTraceGenerator(config, "user", seed=5)
+    snapshots = [generator.snapshot(f"day-{d}") for d in range(DAYS)]
+
+    verbatim_bytes = 0
+    dedup_unique: dict = {}
+    dedup_logical = 0
+    meta_recipe_bytes = 0
+
+    print(f"{'day':>4} {'chunks':>8} {'verbatim recipes':>17} "
+          f"{'metadata chunks new/total':>26}")
+    for day, snapshot in enumerate(snapshots):
+        file_recipe, key_recipe = build_recipes(snapshot)
+        sealed_size = len(
+            seal(MASTER, file_recipe.serialize())
+        ) + len(seal(MASTER, key_recipe.serialize()))
+        verbatim_bytes += sealed_size
+
+        chunks, meta_plain = pack_metadata_chunks(
+            file_recipe, key_recipe, entries_per_chunk=128
+        )
+        new = 0
+        for fingerprint, ciphertext in chunks:
+            dedup_logical += len(ciphertext)
+            if fingerprint not in dedup_unique:
+                dedup_unique[fingerprint] = len(ciphertext)
+                new += 1
+        meta_recipe_bytes += len(seal(MASTER, meta_plain))
+        print(
+            f"{day:>4} {len(snapshot):>8} {sealed_size:>15} B "
+            f"{new:>11}/{len(chunks):<3} chunks"
+        )
+
+    dedup_physical = sum(dedup_unique.values()) + meta_recipe_bytes
+    print(
+        f"\nverbatim metadata storage (prototype): {verbatim_bytes:,} bytes"
+    )
+    print(
+        f"deduplicated metadata storage:          {dedup_physical:,} bytes "
+        f"({sum(dedup_unique.values()):,} metadata chunks + "
+        f"{meta_recipe_bytes:,} meta recipes)"
+    )
+    print(
+        f"metadata saving: "
+        f"{100 * (1 - dedup_physical / verbatim_bytes):.1f}% — unchanged "
+        f"recipe regions across days are stored once."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package: enables the legacy
+`setup.py develop` editable-install path. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

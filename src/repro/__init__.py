@@ -1,0 +1,78 @@
+"""repro — a from-scratch Python reproduction of TED / TEDStore.
+
+Tunable Encrypted Deduplication (Li, Yang, Ren, Lee, Zhang; EuroSys 2020):
+an encrypted-deduplication primitive whose key derivation depends on chunk
+frequency, letting users trade storage efficiency against resistance to
+frequency analysis via a single configurable storage blowup factor.
+
+Quick start::
+
+    from repro import TedKeyManager, TedScheme, generate_fsl_like
+
+    dataset = generate_fsl_like(users=1, snapshots_per_user=1, scale=0.2)
+    scheme = TedScheme(TedKeyManager(b"secret", blowup_factor=1.1))
+    output = scheme.process(dataset.snapshots[0].records)
+    print(output.kld(), output.blowup())
+
+Package map:
+
+* ``repro.core``      — TED key derivation, tuning, KLD, scheme zoo.
+* ``repro.crypto``    — AES, modes, MurmurHash3, blind RSA/BLS, profiles.
+* ``repro.sketch``    — Count-Min Sketch frequency counting.
+* ``repro.chunking``  — Rabin fingerprinting + content-defined chunking.
+* ``repro.storage``   — LSM fingerprint index, containers, recipes, dedup.
+* ``repro.tedstore``  — the client / key-manager / provider prototype.
+* ``repro.traces``    — snapshot model, formats, synthetic FSL/MS datasets.
+* ``repro.analysis``  — drivers for every paper experiment (A.1–B.5).
+"""
+
+from repro.core import (
+    CEScheme,
+    MLEScheme,
+    MinHashScheme,
+    SKEScheme,
+    TedKeyManager,
+    TedScheme,
+    attack_success_probability,
+    configure_t,
+    kld_from_frequencies,
+    solve,
+    storage_blowup,
+)
+from repro.sketch import CountMinSketch
+from repro.tedstore import (
+    KeyManagerService,
+    ProviderService,
+    TedStoreClient,
+)
+from repro.traces import (
+    Dataset,
+    Snapshot,
+    generate_fsl_like,
+    generate_ms_like,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CEScheme",
+    "MLEScheme",
+    "MinHashScheme",
+    "SKEScheme",
+    "TedKeyManager",
+    "TedScheme",
+    "attack_success_probability",
+    "configure_t",
+    "kld_from_frequencies",
+    "solve",
+    "storage_blowup",
+    "CountMinSketch",
+    "KeyManagerService",
+    "ProviderService",
+    "TedStoreClient",
+    "Dataset",
+    "Snapshot",
+    "generate_fsl_like",
+    "generate_ms_like",
+    "__version__",
+]

@@ -1,0 +1,238 @@
+"""Frequency analysis attack against encrypted deduplication.
+
+Implements the classic attack of Li et al. [DSN '17] that motivates TED
+(§2.1): a knowledgeable adversary holds an *auxiliary* plaintext dataset
+(e.g. a prior backup snapshot) and observes the ciphertext chunks of the
+target. It ranks both sides by frequency and maps the i-th most frequent
+ciphertext chunk to the i-th most frequent auxiliary plaintext chunk.
+
+Because our trace simulation knows the true plaintext fingerprint behind
+every ciphertext identity, we can score the attack exactly: the *inference
+rate* is the fraction of unique ciphertext chunks whose inferred plaintext
+is correct. This is the end-to-end demonstration that TED's KLD reduction
+translates into lower attack success.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.schemes import EncryptionScheme
+from repro.traces.model import Snapshot
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one frequency-analysis run.
+
+    ``inferred``/``correct`` cover every unique ciphertext chunk;
+    ``top_inferred``/``top_correct`` cover only the most frequent ones,
+    where rank matching has real signal (the long tail of frequency-1
+    chunks ranks arbitrarily under any scheme, so whole-population rates
+    understate the leakage the attack exploits).
+    """
+
+    inferred: int
+    correct: int
+    top_inferred: int = 0
+    top_correct: int = 0
+
+    @property
+    def inference_rate(self) -> float:
+        """Fraction of inferred ciphertext chunks that were correct."""
+        return self.correct / self.inferred if self.inferred else 0.0
+
+    @property
+    def top_inference_rate(self) -> float:
+        """Inference rate over the top-frequency ciphertext chunks."""
+        return (
+            self.top_correct / self.top_inferred if self.top_inferred else 0.0
+        )
+
+
+def rank_by_frequency(observations: Iterable[bytes]) -> List[bytes]:
+    """Identities ranked most-frequent first, ties broken by identity bytes
+    (a deterministic stand-in for the adversary's arbitrary tie-breaking)."""
+    counts = Counter(observations)
+    return [
+        identity
+        for identity, _ in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+
+
+def frequency_analysis(
+    ciphertext_ids: Sequence[bytes],
+    truth: Dict[bytes, bytes],
+    auxiliary: Sequence[bytes],
+    top_k: int = 50,
+) -> AttackResult:
+    """Run the rank-matching attack.
+
+    Args:
+        ciphertext_ids: the observed ciphertext identity per chunk copy.
+        truth: ciphertext identity → true plaintext fingerprint (ground
+            truth from the simulation).
+        auxiliary: the adversary's plaintext fingerprint stream (one entry
+            per chunk copy of the auxiliary dataset).
+        top_k: how many top-frequency chunks the headline rate covers.
+
+    Returns:
+        Inference counts over the unique ciphertext chunks, plus the
+        top-``top_k`` counts.
+    """
+    cipher_ranked = rank_by_frequency(ciphertext_ids)
+    aux_ranked = rank_by_frequency(auxiliary)
+    correct = 0
+    inferred = 0
+    top_correct = 0
+    top_inferred = 0
+    for rank, (cipher_id, guess) in enumerate(
+        zip(cipher_ranked, aux_ranked)
+    ):
+        inferred += 1
+        hit = truth.get(cipher_id) == guess
+        if hit:
+            correct += 1
+        if rank < top_k:
+            top_inferred += 1
+            if hit:
+                top_correct += 1
+    return AttackResult(
+        inferred=inferred,
+        correct=correct,
+        top_inferred=top_inferred,
+        top_correct=top_correct,
+    )
+
+
+def attack_scheme(
+    scheme: EncryptionScheme,
+    target: Snapshot,
+    auxiliary: Snapshot,
+    top_k: int = 50,
+) -> AttackResult:
+    """Encrypt ``target`` under ``scheme`` and attack it using ``auxiliary``.
+
+    The auxiliary snapshot models the adversary's prior knowledge (e.g. an
+    earlier backup of the same system, §2.1); attack quality degrades
+    gracefully as the auxiliary distribution drifts from the target's.
+    """
+    output = scheme.process(target.records)
+    truth: Dict[bytes, bytes] = {}
+    for (fingerprint, _), cipher_id in zip(
+        target.records, output.ciphertext_ids
+    ):
+        truth[cipher_id] = fingerprint
+    return frequency_analysis(
+        output.ciphertext_ids,
+        truth,
+        [fp for fp, _ in auxiliary.records],
+        top_k=top_k,
+    )
+
+
+def compare_schemes_under_attack(
+    schemes: Sequence[EncryptionScheme],
+    target: Snapshot,
+    auxiliary: Snapshot,
+    top_k: int = 50,
+) -> List[Dict[str, object]]:
+    """Per-scheme attack outcome rows — the headline security comparison."""
+    rows: List[Dict[str, object]] = []
+    for scheme in schemes:
+        result = attack_scheme(scheme, target, auxiliary, top_k=top_k)
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "inference_rate": result.inference_rate,
+                "top_inference_rate": result.top_inference_rate,
+            }
+        )
+    return rows
+
+
+def locality_attack(
+    ciphertext_ids: Sequence[bytes],
+    truth: Dict[bytes, bytes],
+    auxiliary: Sequence[bytes],
+    seeds: int = 20,
+) -> AttackResult:
+    """Locality-augmented frequency analysis (Li et al., DSN '17).
+
+    Backup streams have *chunk locality*: if plaintext chunk A precedes B
+    in the auxiliary data, their ciphertexts likely appear adjacent in the
+    target too. The attack seeds itself with the top frequency-analysis
+    guesses, then iteratively infers the neighbours of confirmed chunks by
+    matching successor sets, growing the inferred mapping well past what
+    rank-matching alone achieves against deterministic encryption.
+
+    Args:
+        ciphertext_ids: the target's ciphertext identity stream (in upload
+            order — order is what locality exploits).
+        truth: ciphertext identity → true plaintext fingerprint.
+        auxiliary: the adversary's plaintext fingerprint stream, in order.
+        seeds: how many top frequency-analysis pairs to seed with.
+
+    Returns:
+        Inference counts over the unique ciphertext chunks.
+    """
+
+    def successor_counts(stream: Sequence[bytes]) -> Dict[bytes, Counter]:
+        successors: Dict[bytes, Counter] = {}
+        for current, following in zip(stream, stream[1:]):
+            successors.setdefault(current, Counter())[following] += 1
+        return successors
+
+    cipher_ranked = rank_by_frequency(ciphertext_ids)
+    aux_ranked = rank_by_frequency(auxiliary)
+    cipher_successors = successor_counts(ciphertext_ids)
+    aux_successors = successor_counts(auxiliary)
+
+    # Seed: the top-`seeds` frequency-rank pairs.
+    inferred: Dict[bytes, bytes] = dict(
+        zip(cipher_ranked[:seeds], aux_ranked[:seeds])
+    )
+    frontier = list(inferred.items())
+    while frontier:
+        cipher_id, plain_guess = frontier.pop()
+        cipher_next = cipher_successors.get(cipher_id)
+        aux_next = aux_successors.get(plain_guess)
+        if not cipher_next or not aux_next:
+            continue
+        # Match the most common successors pairwise by rank.
+        for (c_succ, _), (p_succ, _) in zip(
+            cipher_next.most_common(3), aux_next.most_common(3)
+        ):
+            if c_succ not in inferred:
+                inferred[c_succ] = p_succ
+                frontier.append((c_succ, p_succ))
+
+    correct = sum(
+        1 for cid, guess in inferred.items() if truth.get(cid) == guess
+    )
+    return AttackResult(inferred=len(inferred), correct=correct)
+
+
+def locality_attack_scheme(
+    scheme: EncryptionScheme,
+    target: Snapshot,
+    auxiliary: Snapshot,
+    seeds: int = 20,
+) -> AttackResult:
+    """Encrypt ``target`` and run the locality-augmented attack on it."""
+    output = scheme.process(target.records)
+    truth: Dict[bytes, bytes] = {}
+    for (fingerprint, _), cipher_id in zip(
+        target.records, output.ciphertext_ids
+    ):
+        truth[cipher_id] = fingerprint
+    return locality_attack(
+        output.ciphertext_ids,
+        truth,
+        [fp for fp, _ in auxiliary.records],
+        seeds=seeds,
+    )

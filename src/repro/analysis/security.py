@@ -1,0 +1,134 @@
+"""Security-analysis helpers around the §3.6 quantitative argument.
+
+The paper quantifies TED's security gain through Eq. 9: the probability
+that an adversary holding ``S`` sampled ciphertext chunks distinguishes the
+scheme's frequency distribution from uniform. This module turns that into
+operator-facing artifacts:
+
+* :func:`success_curve` — P(success) over a sample-count sweep for a
+  measured KLD (one line of Figure-style data per scheme).
+* :func:`scheme_comparison` — the §3.6 table: per scheme, the samples
+  needed for a target success probability, normalized to a baseline.
+* :func:`recommend_blowup` — invert the trade-off: given the adversary's
+  plausible sample budget and a tolerated success probability, find the
+  smallest blowup factor whose optimized KLD keeps the adversary below
+  tolerance (the "how should users configure b" question the paper poses
+  as future work, answered with its own machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.kld import attack_success_probability, samples_for_success
+from repro.core.tuning import solve
+
+
+def success_curve(
+    kld: float, sample_counts: Sequence[int]
+) -> List[Dict[str, float]]:
+    """Eq. 9 evaluated over a sweep of adversary sample counts."""
+    return [
+        {
+            "samples": float(s),
+            "success_probability": attack_success_probability(s, kld),
+        }
+        for s in sample_counts
+    ]
+
+
+def scheme_comparison(
+    klds: Dict[str, float],
+    target_probability: float = 0.9,
+    baseline: str = "MLE",
+) -> List[Dict[str, float]]:
+    """The §3.6 table: samples needed per scheme, relative to a baseline.
+
+    Args:
+        klds: measured KLD per scheme name.
+        target_probability: the attack success level to normalize at.
+        baseline: scheme whose sample count is the denominator.
+
+    Raises:
+        KeyError: if the baseline scheme is missing.
+        ValueError: if the baseline KLD is zero (nothing to normalize by).
+    """
+    if baseline not in klds:
+        raise KeyError(f"baseline scheme {baseline!r} not in klds")
+    baseline_kld = klds[baseline]
+    if baseline_kld <= 0:
+        raise ValueError("baseline KLD must be positive")
+    baseline_samples = samples_for_success(target_probability, baseline_kld)
+    rows = []
+    for scheme, kld in klds.items():
+        samples = (
+            samples_for_success(target_probability, kld)
+            if kld > 0
+            else float("inf")
+        )
+        rows.append(
+            {
+                "scheme": scheme,
+                "kld": kld,
+                "samples_needed": samples,
+                "vs_baseline": samples / baseline_samples,
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BlowupRecommendation:
+    """Outcome of :func:`recommend_blowup`."""
+
+    blowup_factor: float
+    t: int
+    predicted_kld: float
+    adversary_success: float
+    feasible: bool
+
+
+def recommend_blowup(
+    frequencies: Sequence[int],
+    adversary_samples: int,
+    tolerated_success: float = 0.6,
+    candidates: Sequence[float] = (
+        1.01, 1.02, 1.05, 1.10, 1.15, 1.20, 1.30, 1.50, 2.00,
+    ),
+) -> BlowupRecommendation:
+    """Pick the smallest ``b`` that keeps the adversary below tolerance.
+
+    Evaluates the Eq. 6/7 optimum for each candidate blowup factor and
+    returns the first whose *predicted* KLD keeps Eq. 9's success
+    probability at or below ``tolerated_success`` for the given adversary
+    sample budget. If none suffices (the workload is too skewed for the
+    candidate range), the largest candidate is returned with
+    ``feasible=False`` so callers can surface the shortfall.
+
+    Raises:
+        ValueError: empty candidates, bad tolerance, or negative samples.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate blowup factor")
+    if not 0.5 <= tolerated_success < 1.0:
+        raise ValueError("tolerated_success must be in [0.5, 1)")
+    if adversary_samples < 0:
+        raise ValueError("adversary_samples cannot be negative")
+    last: BlowupRecommendation | None = None
+    for b in sorted(candidates):
+        solution = solve(frequencies, b)
+        success = attack_success_probability(
+            adversary_samples, max(solution.predicted_kld, 0.0)
+        )
+        last = BlowupRecommendation(
+            blowup_factor=b,
+            t=solution.t,
+            predicted_kld=solution.predicted_kld,
+            adversary_success=success,
+            feasible=success <= tolerated_success,
+        )
+        if last.feasible:
+            return last
+    assert last is not None
+    return last

@@ -1,0 +1,41 @@
+"""Fixed-size chunking — the trivial baseline and the trace-replay helper.
+
+Trace-driven experiments replay fingerprint lists where each record carries
+an explicit chunk size, so no content-defined pass is needed; this module
+also provides plain fixed-size splitting for synthetic unique-data workloads
+(Experiments B.1–B.3), where chunk boundaries are irrelevant because every
+chunk is unique by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def fixed_chunks(data: bytes, chunk_size: int) -> Iterator[bytes]:
+    """Split ``data`` into consecutive ``chunk_size``-byte chunks.
+
+    The final chunk may be shorter. An empty input yields nothing.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    for offset in range(0, len(data), chunk_size):
+        yield data[offset : offset + chunk_size]
+
+
+def split_by_sizes(data: bytes, sizes: List[int]) -> List[bytes]:
+    """Split ``data`` into chunks of the exact given sizes (trace replay).
+
+    Raises:
+        ValueError: if the sizes do not sum to ``len(data)``.
+    """
+    if sum(sizes) != len(data):
+        raise ValueError("sizes must sum to the data length")
+    chunks = []
+    offset = 0
+    for size in sizes:
+        if size <= 0:
+            raise ValueError("chunk sizes must be positive")
+        chunks.append(data[offset : offset + size])
+        offset += size
+    return chunks

@@ -1,0 +1,211 @@
+"""Rabin fingerprinting over GF(2) polynomials, built from first principles.
+
+TEDStore's client implements content-defined chunking based on Rabin
+fingerprinting [Rabin '81] (paper §4): a rolling hash over a sliding window
+identifies chunk boundaries wherever the fingerprint satisfies a bitmask
+condition, so boundaries survive insertions and deletions (the property that
+makes deduplication effective on backup streams).
+
+A Rabin fingerprint treats the window bytes as coefficients of a polynomial
+over GF(2) and reduces it modulo a fixed irreducible polynomial ``P`` of
+degree ``k``. We generate ``P`` ourselves with a deterministic irreducibility
+search (Rabin's own test: ``x^(2^k) ≡ x (mod P)`` and
+``gcd(x^(2^(k/q)) - x, P) = 1`` for each prime ``q | k``) rather than pasting
+in a magic constant, and precompute the two standard 256-entry tables that
+make the rolling update O(1) per byte:
+
+* ``shift`` — reduces the top byte pushed out past degree ``k`` on append.
+* ``pop``   — removes the contribution of the byte leaving the window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+DEFAULT_DEGREE = 53
+DEFAULT_WINDOW_SIZE = 48
+
+
+def _poly_mulmod(a: int, b: int, modulus: int, degree: int) -> int:
+    """Multiply two GF(2) polynomials modulo ``modulus`` (degree ``degree``)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> degree:
+            a ^= modulus
+    return result
+
+
+def _poly_mod(a: int, modulus: int, degree: int) -> int:
+    """Reduce a GF(2) polynomial modulo ``modulus``."""
+    mod_bits = degree
+    while a.bit_length() > mod_bits:
+        a ^= modulus << (a.bit_length() - 1 - mod_bits)
+    return a
+
+
+def _poly_gcd(a: int, b: int) -> int:
+    """GCD of two GF(2) polynomials (Euclid with polynomial remainder)."""
+    while b:
+        # a mod b: cancel a's leading bit with a shifted copy of b until
+        # deg(a) < deg(b); reaches 0 cleanly when b divides a.
+        while a.bit_length() >= b.bit_length():
+            a ^= b << (a.bit_length() - b.bit_length())
+        a, b = b, a
+    return a
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test for a GF(2) polynomial.
+
+    ``poly`` is the full polynomial including the leading ``x^k`` term.
+    """
+    degree = poly.bit_length() - 1
+    if degree < 1:
+        return False
+
+    def x_pow_pow2(exponent_log: int) -> int:
+        # Compute x^(2^exponent_log) mod poly by repeated squaring of x.
+        value = 0b10  # the polynomial "x"
+        for _ in range(exponent_log):
+            value = _poly_mulmod(value, value, poly, degree)
+        return value
+
+    # Condition 1: x^(2^k) == x (mod poly).
+    if x_pow_pow2(degree) != 0b10:
+        return False
+    # Condition 2: gcd(x^(2^(k/q)) - x, poly) == 1 for each prime q | k.
+    for q in _prime_factors(degree):
+        h = x_pow_pow2(degree // q) ^ 0b10
+        if _poly_gcd(h, poly) != 1:
+            return False
+    return True
+
+
+def find_irreducible(degree: int, seed: int = 1) -> int:
+    """Deterministically find an irreducible polynomial of ``degree``.
+
+    Scans odd polynomials (constant term 1 is necessary for irreducibility
+    above degree 1) starting from a seed-derived offset, so different seeds
+    yield different moduli while remaining reproducible.
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    base = 1 << degree
+    # Odd starting point derived from the seed, within the coefficient space.
+    start = (seed * 0x9E3779B97F4A7C15) % (base // 2) * 2 + 1
+    for offset in range(0, base, 2):
+        candidate = base | ((start + offset) % base) | 1
+        if is_irreducible(candidate):
+            return candidate
+    raise RuntimeError("no irreducible polynomial found")  # pragma: no cover
+
+
+class RabinFingerprint:
+    """Rolling Rabin fingerprint over a fixed-size byte window.
+
+    Example:
+        >>> rf = RabinFingerprint()
+        >>> for byte in b"hello world, hello dedup":
+        ...     _ = rf.roll(byte)
+        >>> rf.fingerprint == RabinFingerprint.of(
+        ...     b"hello world, hello dedup"[-rf.window_size:],
+        ...     rf.polynomial)
+        True
+    """
+
+    _POLY_CACHE: dict = {}
+
+    def __init__(
+        self,
+        polynomial: int | None = None,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        degree: int = DEFAULT_DEGREE,
+    ) -> None:
+        if polynomial is None:
+            if degree not in self._POLY_CACHE:
+                self._POLY_CACHE[degree] = find_irreducible(degree)
+            polynomial = self._POLY_CACHE[degree]
+        self.polynomial = polynomial
+        self.degree = polynomial.bit_length() - 1
+        self.window_size = window_size
+        self.fingerprint = 0
+        self._window = bytearray(window_size)
+        self._pos = 0
+        self._filled = 0
+        self._shift_table, self._pop_table = self._build_tables()
+
+    def _build_tables(self):
+        degree = self.degree
+        poly = self.polynomial
+        # shift[b]: reduction of b * x^degree for each possible top byte b.
+        shift = [0] * 256
+        for b in range(256):
+            shift[b] = _poly_mod(b << degree, poly, degree)
+        # pop[b]: contribution of byte b once it is window_size bytes old,
+        # i.e. b * x^(8 * window_size) mod poly.
+        x8w = 0b10  # "x"
+        # compute x^(8 * window_size) mod poly by square-and-multiply.
+        exponent = 8 * self.window_size
+        result = 1
+        base = 0b10
+        while exponent:
+            if exponent & 1:
+                result = _poly_mulmod(result, base, poly, degree)
+            base = _poly_mulmod(base, base, poly, degree)
+            exponent >>= 1
+        x8w = result
+        pop = [0] * 256
+        for b in range(256):
+            pop[b] = _poly_mulmod(b, x8w, poly, degree)
+        return shift, pop
+
+    def reset(self) -> None:
+        """Clear the window and fingerprint."""
+        self.fingerprint = 0
+        self._pos = 0
+        self._filled = 0
+        for i in range(self.window_size):
+            self._window[i] = 0
+
+    def roll(self, byte: int) -> int:
+        """Slide the window by one byte; returns the new fingerprint."""
+        old = self._window[self._pos]
+        self._window[self._pos] = byte
+        self._pos = (self._pos + 1) % self.window_size
+        if self._filled < self.window_size:
+            self._filled += 1
+        fp = self.fingerprint
+        # Append: fp = fp * x^8 + byte (mod P), reducing the top byte.
+        top = fp >> (self.degree - 8)
+        fp = (((fp << 8) & ((1 << self.degree) - 1)) | byte) ^ self._shift_table[top]
+        # Pop the byte that just left the window (zero until it fills).
+        fp ^= self._pop_table[old]
+        self.fingerprint = fp
+        return fp
+
+    @classmethod
+    def of(cls, data: bytes, polynomial: int) -> int:
+        """Non-rolling fingerprint of ``data`` (reference for tests)."""
+        degree = polynomial.bit_length() - 1
+        value = 0
+        for byte in data:
+            value = _poly_mod((value << 8) | byte, polynomial, degree)
+        return value

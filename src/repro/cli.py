@@ -1,0 +1,270 @@
+"""Command-line interface for the TED/TEDStore reproduction.
+
+Gives downstream users the paper's workflows without writing Python:
+
+* ``serve-keymanager`` / ``serve-provider`` — run the TEDStore entities.
+* ``upload`` / ``download`` — move files through a running deployment.
+* ``generate-trace`` — write synthetic FSL/MS-like snapshots to disk.
+* ``analyze`` — trade-off analysis (KLD/blowup per scheme) on a trace file.
+* ``tune`` — solve the Eq. 6-8 optimization for a trace and a blowup
+  factor, printing the derived balance parameter ``t``.
+
+Examples::
+
+    python -m repro.cli generate-trace --flavor fsl --out /tmp/traces
+    python -m repro.cli analyze /tmp/traces/fsl-0000.trc --b 1.05 1.2
+    python -m repro.cli serve-keymanager --port 9401 &
+    python -m repro.cli serve-provider --port 9402 --storage /tmp/store &
+    python -m repro.cli upload  --km localhost:9401 --provider localhost:9402 \
+        --master-key secret.bin myfile.bin
+    python -m repro.cli download --km localhost:9401 --provider localhost:9402 \
+        --master-key secret.bin myfile.bin --out restored.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.analysis.tradeoff import make_fted
+from repro.core.schemes import MLEScheme, MinHashScheme, SKEScheme
+from repro.core.ted import TedKeyManager
+from repro.core.tuning import solve
+from repro.crypto.cipher import get_profile
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.network import (
+    RemoteKeyManager,
+    RemoteProvider,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.tedstore.provider import ProviderService
+from repro.traces.format import read_snapshot, write_dataset
+from repro.traces.synthetic import generate_fsl_like, generate_ms_like
+
+
+def _address(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _master_key(path: Optional[str]) -> bytes:
+    if path is None:
+        return b"\x01" * 32
+    return hashlib.sha256(Path(path).read_bytes()).digest()
+
+
+def _make_client(args: argparse.Namespace) -> TedStoreClient:
+    return TedStoreClient(
+        RemoteKeyManager(_address(args.km)),
+        RemoteProvider(_address(args.provider)),
+        master_key=_master_key(args.master_key),
+        profile=get_profile(args.profile),
+        sketch_width=args.sketch_width,
+        batch_size=args.batch_size,
+        metadata_dedup=getattr(args, "metadedup", False),
+    )
+
+
+def cmd_serve_keymanager(args: argparse.Namespace) -> int:
+    limiter = None
+    if args.rate_limit > 0:
+        from repro.tedstore.ratelimit import KeyGenRateLimiter
+
+        limiter = KeyGenRateLimiter(
+            chunks_per_second=args.rate_limit,
+            burst_chunks=2.0 * args.rate_limit,
+        )
+    service = KeyManagerService(
+        TedKeyManager(
+            secret=args.secret.encode(),
+            blowup_factor=args.b,
+            batch_size=args.batch_size,
+            sketch_width=args.sketch_width,
+        ),
+        rate_limiter=limiter,
+    )
+    handle = serve_key_manager(service, host=args.host, port=args.port)
+    print(f"key manager listening on {handle.address} (b={args.b})")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        handle.stop()
+    return 0
+
+
+def cmd_serve_provider(args: argparse.Namespace) -> int:
+    service = ProviderService(
+        directory=args.storage, container_bytes=args.container_mb << 20
+    )
+    handle = serve_provider(service, host=args.host, port=args.port)
+    print(f"provider listening on {handle.address}, storage={args.storage}")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        service.flush()
+        handle.stop()
+    return 0
+
+
+def cmd_upload(args: argparse.Namespace) -> int:
+    client = _make_client(args)
+    data = Path(args.file).read_bytes()
+    start = time.perf_counter()
+    result = client.upload(args.name or Path(args.file).name, data)
+    elapsed = time.perf_counter() - start
+    print(
+        f"uploaded {result.logical_bytes} bytes as {result.chunk_count} "
+        f"chunks ({result.stored_chunks} stored, "
+        f"{result.duplicate_chunks} deduplicated) in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def cmd_download(args: argparse.Namespace) -> int:
+    client = _make_client(args)
+    start = time.perf_counter()
+    data = client.download(args.name)
+    elapsed = time.perf_counter() - start
+    Path(args.out).write_bytes(data)
+    print(f"downloaded {len(data)} bytes to {args.out} in {elapsed:.2f}s")
+    return 0
+
+
+def cmd_generate_trace(args: argparse.Namespace) -> int:
+    if args.flavor == "ms":
+        dataset = generate_ms_like(
+            machines=args.snapshots, scale=args.scale, seed=args.seed
+        )
+    else:
+        dataset = generate_fsl_like(
+            users=1,
+            snapshots_per_user=args.snapshots,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    paths = write_dataset(args.out, dataset)
+    for path, snapshot in zip(paths, dataset):
+        print(
+            f"{path}: {len(snapshot)} chunks, "
+            f"{snapshot.unique_chunks} unique, "
+            f"{snapshot.total_bytes / (1 << 20):.1f} MiB logical"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    snapshot = read_snapshot(args.trace)
+    print(
+        f"{args.trace}: {len(snapshot)} chunks, {snapshot.unique_chunks} "
+        f"unique, dedup ratio {snapshot.dedup_ratio:.2f}x"
+    )
+    schemes = [MLEScheme(), SKEScheme(), MinHashScheme()]
+    schemes.extend(
+        make_fted(b, sketch_width=args.sketch_width) for b in args.b
+    )
+    print(f"{'scheme':<14} {'KLD':>8} {'blowup':>8}")
+    for scheme in schemes:
+        output = scheme.process(snapshot.records)
+        print(f"{scheme.name:<14} {output.kld():>8.4f} {output.blowup():>8.4f}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    snapshot = read_snapshot(args.trace)
+    solution = solve(snapshot.frequencies(), args.b)
+    print(
+        f"b={args.b}: t={solution.t}, m={solution.m}, "
+        f"n*={solution.n_star}, predicted KLD={solution.predicted_kld:.4f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TED/TEDStore command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_client(p):
+        p.add_argument("--km", default="127.0.0.1:9401")
+        p.add_argument("--provider", default="127.0.0.1:9402")
+        p.add_argument("--master-key", default=None,
+                       help="file hashed into the 32-byte master key")
+        p.add_argument("--profile", default="shactr",
+                       choices=["secure", "fast", "shactr"])
+        p.add_argument("--sketch-width", type=int, default=2**21)
+        p.add_argument("--batch-size", type=int, default=48_000)
+
+    p = sub.add_parser("serve-keymanager", help="run a TED key manager")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9401)
+    p.add_argument("--secret", default="tedstore-secret")
+    p.add_argument("--b", type=float, default=1.05)
+    p.add_argument("--batch-size", type=int, default=48_000)
+    p.add_argument("--sketch-width", type=int, default=2**21)
+    p.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client key-generation budget in chunks/s (0 disables)",
+    )
+    p.set_defaults(func=cmd_serve_keymanager)
+
+    p = sub.add_parser("serve-provider", help="run a storage provider")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9402)
+    p.add_argument("--storage", required=True)
+    p.add_argument("--container-mb", type=int, default=8)
+    p.set_defaults(func=cmd_serve_provider)
+
+    p = sub.add_parser("upload", help="upload a file")
+    common_client(p)
+    p.add_argument("file")
+    p.add_argument("--name", default=None)
+    p.add_argument("--metadedup", action="store_true",
+                   help="deduplicate recipe metadata (Metadedup-style)")
+    p.set_defaults(func=cmd_upload)
+
+    p = sub.add_parser("download", help="download a file")
+    common_client(p)
+    p.add_argument("name")
+    p.add_argument("--out", required=True)
+    p.add_argument("--metadedup", action="store_true",
+                   help="(accepted for symmetry; layout is auto-detected)")
+    p.set_defaults(func=cmd_download)
+
+    p = sub.add_parser("generate-trace", help="write synthetic snapshots")
+    p.add_argument("--flavor", choices=["fsl", "ms"], default="fsl")
+    p.add_argument("--snapshots", type=int, default=3)
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=2013)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate_trace)
+
+    p = sub.add_parser("analyze", help="trade-off analysis on a trace")
+    p.add_argument("trace")
+    p.add_argument("--b", type=float, nargs="+", default=[1.05, 1.1, 1.2])
+    p.add_argument("--sketch-width", type=int, default=2**16)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("tune", help="derive t for a trace and blowup factor")
+    p.add_argument("trace")
+    p.add_argument("--b", type=float, default=1.05)
+    p.set_defaults(func=cmd_tune)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

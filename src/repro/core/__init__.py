@@ -1,0 +1,51 @@
+"""TED core: key derivation, tuning, leakage metrics, and the scheme zoo."""
+
+from repro.core.keygen import (
+    KeySeedGenerator,
+    basic_key,
+    derive_key,
+    frequency_bucket,
+)
+from repro.core.kld import (
+    attack_success_probability,
+    kld_from_frequencies,
+    kld_from_observations,
+    samples_for_success,
+    storage_blowup,
+)
+from repro.core.schemes import (
+    CEScheme,
+    ChunkRecord,
+    EncryptionScheme,
+    MLEScheme,
+    MinHashScheme,
+    SchemeOutput,
+    SKEScheme,
+    TedScheme,
+)
+from repro.core.ted import TedKeyManager
+from repro.core.tuning import TuningSolution, configure_t, solve
+
+__all__ = [
+    "CEScheme",
+    "KeySeedGenerator",
+    "basic_key",
+    "derive_key",
+    "frequency_bucket",
+    "attack_success_probability",
+    "kld_from_frequencies",
+    "kld_from_observations",
+    "samples_for_success",
+    "storage_blowup",
+    "ChunkRecord",
+    "EncryptionScheme",
+    "MLEScheme",
+    "MinHashScheme",
+    "SchemeOutput",
+    "SKEScheme",
+    "TedScheme",
+    "TedKeyManager",
+    "TuningSolution",
+    "configure_t",
+    "solve",
+]

@@ -1,0 +1,279 @@
+"""Encryption-scheme zoo for trace-driven analysis (paper §5.2).
+
+The evaluation simulates each scheme over fingerprint traces: every trace
+record ``(fingerprint, size)`` stands for one plaintext chunk copy, the key
+is derived per the scheme's rule, and the resulting *ciphertext identity*
+(what the provider would deduplicate on) is ``H(key || fingerprint)``.
+Storage blowup and KLD fall out of the multiset of ciphertext identities.
+
+Schemes:
+
+* :class:`MLEScheme` — server-aided MLE: ``K = H(kappa || P)``. Exact
+  deduplication, maximal frequency leakage.
+* :class:`SKEScheme` — fresh random key per copy. Zero leakage (KLD 0), no
+  deduplication.
+* :class:`MinHashScheme` — MinHash encryption [Li et al., DSN '17]: chunks
+  are grouped into variable-size segments; every chunk in a segment is keyed
+  by the segment's minimum fingerprint.
+* :class:`TedScheme` — BTED/FTED via :class:`repro.core.ted.TedKeyManager`.
+
+All schemes share :class:`EncryptionScheme.process`, which returns a
+:class:`SchemeOutput` carrying per-copy ciphertext identities plus the
+byte-accounting needed for both chunk- and byte-based blowup.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.kld import kld_from_frequencies, storage_blowup
+from repro.core.ted import TedKeyManager
+from repro.core.keygen import derive_key
+from repro.crypto.hashes import hash_concat
+from repro.crypto.murmur3 import short_hashes
+
+#: One plaintext chunk copy in a trace: (fingerprint bytes, chunk size).
+ChunkRecord = Tuple[bytes, int]
+
+
+@dataclass
+class SchemeOutput:
+    """Result of encrypting one snapshot under one scheme."""
+
+    scheme: str
+    ciphertext_ids: List[bytes]
+    plaintext_unique: int
+    plaintext_unique_bytes: int
+    total_bytes: int
+    ciphertext_sizes: Dict[bytes, int]
+
+    def ciphertext_frequencies(self) -> List[int]:
+        """Duplicate counts per unique ciphertext chunk."""
+        return list(Counter(self.ciphertext_ids).values())
+
+    @property
+    def ciphertext_unique(self) -> int:
+        """Number of unique ciphertext chunks."""
+        return len(set(self.ciphertext_ids))
+
+    def kld(self) -> float:
+        """KLD of the ciphertext frequency distribution (Eq. 5)."""
+        return kld_from_frequencies(self.ciphertext_frequencies())
+
+    def blowup(self) -> float:
+        """Chunk-count storage blowup over exact deduplication."""
+        return storage_blowup(self.ciphertext_unique, self.plaintext_unique)
+
+    def blowup_bytes(self) -> float:
+        """Byte-accurate storage blowup over exact deduplication."""
+        unique_bytes = sum(
+            self.ciphertext_sizes[cid] for cid in set(self.ciphertext_ids)
+        )
+        return unique_bytes / self.plaintext_unique_bytes
+
+
+class EncryptionScheme(ABC):
+    """Common driver: derive a key per chunk copy, emit ciphertext ids."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        """Derive the encryption key for one chunk copy."""
+
+    def start_snapshot(self, records: Sequence[ChunkRecord]) -> None:
+        """Hook called before each snapshot (schemes reset state here)."""
+
+    def process(self, records: Sequence[ChunkRecord]) -> SchemeOutput:
+        """Encrypt a snapshot's chunk stream and collect identities."""
+        self.start_snapshot(records)
+        ciphertext_ids: List[bytes] = []
+        sizes: Dict[bytes, int] = {}
+        unique_fps: Dict[bytes, int] = {}
+        total_bytes = 0
+        for position, record in enumerate(records):
+            fingerprint, size = record
+            key = self.key_for(record, position)
+            cid = hash_concat([key, fingerprint])
+            ciphertext_ids.append(cid)
+            sizes[cid] = size
+            unique_fps[fingerprint] = size
+            total_bytes += size
+        return SchemeOutput(
+            scheme=self.name,
+            ciphertext_ids=ciphertext_ids,
+            plaintext_unique=len(unique_fps),
+            plaintext_unique_bytes=sum(unique_fps.values()),
+            total_bytes=total_bytes,
+            ciphertext_sizes=sizes,
+        )
+
+
+class MLEScheme(EncryptionScheme):
+    """Server-aided MLE: deterministic content-derived keys."""
+
+    name = "MLE"
+
+    def __init__(self, secret: bytes = b"mle-global-secret") -> None:
+        self.secret = secret
+
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        fingerprint, _ = record
+        return hash_concat([self.secret, fingerprint])
+
+
+class CEScheme(EncryptionScheme):
+    """Convergent encryption: ``K = H(content)`` with no server secret.
+
+    The original MLE instantiation (§2.1). Identical dedup/leakage profile
+    to server-aided MLE in these trace experiments, but additionally open
+    to *offline* brute-force attacks on predictable chunks — anyone can
+    recompute the key of a guessed chunk. Included as the historical
+    baseline; see :meth:`offline_bruteforce_key` for the attack surface.
+    """
+
+    name = "CE"
+
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        fingerprint, _ = record
+        return hash_concat([fingerprint])
+
+    @staticmethod
+    def offline_bruteforce_key(candidate_fingerprint: bytes) -> bytes:
+        """The key any adversary can derive for a guessed chunk — this is
+        why DupLESS moved key generation behind a key server."""
+        return hash_concat([candidate_fingerprint])
+
+
+class SKEScheme(EncryptionScheme):
+    """Symmetric-key encryption with a fresh random key per chunk copy."""
+
+    name = "SKE"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        return self._rng.getrandbits(256).to_bytes(32, "big")
+
+
+class MinHashScheme(EncryptionScheme):
+    """MinHash encryption: segment-wise minimum-fingerprint keys.
+
+    Segmentation is content-defined on the fingerprint stream: a segment
+    ends at a chunk whose fingerprint satisfies a divisor condition, subject
+    to byte min/avg/max bounds (paper defaults 512 KB / 1 MB / 2 MB).
+    """
+
+    name = "MinHash"
+
+    def __init__(
+        self,
+        secret: bytes = b"minhash-global-secret",
+        min_segment: int = 512 << 10,
+        avg_segment: int = 1 << 20,
+        max_segment: int = 2 << 20,
+        avg_chunk: int = 8 << 10,
+    ) -> None:
+        if not 0 < min_segment <= avg_segment <= max_segment:
+            raise ValueError("require min <= avg <= max segment sizes")
+        self.secret = secret
+        self.min_segment = min_segment
+        self.avg_segment = avg_segment
+        self.max_segment = max_segment
+        # Boundary probability 1/divisor per chunk targets the average
+        # segment size in chunks.
+        self.divisor = max(1, avg_segment // avg_chunk)
+        self._keys: List[bytes] = []
+
+    def _segment_boundaries(
+        self, records: Sequence[ChunkRecord]
+    ) -> List[int]:
+        """Return segment end indices (exclusive) over the record stream."""
+        boundaries = []
+        segment_bytes = 0
+        for i, (fingerprint, size) in enumerate(records):
+            segment_bytes += size
+            value = int.from_bytes(fingerprint[-8:], "big")
+            is_break = (
+                segment_bytes >= self.min_segment
+                and value % self.divisor == self.divisor - 1
+            )
+            if is_break or segment_bytes >= self.max_segment:
+                boundaries.append(i + 1)
+                segment_bytes = 0
+        if not boundaries or boundaries[-1] != len(records):
+            boundaries.append(len(records))
+        return boundaries
+
+    def start_snapshot(self, records: Sequence[ChunkRecord]) -> None:
+        """Precompute the per-chunk segment keys for this snapshot."""
+        self._keys = []
+        start = 0
+        for end in self._segment_boundaries(records):
+            if end == start:
+                continue
+            minimum_fp = min(fp for fp, _ in records[start:end])
+            segment_key = hash_concat([self.secret, minimum_fp])
+            self._keys.extend([segment_key] * (end - start))
+            start = end
+
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        return self._keys[position]
+
+
+class TedScheme(EncryptionScheme):
+    """TED (BTED or FTED) driven through the real key manager.
+
+    In FTED "Nil" mode (``batch_size=None``), ``t`` is tuned once per
+    snapshot from the snapshot's exact plaintext frequencies, exactly as the
+    evaluation does (§5.2). With ``batch_size`` set, tuning happens on-line
+    inside the key manager.
+    """
+
+    def __init__(
+        self,
+        key_manager: TedKeyManager,
+        name: Optional[str] = None,
+        reset_per_snapshot: bool = True,
+    ) -> None:
+        self.key_manager = key_manager
+        # The evaluation deduplicates snapshots independently, so the
+        # default resets frequency state per snapshot; a long-lived
+        # deployment (one key manager across all backups) sets this False
+        # and lets frequencies accumulate.
+        self.reset_per_snapshot = reset_per_snapshot
+        if name is None:
+            if key_manager.is_fted:
+                name = f"FTED(b={key_manager.blowup_factor})"
+            else:
+                name = f"BTED(t={key_manager.t})"
+        self.name = name
+
+    def start_snapshot(self, records: Sequence[ChunkRecord]) -> None:
+        if self.reset_per_snapshot:
+            self.key_manager.reset()
+        if self.key_manager.is_fted and self.key_manager.batch_size is None:
+            # "Nil" mode: a full counting pass through the sketch, then one
+            # tuning solve — the key manager only ever sees sketch
+            # estimates, which is what makes the sketch width matter
+            # (Experiment A.2).
+            self.key_manager.tune_from_stream(
+                [self._short_hashes(fp) for fp, _ in records]
+            )
+
+    def _short_hashes(self, fingerprint: bytes):
+        return short_hashes(
+            fingerprint,
+            self.key_manager.sketch.rows,
+            self.key_manager.sketch.width,
+        )
+
+    def key_for(self, record: ChunkRecord, position: int) -> bytes:
+        fingerprint, _ = record
+        seed = self.key_manager.generate_seed(self._short_hashes(fingerprint))
+        return derive_key(seed, fingerprint)

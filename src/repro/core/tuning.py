@@ -1,0 +1,130 @@
+"""Automated parameter configuration (paper §3.5, Eqs. 6–8).
+
+Given the plaintext chunk-frequency vector and a user-chosen storage blowup
+factor ``b``, TED picks the balance parameter ``t`` by solving::
+
+    minimize KLD(f*)  subject to  sum f* = sum f,  0 <= f*_i <= f_i,  |f*| = n* = n·b
+
+The relaxed problem is convex and its optimum has a water-filling shape
+(Eq. 7): the ``m`` least-frequent plaintext chunks keep their frequencies,
+and the remaining mass is spread evenly across the other ``n* - m``
+ciphertext chunks. ``t`` is set to that even share (Eq. 8) — the cap on
+duplicate copies per ciphertext chunk.
+
+``m`` is the largest index (1-based, frequencies sorted ascending) such that
+``f_m <= (sum_{j>m} f_j) / (n* - m)``. Invalidity propagates upward: if
+``f_m`` exceeds the tail share at ``m``, then the share at ``m + 1`` is
+strictly below ``f_m <= f_{m+1}``, so the valid set is a prefix and a linear
+scan over prefix sums that stops at the first failure finds the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class TuningSolution:
+    """Solution of the Eq. 6 optimization.
+
+    Attributes:
+        t: the balance parameter (Eq. 8), always >= 1.
+        m: number of uncapped plaintext chunks (Eq. 7).
+        n_star: number of unique ciphertext chunks the solution targets.
+        optimal_frequencies: the relaxed-optimal ciphertext frequency vector
+            (floats; the paper rounds to integers afterwards).
+        predicted_kld: KLD of the relaxed optimum (a lower bound on what the
+            realized scheme achieves).
+    """
+
+    t: int
+    m: int
+    n_star: int
+    optimal_frequencies: List[float]
+    predicted_kld: float
+
+
+def target_unique_ciphertexts(
+    num_unique: int, total_copies: int, blowup_factor: float
+) -> int:
+    """Compute ``n* = n · b``, clamped to the feasible range ``[n, S]``.
+
+    A snapshot cannot produce fewer unique ciphertexts than unique
+    plaintexts, nor more unique ciphertexts than total chunk copies — the
+    reason the FSL actual blowup saturates below ``b`` in Experiment A.1.
+    """
+    if num_unique <= 0:
+        raise ValueError("need at least one unique chunk")
+    if total_copies < num_unique:
+        raise ValueError("total copies cannot be below unique count")
+    if blowup_factor < 1.0:
+        raise ValueError("blowup factor must be >= 1")
+    n_star = int(round(num_unique * blowup_factor))
+    return max(num_unique, min(n_star, total_copies))
+
+
+def solve(frequencies: Sequence[int], blowup_factor: float) -> TuningSolution:
+    """Solve the Eq. 6 optimization for a frequency vector and blowup ``b``.
+
+    Args:
+        frequencies: per-unique-plaintext-chunk duplicate counts (any order).
+        blowup_factor: the user's storage blowup factor ``b`` (>= 1).
+
+    Returns:
+        The closed-form optimum and the derived balance parameter ``t``.
+    """
+    freqs = sorted(int(f) for f in frequencies)
+    if not freqs:
+        raise ValueError("frequency vector must be non-empty")
+    if freqs[0] <= 0:
+        raise ValueError("frequencies must be positive")
+    n = len(freqs)
+    total = sum(freqs)
+    n_star = target_unique_ciphertexts(n, total, blowup_factor)
+
+    # Largest m with f_m <= (total - prefix_m) / (n_star - m); the tail share
+    # is what the remaining n_star - m ciphertext chunks each receive.
+    prefix = 0
+    best_m = 0
+    best_share = total / n_star
+    for m in range(1, n):
+        prefix += freqs[m - 1]
+        share = (total - prefix) / (n_star - m)
+        if freqs[m - 1] <= share:
+            best_m = m
+            best_share = share
+        else:
+            break
+    # m = n would leave the tail share undefined (and means no capping at
+    # all); it is only reachable when n_star == n and all mass fits, in
+    # which case m = n - 1 already yields f*_n = f_n.
+
+    optimal = [float(f) for f in freqs[:best_m]]
+    optimal.extend([best_share] * (n_star - best_m))
+    t = max(1, math.ceil(best_share))
+
+    predicted = _kld_of_relaxed(optimal, total)
+    return TuningSolution(
+        t=t,
+        m=best_m,
+        n_star=n_star,
+        optimal_frequencies=optimal,
+        predicted_kld=predicted,
+    )
+
+
+def configure_t(frequencies: Sequence[int], blowup_factor: float) -> int:
+    """Convenience wrapper returning only ``t`` (Eq. 8)."""
+    return solve(frequencies, blowup_factor).t
+
+
+def _kld_of_relaxed(frequencies: List[float], total: int) -> float:
+    n_star = len(frequencies)
+    acc = 0.0
+    for f in frequencies:
+        if f > 0:
+            p = f / total
+            acc += p * math.log(p)
+    return math.log(n_star) + acc

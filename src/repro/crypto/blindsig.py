@@ -1,0 +1,142 @@
+"""Blinded server-aided key-generation protocols (Experiment B.2 baselines).
+
+Both protocols implement the same interface as TED's key generation from the
+client's point of view: hand the key server a *blinded* value derived from a
+chunk fingerprint, get back material from which the chunk key is derived.
+The server never learns the fingerprint (blindness), yet duplicate chunks
+yield identical keys (determinism) — the server-aided MLE contract.
+
+``BlindRSAKeyServer``/``BlindRSAClient`` realize DupLESS's blind-RSA OPRF.
+``BlindBLSKeyServer``/``BlindBLSClient`` realize the blind-BLS-style protocol
+of Armknecht et al. [CCS '15] over P-256 (see :mod:`repro.crypto.ec` for the
+pairing substitution note).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto import ec, rsa
+
+
+class BlindRSAKeyServer:
+    """Key server half of the blind-RSA protocol (holds the private key)."""
+
+    def __init__(
+        self,
+        key: Optional[rsa.RSAPrivateKey] = None,
+        bits: int = 2048,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._key = key or rsa.generate_keypair(bits=bits, rng=rng)
+
+    @property
+    def public_key(self) -> rsa.RSAPublicKey:
+        return self._key.public_key()
+
+    def sign_blinded(self, blinded: int) -> int:
+        """Sign one blinded message representative."""
+        return self._key.sign_raw(blinded)
+
+    def sign_blinded_batch(self, blinded: Sequence[int]) -> List[int]:
+        """Sign a batch (one network round trip in TEDStore terms)."""
+        return [self._key.sign_raw(m) for m in blinded]
+
+
+class BlindRSAClient:
+    """Client half of the blind-RSA protocol."""
+
+    def __init__(
+        self,
+        public_key: rsa.RSAPublicKey,
+        rng: Optional[random.Random] = None,
+        verify: bool = False,
+    ) -> None:
+        self.public_key = public_key
+        self._rng = rng or random.Random()
+        self._verify = verify
+
+    def blind_fingerprint(self, fingerprint: bytes) -> Tuple[int, int]:
+        """Blind a fingerprint; returns (blinded message, blinding factor)."""
+        m = rsa.hash_to_int(fingerprint, self.public_key.n)
+        return rsa.blind(self.public_key, m, rng=self._rng)
+
+    def derive_key(
+        self, fingerprint: bytes, blinded_signature: int, blinding: int
+    ) -> bytes:
+        """Unblind the server's reply and derive the 32-byte chunk key."""
+        signature = rsa.unblind(self.public_key, blinded_signature, blinding)
+        if self._verify:
+            m = rsa.hash_to_int(fingerprint, self.public_key.n)
+            if not rsa.verify_raw(self.public_key, m, signature):
+                raise ValueError("blind-RSA signature failed verification")
+        sig_bytes = signature.to_bytes(
+            (self.public_key.n.bit_length() + 7) // 8, "big"
+        )
+        return hashlib.sha256(sig_bytes).digest()
+
+    def generate_keys(
+        self, fingerprints: Sequence[bytes], server: BlindRSAKeyServer
+    ) -> List[bytes]:
+        """Run the whole protocol for a batch of fingerprints."""
+        blinded_pairs = [self.blind_fingerprint(fp) for fp in fingerprints]
+        signatures = server.sign_blinded_batch([b for b, _ in blinded_pairs])
+        return [
+            self.derive_key(fp, sig, blinding)
+            for fp, sig, (_, blinding) in zip(
+                fingerprints, signatures, blinded_pairs
+            )
+        ]
+
+
+class BlindBLSKeyServer:
+    """Key server half of the blind-BLS-style protocol (holds scalar d)."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        rng = rng or random.Random()
+        self._d = rng.randrange(1, ec.N)
+        self.public_point = ec.scalar_mult(self._d, ec.GENERATOR)
+
+    def sign_blinded(self, blinded_point: ec.Point) -> ec.Point:
+        """Multiply one blinded point by the secret scalar."""
+        if not ec.is_on_curve(blinded_point) or blinded_point is None:
+            raise ValueError("invalid blinded point")
+        return ec.scalar_mult(self._d, blinded_point)
+
+    def sign_blinded_batch(
+        self, blinded_points: Sequence[ec.Point]
+    ) -> List[ec.Point]:
+        """Sign a batch of blinded points."""
+        return [self.sign_blinded(p) for p in blinded_points]
+
+
+class BlindBLSClient:
+    """Client half of the blind-BLS-style protocol."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+
+    def blind_fingerprint(self, fingerprint: bytes) -> Tuple[ec.Point, int]:
+        """Hash to the curve and blind with a random scalar r."""
+        point = ec.hash_to_curve(fingerprint)
+        r = self._rng.randrange(1, ec.N)
+        return ec.scalar_mult(r, point), r
+
+    def derive_key(self, blinded_signature: ec.Point, blinding: int) -> bytes:
+        """Unblind (multiply by r^{-1} mod N) and hash into a chunk key."""
+        r_inv = pow(blinding, ec.N - 2, ec.N)
+        signature = ec.scalar_mult(r_inv, blinded_signature)
+        return hashlib.sha256(ec.encode_point(signature)).digest()
+
+    def generate_keys(
+        self, fingerprints: Sequence[bytes], server: BlindBLSKeyServer
+    ) -> List[bytes]:
+        """Run the whole protocol for a batch of fingerprints."""
+        blinded_pairs = [self.blind_fingerprint(fp) for fp in fingerprints]
+        signatures = server.sign_blinded_batch([p for p, _ in blinded_pairs])
+        return [
+            self.derive_key(sig, blinding)
+            for sig, (_, blinding) in zip(signatures, blinded_pairs)
+        ]

@@ -1,0 +1,97 @@
+"""Deterministic chunk ciphers behind a single interface.
+
+Every encryption scheme in this reproduction (MLE, SKE, MinHash, TED) needs
+one operation: "encrypt this chunk under this key, deterministically". The
+determinism requirement comes from deduplication — two duplicate plaintext
+chunks encrypted under the same key must yield byte-identical ciphertexts so
+the provider can deduplicate them. We follow the convergent-encryption
+convention of deriving the IV from the key itself.
+
+Two profiles mirror the paper's Fast/Secure split (Experiment B.1), plus the
+throughput-path ``shactr`` profile (see DESIGN.md §4):
+
+========  =============  =====================  =================
+profile   fingerprints   key derivation hash    chunk cipher
+========  =============  =====================  =================
+secure    SHA-256        SHA-256                AES-256-CTR
+fast      MD5            MD5                    AES-128-CTR
+shactr    SHA-256        SHA-256                SHA-256-CTR PRF
+========  =============  =====================  =================
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import modes, shactr
+
+
+@dataclass(frozen=True)
+class CipherProfile:
+    """Named configuration of hash + cipher algorithms.
+
+    Attributes:
+        name: profile identifier ("secure", "fast", "shactr").
+        hash_algorithm: hash used for fingerprints and key derivation.
+        key_size: symmetric key size in bytes.
+    """
+
+    name: str
+    hash_algorithm: str
+    key_size: int
+
+    def normalize_key(self, key: bytes) -> bytes:
+        """Stretch or truncate a derived key to the profile's key size."""
+        if len(key) == self.key_size:
+            return key
+        if len(key) > self.key_size:
+            return key[: self.key_size]
+        # Expand short keys with SHA-256 feedback; only reachable when a
+        # 16-byte MD5-derived key feeds a 32-byte cipher.
+        material = key
+        while len(material) < self.key_size:
+            material += hashlib.sha256(material).digest()
+        return material[: self.key_size]
+
+    def derive_nonce(self, key: bytes) -> bytes:
+        """Deterministic per-key IV (convergent-encryption convention)."""
+        return hashlib.sha256(b"repro-nonce" + key).digest()[:16]
+
+    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        """Deterministically encrypt ``plaintext`` under ``key``."""
+        key = self.normalize_key(key)
+        nonce = self.derive_nonce(key)
+        if self.name == "shactr":
+            return shactr.encrypt(key, nonce, plaintext)
+        return modes.ctr_encrypt(key, nonce, plaintext)
+
+    def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt`."""
+        key = self.normalize_key(key)
+        nonce = self.derive_nonce(key)
+        if self.name == "shactr":
+            return shactr.decrypt(key, nonce, ciphertext)
+        return modes.ctr_decrypt(key, nonce, ciphertext)
+
+
+SECURE = CipherProfile(name="secure", hash_algorithm="sha256", key_size=32)
+FAST = CipherProfile(name="fast", hash_algorithm="md5", key_size=16)
+SHACTR = CipherProfile(name="shactr", hash_algorithm="sha256", key_size=32)
+
+_PROFILES = {p.name: p for p in (SECURE, FAST, SHACTR)}
+
+
+def get_profile(name: str) -> CipherProfile:
+    """Look up a profile by name.
+
+    Raises:
+        KeyError: for unknown profile names.
+    """
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cipher profile {name!r}; expected one of "
+            f"{sorted(_PROFILES)}"
+        ) from None

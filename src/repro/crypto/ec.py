@@ -1,0 +1,167 @@
+"""Elliptic-curve arithmetic over NIST P-256 (short Weierstrass form).
+
+This backs the blind-BLS-style key-generation baseline of Experiment B.2.
+Blind BLS signing is ``sig = d * H2C(m)`` — a hash-to-curve followed by
+scalar multiplications for blinding, signing, and unblinding. Those scalar
+multiplications dominate the protocol's cost, which is exactly what the
+experiment measures, so P-256 group arithmetic reproduces the relevant
+behaviour without a pairing implementation (the pairing only appears in
+*verification*, which is off the measured path; see DESIGN.md §4).
+
+Points are represented as affine ``(x, y)`` tuples with ``None`` for the
+point at infinity; scalar multiplication uses Jacobian coordinates
+internally to avoid per-step modular inversions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+# NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+Point = Optional[Tuple[int, int]]
+
+GENERATOR: Point = (GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation y^2 = x^3 + ax + b (mod p)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def _to_jacobian(point: Point) -> Tuple[int, int, int]:
+    if point is None:
+        return (1, 1, 0)
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(jac: Tuple[int, int, int]) -> Point:
+    x, y, z = jac
+    if z == 0:
+        return None
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = z_inv * z_inv % P
+    return (x * z_inv2 % P, y * z_inv2 * z_inv % P)
+
+
+def _jacobian_double(jac: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    x, y, z = jac
+    if z == 0 or y == 0:
+        return (1, 1, 0)
+    ysq = y * y % P
+    s = 4 * x * ysq % P
+    m = (3 * x * x + A * pow(z, 4, P)) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * y * z % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(
+    p1: Tuple[int, int, int], p2: Tuple[int, int, int]
+) -> Tuple[int, int, int]:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1sq = z1 * z1 % P
+    z2sq = z2 * z2 % P
+    u1 = x1 * z2sq % P
+    u2 = x2 * z1sq % P
+    s1 = y1 * z2sq * z2 % P
+    s2 = y2 * z1sq * z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return (1, 1, 0)
+        return _jacobian_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    h2 = h * h % P
+    h3 = h * h2 % P
+    u1h2 = u1 * h2 % P
+    nx = (r * r - h3 - 2 * u1h2) % P
+    ny = (r * (u1h2 - nx) - s1 * h3) % P
+    nz = h * z1 * z2 % P
+    return (nx, ny, nz)
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two affine points."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def point_neg(point: Point) -> Point:
+    """Negate a point."""
+    if point is None:
+        return None
+    return (point[0], (-point[1]) % P)
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Compute ``k * point`` with a left-to-right double-and-add ladder."""
+    k %= N
+    if k == 0 or point is None:
+        return None
+    acc = (1, 1, 0)
+    base = _to_jacobian(point)
+    for bit in bin(k)[2:]:
+        acc = _jacobian_double(acc)
+        if bit == "1":
+            acc = _jacobian_add(acc, base)
+    return _from_jacobian(acc)
+
+
+def hash_to_curve(data: bytes) -> Point:
+    """Map bytes to a curve point by try-and-increment.
+
+    Each candidate x is SHA-256(counter || data) reduced mod p; we accept the
+    first x whose cubic has a quadratic residue. Expected two attempts, and
+    the output is independent of low-level encoding details — adequate for a
+    performance comparator (production systems would use an SSWU map).
+    """
+    counter = 0
+    while True:
+        candidate = (
+            int.from_bytes(
+                hashlib.sha256(counter.to_bytes(4, "big") + data).digest(),
+                "big",
+            )
+            % P
+        )
+        rhs = (pow(candidate, 3, P) + A * candidate + B) % P
+        # p ≡ 3 (mod 4), so a square root, if it exists, is rhs^((p+1)/4).
+        y = pow(rhs, (P + 1) // 4, P)
+        if y * y % P == rhs:
+            return (candidate, y)
+        counter += 1
+
+
+def encode_point(point: Point) -> bytes:
+    """Serialize a point as 64 bytes (uncompressed, no prefix)."""
+    if point is None:
+        return b"\x00" * 64
+    return point[0].to_bytes(32, "big") + point[1].to_bytes(32, "big")
+
+
+def decode_point(data: bytes) -> Point:
+    """Inverse of :func:`encode_point`, validating curve membership."""
+    if len(data) != 64:
+        raise ValueError("encoded point must be 64 bytes")
+    if data == b"\x00" * 64:
+        return None
+    point = (int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+    if not is_on_curve(point):
+        raise ValueError("point is not on the curve")
+    return point

@@ -1,0 +1,129 @@
+"""RSA key generation and blind RSA signatures (DupLESS-style key server).
+
+Experiment B.2 compares TED's sketch-based key generation against two blinded
+server-aided MLE protocols. The first, from DupLESS [Bellare et al., USENIX
+Security '13], is Chaum's blind RSA signature used as an oblivious PRF:
+
+1. The client hashes the chunk fingerprint to an integer ``m`` and *blinds*
+   it with a random ``r``: ``m' = m * r^e mod n``.
+2. The key server signs the blinded value with its private exponent:
+   ``s' = m'^d mod n`` (accelerated with the CRT, as OpenSSL does).
+3. The client unblinds ``s = s' * r^{-1} mod n`` and derives the chunk key as
+   ``H(s)``. Blindness means the server never sees the fingerprint; the
+   deterministic signature means duplicate chunks still get identical keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.primes import generate_prime, modinv
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """RSA private key with CRT components for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    d_p: int
+    d_q: int
+    q_inv: int
+
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def sign_raw(self, m: int) -> int:
+        """Raw RSA signature ``m^d mod n`` via the CRT (about 4x faster)."""
+        if not 0 <= m < self.n:
+            raise ValueError("message representative out of range")
+        s_p = pow(m % self.p, self.d_p, self.p)
+        s_q = pow(m % self.q, self.d_q, self.q)
+        h = (self.q_inv * (s_p - s_q)) % self.p
+        return s_q + h * self.q
+
+
+def generate_keypair(
+    bits: int = 2048, e: int = 65537, rng: Optional[random.Random] = None
+) -> RSAPrivateKey:
+    """Generate an RSA keypair of the requested modulus size."""
+    if bits < 512:
+        raise ValueError("modulus below 512 bits is not meaningful")
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng=rng)
+        q = generate_prime(bits - half, rng=rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = modinv(e, phi)
+        return RSAPrivateKey(
+            n=n,
+            e=e,
+            d=d,
+            p=p,
+            q=q,
+            d_p=d % (p - 1),
+            d_q=d % (q - 1),
+            q_inv=modinv(q, p),
+        )
+
+
+def hash_to_int(data: bytes, n: int) -> int:
+    """Full-domain-ish hash of ``data`` into Z_n (expand-then-reduce)."""
+    material = b""
+    counter = 0
+    target_len = (n.bit_length() + 7) // 8 + 8
+    while len(material) < target_len:
+        material += hashlib.sha256(
+            counter.to_bytes(4, "big") + data
+        ).digest()
+        counter += 1
+    return int.from_bytes(material[:target_len], "big") % n
+
+
+def blind(
+    public: RSAPublicKey, m: int, rng: Optional[random.Random] = None
+) -> Tuple[int, int]:
+    """Blind a message representative; returns (blinded, blinding factor)."""
+    rng = rng or random.Random()
+    while True:
+        r = rng.randrange(2, public.n - 1)
+        if math.gcd(r, public.n) != 1:  # negligible for real moduli
+            continue  # pragma: no cover
+        return (m * pow(r, public.e, public.n)) % public.n, r
+
+
+def unblind(public: RSAPublicKey, blinded_signature: int, r: int) -> int:
+    """Remove the blinding factor from a signature on a blinded message."""
+    return (blinded_signature * modinv(r, public.n)) % public.n
+
+
+def verify_raw(public: RSAPublicKey, m: int, signature: int) -> bool:
+    """Check ``signature^e == m (mod n)``."""
+    return pow(signature, public.e, public.n) == m % public.n

@@ -1,0 +1,47 @@
+"""SHA-256 counter-mode stream cipher — the throughput-path substitute.
+
+The paper streams gigabytes through OpenSSL AES-NI; a pure-Python AES does a
+few hundred kilobytes per second, which would make the Experiment B benches
+measure interpreter overhead rather than system behaviour. This cipher keeps
+the *structure* of AES-CTR (keyed deterministic keystream XORed over the
+data) but generates the keystream with CPython's C-implemented SHA-256, so a
+single client sustains tens of MB/s and the B.* benchmarks exercise realistic
+data volumes. See DESIGN.md §4 for the substitution entry.
+
+Security note: SHA-256(key || nonce || counter) as a keystream is a standard
+PRF-counter construction; it is deterministic under (key, nonce) exactly like
+the AES-CTR configuration TEDStore uses, so deduplication behaviour — the
+property the experiments actually depend on — is identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_DIGEST_SIZE = 32
+
+
+def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` pseudo-random bytes from (key, nonce)."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    blocks = []
+    prefix = key + nonce
+    for counter in range((length + _DIGEST_SIZE - 1) // _DIGEST_SIZE):
+        blocks.append(
+            hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the (key, nonce) keystream."""
+    stream = keystream(key, nonce, len(data))
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(len(data), "big") if data else b""
+
+
+def decrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Inverse of :func:`encrypt` (the cipher is an involution)."""
+    return encrypt(key, nonce, data)

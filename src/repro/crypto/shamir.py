@@ -1,0 +1,106 @@
+"""Shamir secret sharing over a prime field.
+
+Substrate for the quorum-based key management extension
+(:mod:`repro.tedstore.quorum`). The paper lists key-manager fault tolerance
+as an addressable limitation via "a quorum-based design for key generation
+[27]" (§4); the standard construction shares the key-server secret with a
+(k, n) Shamir scheme so any k replicas can serve requests.
+
+Shares are points ``(x, f(x))`` on a random degree-``k-1`` polynomial with
+``f(0) = secret``; reconstruction is Lagrange interpolation at zero. All
+arithmetic is modulo a caller-chosen prime (the quorum protocol uses the
+P-256 group order so shares can act as scalar shares in the exponent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+
+def split(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    prime: int,
+    rng: Optional[random.Random] = None,
+) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    Raises:
+        ValueError: on out-of-range secret or nonsensical parameters.
+    """
+    if not 0 <= secret < prime:
+        raise ValueError("secret must be in [0, prime)")
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    if num_shares < threshold:
+        raise ValueError("need at least `threshold` shares")
+    if num_shares >= prime:
+        raise ValueError("too many shares for the field size")
+    rng = rng or random.Random()
+    coefficients = [secret] + [
+        rng.randrange(prime) for _ in range(threshold - 1)
+    ]
+
+    def evaluate(x: int) -> int:
+        acc = 0
+        for coefficient in reversed(coefficients):
+            acc = (acc * x + coefficient) % prime
+        return acc
+
+    return [Share(x=i, y=evaluate(i)) for i in range(1, num_shares + 1)]
+
+
+def lagrange_coefficients_at_zero(
+    xs: Sequence[int], prime: int
+) -> List[int]:
+    """Lagrange basis coefficients ``l_i(0)`` for the given x-coordinates.
+
+    These are exactly the weights the quorum protocol applies *in the
+    exponent* when combining partial signatures, so they are exposed as a
+    first-class function.
+
+    Raises:
+        ValueError: on duplicate x-coordinates.
+    """
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share points")
+    coefficients = []
+    for i, x_i in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = numerator * (-x_j) % prime
+            denominator = denominator * (x_i - x_j) % prime
+        coefficients.append(
+            numerator * pow(denominator, prime - 2, prime) % prime
+        )
+    return coefficients
+
+
+def reconstruct(shares: Sequence[Share], prime: int) -> int:
+    """Recover the secret from ``threshold`` (or more) shares.
+
+    Raises:
+        ValueError: on empty input or duplicate share points.
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    xs = [share.x for share in shares]
+    coefficients = lagrange_coefficients_at_zero(xs, prime)
+    return sum(
+        coefficient * share.y for coefficient, share in zip(coefficients, shares)
+    ) % prime

@@ -1,0 +1,6 @@
+"""Frequency-counting substrate: Count-Min Sketch and an exact baseline."""
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.exact import ExactCounter
+
+__all__ = ["CountMinSketch", "ExactCounter"]

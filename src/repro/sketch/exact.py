@@ -1,0 +1,46 @@
+"""Exact frequency counter with the CountMinSketch interface.
+
+Used as the ground-truth baseline in the sketch-accuracy experiments
+(the "w = infinity" point of Experiment A.2) and in the trade-off analysis
+where the paper derives ``t`` from exact per-snapshot frequencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class ExactCounter:
+    """Dictionary-backed exact counter keyed by item bytes."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self.total = 0
+
+    def update_item(self, item: bytes) -> int:
+        """Record one occurrence; returns the exact post-update count."""
+        self._counts[item] += 1
+        self.total += 1
+        return self._counts[item]
+
+    def estimate_item(self, item: bytes) -> int:
+        """Exact count of ``item`` (0 if never seen)."""
+        return self._counts.get(item, 0)
+
+    def counts(self) -> Dict[bytes, int]:
+        """Copy of the full item → count map."""
+        return dict(self._counts)
+
+    def unique_items(self) -> int:
+        """Number of distinct items observed."""
+        return len(self._counts)
+
+    def error_bound(self) -> float:
+        """Exact counting has zero error (interface parity)."""
+        return 0.0
+
+    def reset(self) -> None:
+        """Drop all counts."""
+        self._counts.clear()
+        self.total = 0

@@ -1,0 +1,46 @@
+"""Deduplicated-storage substrate: LSM index, containers, recipes, dedup."""
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.gc import GCReport, RefcountedStore
+from repro.storage.metadedup import (
+    MetaDedupStore,
+    pack_metadata_chunks,
+    unpack_metadata_chunks,
+)
+from repro.storage.restore import (
+    FragmentationAnalyzer,
+    FragmentationReport,
+    LookaheadRestorer,
+)
+from repro.storage.container import ChunkLocation, ContainerStore
+from repro.storage.dedup import DedupEngine, DedupStats
+from repro.storage.kvstore import KVStore
+from repro.storage.memtable import MemTable
+from repro.storage.recipe import FileRecipe, KeyRecipe, seal, unseal
+from repro.storage.sstable import SSTable, write_sstable
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "GCReport",
+    "RefcountedStore",
+    "MetaDedupStore",
+    "pack_metadata_chunks",
+    "unpack_metadata_chunks",
+    "FragmentationAnalyzer",
+    "FragmentationReport",
+    "LookaheadRestorer",
+    "ChunkLocation",
+    "ContainerStore",
+    "DedupEngine",
+    "DedupStats",
+    "KVStore",
+    "MemTable",
+    "FileRecipe",
+    "KeyRecipe",
+    "seal",
+    "unseal",
+    "SSTable",
+    "write_sstable",
+    "WriteAheadLog",
+]

@@ -1,0 +1,177 @@
+"""Container store: packs unique chunks into fixed-size container files.
+
+The provider packs unique ciphertext chunks (KB each) into fixed-size
+containers (8 MB in the paper, §4) so disk I/O happens in container units.
+This is the standard backup-store layout [Zhu et al., FAST '08] and is what
+produces the *chunk fragmentation* effect of Experiment B.5: later snapshots
+reference chunks scattered across many old containers, so restores touch
+more containers and slow down.
+
+Chunks are addressed by ``ChunkLocation(container_id, offset, length)``.
+Reads fetch whole containers through a small LRU cache, mirroring how a real
+provider amortizes disk seeks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+DEFAULT_CONTAINER_BYTES = 8 << 20
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """Physical address of a chunk inside the container store."""
+
+    container_id: int
+    offset: int
+    length: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as fixed 16 bytes (id, offset, length as u32/u64/u32)."""
+        return (
+            self.container_id.to_bytes(4, "big")
+            + self.offset.to_bytes(8, "big")
+            + self.length.to_bytes(4, "big")
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChunkLocation":
+        """Inverse of :meth:`to_bytes`."""
+        if len(data) != 16:
+            raise ValueError("chunk location must be 16 bytes")
+        return cls(
+            container_id=int.from_bytes(data[:4], "big"),
+            offset=int.from_bytes(data[4:12], "big"),
+            length=int.from_bytes(data[12:], "big"),
+        )
+
+
+class ContainerStore:
+    """Append-only chunk storage in fixed-size container files.
+
+    Args:
+        directory: where container files live.
+        container_bytes: capacity per container (the paper uses 8 MB; tests
+            scale this down).
+        cache_containers: number of containers kept in the read LRU cache.
+    """
+
+    def __init__(
+        self,
+        directory,
+        container_bytes: int = DEFAULT_CONTAINER_BYTES,
+        cache_containers: int = 8,
+    ) -> None:
+        if container_bytes <= 0:
+            raise ValueError("container_bytes must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.container_bytes = container_bytes
+        self.cache_containers = cache_containers
+        self._open_id = self._discover_next_id()
+        self._open_buffer = bytearray()
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "containers_sealed": 0,
+            "container_reads": 0,
+            "cache_hits": 0,
+        }
+
+    def _discover_next_id(self) -> int:
+        existing = [
+            int(p.stem.split("-")[1])
+            for p in self.directory.glob("container-*.bin")
+        ]
+        return max(existing) + 1 if existing else 0
+
+    def _container_path(self, container_id: int) -> Path:
+        return self.directory / f"container-{container_id}.bin"
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, chunk: bytes) -> ChunkLocation:
+        """Append a chunk; seals the open container when it fills.
+
+        A chunk never spans containers: if it does not fit in the remaining
+        space, the open container is sealed first.
+
+        Raises:
+            ValueError: if a single chunk exceeds the container capacity.
+        """
+        if not chunk:
+            raise ValueError("cannot store an empty chunk")
+        if len(chunk) > self.container_bytes:
+            raise ValueError(
+                f"chunk of {len(chunk)} bytes exceeds container capacity "
+                f"{self.container_bytes}"
+            )
+        if len(self._open_buffer) + len(chunk) > self.container_bytes:
+            self.seal()
+        location = ChunkLocation(
+            container_id=self._open_id,
+            offset=len(self._open_buffer),
+            length=len(chunk),
+        )
+        self._open_buffer.extend(chunk)
+        return location
+
+    def seal(self) -> Optional[int]:
+        """Flush the open container to disk; returns its id (None if empty)."""
+        if not self._open_buffer:
+            return None
+        sealed_id = self._open_id
+        self._container_path(sealed_id).write_bytes(bytes(self._open_buffer))
+        self._open_buffer = bytearray()
+        self._open_id += 1
+        self.stats["containers_sealed"] += 1
+        return sealed_id
+
+    # -- reads ------------------------------------------------------------------
+
+    def _load_container(self, container_id: int) -> bytes:
+        if container_id == self._open_id:
+            return bytes(self._open_buffer)
+        cached = self._cache.get(container_id)
+        if cached is not None:
+            self._cache.move_to_end(container_id)
+            self.stats["cache_hits"] += 1
+            return cached
+        path = self._container_path(container_id)
+        if not path.exists():
+            raise KeyError(f"container {container_id} does not exist")
+        data = path.read_bytes()
+        self.stats["container_reads"] += 1
+        self._cache[container_id] = data
+        while len(self._cache) > self.cache_containers:
+            self._cache.popitem(last=False)
+        return data
+
+    def read(self, location: ChunkLocation) -> bytes:
+        """Fetch one chunk by location.
+
+        Raises:
+            KeyError: unknown container.
+            ValueError: location out of the container's bounds.
+        """
+        data = self._load_container(location.container_id)
+        end = location.offset + location.length
+        if end > len(data):
+            raise ValueError(f"chunk location out of bounds: {location}")
+        return data[location.offset : end]
+
+    # -- introspection ------------------------------------------------------------
+
+    def container_count(self) -> int:
+        """Sealed containers on disk (excludes the open one)."""
+        return len(list(self.directory.glob("container-*.bin")))
+
+    def physical_bytes(self) -> int:
+        """Bytes stored across sealed containers plus the open buffer."""
+        sealed = sum(
+            p.stat().st_size for p in self.directory.glob("container-*.bin")
+        )
+        return sealed + len(self._open_buffer)

@@ -1,0 +1,191 @@
+"""Reference counting and garbage collection for deduplicated storage.
+
+Deduplication makes deletion hard: a chunk may back many files, so physical
+space is only reclaimable when the *last* reference disappears, and even
+then the chunk sits inside an immutable container among live chunks. This
+module adds the standard backup-store solution on top of
+:class:`~repro.storage.dedup.DedupEngine`:
+
+* a persistent **reference-count index** (fingerprint → refcount), updated
+  when files are added or deleted;
+* **container utilization** tracking — live bytes per container; and
+* **garbage collection** by container copy-forward: containers whose live
+  ratio falls below a threshold are rewritten, live chunks migrating to
+  fresh containers (updating the fingerprint index), dead containers
+  deleted.
+
+The paper's prototype has no deletion path at all; this is part of making
+the reproduction adoptable rather than a paper experiment (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.storage.container import ChunkLocation
+from repro.storage.dedup import DedupEngine
+from repro.storage.kvstore import KVStore
+
+
+@dataclass
+class GCReport:
+    """Outcome of one garbage-collection pass."""
+
+    containers_scanned: int
+    containers_collected: int
+    chunks_moved: int
+    bytes_reclaimed: int
+
+
+class RefcountedStore:
+    """Deletion-capable wrapper around a dedup engine.
+
+    Every stored chunk carries a reference count. ``put`` increments (and
+    stores the chunk if new); ``release`` decrements; chunks at refcount
+    zero become garbage that :meth:`collect` reclaims by rewriting
+    under-utilized containers.
+
+    Args:
+        engine: the underlying dedup engine.
+        refcount_dir: directory for the persistent refcount index.
+        gc_threshold: collect containers whose live-byte ratio is below
+            this (0.5 = rewrite when less than half the bytes are live).
+    """
+
+    def __init__(
+        self,
+        engine: DedupEngine,
+        refcount_dir,
+        gc_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < gc_threshold <= 1.0:
+            raise ValueError("gc_threshold must be in (0, 1]")
+        self.engine = engine
+        self.refcounts = KVStore(Path(refcount_dir))
+        self.gc_threshold = gc_threshold
+
+    # -- reference management ----------------------------------------------
+
+    def _get_refcount(self, fingerprint: bytes) -> int:
+        raw = self.refcounts.get(fingerprint)
+        return int.from_bytes(raw, "big") if raw else 0
+
+    def _set_refcount(self, fingerprint: bytes, value: int) -> None:
+        if value <= 0:
+            self.refcounts.delete(fingerprint)
+        else:
+            self.refcounts.put(fingerprint, value.to_bytes(8, "big"))
+
+    def put(self, fingerprint: bytes, chunk: bytes) -> bool:
+        """Store (or re-reference) a chunk; returns True if newly stored."""
+        new = self.engine.store(fingerprint, chunk)
+        self._set_refcount(fingerprint, self._get_refcount(fingerprint) + 1)
+        return new
+
+    def release(self, fingerprint: bytes) -> int:
+        """Drop one reference; returns the remaining count.
+
+        Raises:
+            KeyError: if the chunk has no references.
+        """
+        current = self._get_refcount(fingerprint)
+        if current <= 0:
+            raise KeyError(
+                f"no references to fingerprint {fingerprint.hex()}"
+            )
+        self._set_refcount(fingerprint, current - 1)
+        return current - 1
+
+    def release_file(self, fingerprints: Iterable[bytes]) -> int:
+        """Release every chunk of a deleted file; returns garbage count."""
+        garbage = 0
+        for fingerprint in fingerprints:
+            if self.release(fingerprint) == 0:
+                garbage += 1
+        return garbage
+
+    def load(self, fingerprint: bytes) -> bytes:
+        """Fetch a live chunk.
+
+        Raises:
+            KeyError: unknown or fully-released fingerprint.
+        """
+        if self._get_refcount(fingerprint) <= 0:
+            raise KeyError(
+                f"fingerprint {fingerprint.hex()} has no live references"
+            )
+        return self.engine.load(fingerprint)
+
+    def refcount(self, fingerprint: bytes) -> int:
+        """Current reference count (0 for unknown chunks)."""
+        return self._get_refcount(fingerprint)
+
+    # -- garbage collection -----------------------------------------------------
+
+    def _live_map(self) -> Dict[int, List[Tuple[bytes, ChunkLocation]]]:
+        """Group live chunks by their current container."""
+        by_container: Dict[int, List[Tuple[bytes, ChunkLocation]]] = {}
+        for fingerprint, raw in self.engine.index.items():
+            if self._get_refcount(fingerprint) <= 0:
+                continue
+            location = ChunkLocation.from_bytes(raw)
+            by_container.setdefault(location.container_id, []).append(
+                (fingerprint, location)
+            )
+        return by_container
+
+    def collect(self) -> GCReport:
+        """Rewrite under-utilized sealed containers, dropping dead chunks.
+
+        Live chunks from collected containers are appended to the open
+        container (their index entries updated atomically per chunk before
+        the old container is unlinked), so concurrent readers of *other*
+        containers are unaffected.
+        """
+        self.engine.containers.seal()
+        live_by_container = self._live_map()
+        containers = self.engine.containers
+        scanned = 0
+        collected = 0
+        moved = 0
+        reclaimed = 0
+        for path in sorted(containers.directory.glob("container-*.bin")):
+            container_id = int(path.stem.split("-")[1])
+            scanned += 1
+            total_bytes = path.stat().st_size
+            live = live_by_container.get(container_id, [])
+            live_bytes = sum(loc.length for _, loc in live)
+            if total_bytes == 0 or live_bytes / total_bytes >= self.gc_threshold:
+                continue
+            # Copy live chunks forward, then drop the container.
+            for fingerprint, location in live:
+                chunk = containers.read(location)
+                new_location = containers.append(chunk)
+                self.engine.index.put(fingerprint, new_location.to_bytes())
+                moved += 1
+            # Remove dead index entries pointing into this container.
+            for fingerprint, raw in list(self.engine.index.items()):
+                loc = ChunkLocation.from_bytes(raw)
+                if (
+                    loc.container_id == container_id
+                    and self._get_refcount(fingerprint) <= 0
+                ):
+                    self.engine.index.delete(fingerprint)
+            containers._cache.pop(container_id, None)
+            path.unlink()
+            collected += 1
+            reclaimed += total_bytes - live_bytes
+        containers.seal()
+        return GCReport(
+            containers_scanned=scanned,
+            containers_collected=collected,
+            chunks_moved=moved,
+            bytes_reclaimed=reclaimed,
+        )
+
+    def close(self) -> None:
+        """Flush both indexes."""
+        self.refcounts.close()
+        self.engine.close()

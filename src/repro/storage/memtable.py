@@ -1,0 +1,69 @@
+"""In-memory write buffer for the LSM key-value store.
+
+Holds the most recent mutations (including delete tombstones) until the
+store flushes it to an immutable SSTable. Python dicts give O(1) point
+lookups; sorted order is only needed at flush time, so we sort once there
+rather than maintaining a tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Sentinel distinguishing "deleted" from "absent" inside the table.
+TOMBSTONE = None
+
+
+class MemTable:
+    """Mutation buffer with tombstone support."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, Optional[bytes]] = {}
+        self._approximate_bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite a key."""
+        self._account(key, self._entries.get(key, b""), value)
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone (must survive flush to mask older SSTables)."""
+        self._account(key, self._entries.get(key, b""), b"")
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Look up a key.
+
+        Returns:
+            ``(found, value)``: ``found`` is True when this memtable has an
+            opinion on the key (including a tombstone, in which case value is
+            None); False means "ask older data".
+        """
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    def _account(self, key: bytes, old, new) -> None:
+        old_len = len(old) if old else 0
+        if key not in self._entries:
+            self._approximate_bytes += len(key)
+        self._approximate_bytes += (len(new) if new else 0) - old_len
+
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint, used for the flush threshold."""
+        return self._approximate_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def sorted_items(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield (key, value-or-tombstone) pairs in ascending key order."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._approximate_bytes = 0

@@ -1,0 +1,188 @@
+"""Immutable sorted string tables (SSTables) for the LSM key-value store.
+
+An SSTable is written once by a memtable flush or a compaction and then only
+read. On-disk layout::
+
+    [magic: 8 bytes]
+    [data block: records, sorted by key]
+    [bloom filter block]
+    [sparse index block]
+    [footer: data_len(8) bloom_len(8) index_len(8) crc32(4) magic(8)]
+
+Each record is ``key_len varint || key || flag(1) || value_len varint ||
+value`` where ``flag`` 1 marks a tombstone. The sparse index stores every
+``index_interval``-th key with its file offset, so a point lookup reads the
+index into memory (cached), binary-searches it, and scans at most one
+interval of the data block — the same structure LevelDB uses, minus
+block compression.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from bisect import bisect_right
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.storage.bloom import BloomFilter
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+_MAGIC = b"REPROSST"
+_FOOTER = struct.Struct("<QQQI8s")
+
+FLAG_VALUE = 0
+FLAG_TOMBSTONE = 1
+
+#: A lookup result: (found, value). found=True with value=None is a tombstone.
+LookupResult = Tuple[bool, Optional[bytes]]
+
+
+def _encode_record(key: bytes, value: Optional[bytes]) -> bytes:
+    if value is None:
+        return encode_uvarint(len(key)) + key + bytes([FLAG_TOMBSTONE]) + encode_uvarint(0)
+    return (
+        encode_uvarint(len(key))
+        + key
+        + bytes([FLAG_VALUE])
+        + encode_uvarint(len(value))
+        + value
+    )
+
+
+def _decode_record(data: bytes, offset: int) -> Tuple[bytes, Optional[bytes], int]:
+    key_len, pos = decode_uvarint(data, offset)
+    key = data[pos : pos + key_len]
+    pos += key_len
+    flag = data[pos]
+    pos += 1
+    value_len, pos = decode_uvarint(data, pos)
+    value = data[pos : pos + value_len]
+    pos += value_len
+    if flag == FLAG_TOMBSTONE:
+        return key, None, pos
+    return key, value, pos
+
+
+def write_sstable(
+    path: Path,
+    items: Iterable[Tuple[bytes, Optional[bytes]]],
+    index_interval: int = 16,
+    bloom_fp_rate: float = 0.01,
+) -> "SSTable":
+    """Write sorted ``(key, value-or-None)`` pairs to a new SSTable file.
+
+    Args:
+        path: destination file (created/truncated).
+        items: pairs in strictly ascending key order; ``None`` values are
+            tombstones and are preserved (they mask older tables).
+        index_interval: one sparse-index entry per this many records.
+        bloom_fp_rate: target Bloom false-positive rate.
+
+    Raises:
+        ValueError: if keys are not strictly ascending.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    materialized = list(items)
+    for (a, _), (b, _) in zip(materialized, materialized[1:]):
+        if a >= b:
+            raise ValueError("SSTable keys must be strictly ascending")
+
+    bloom = BloomFilter.with_capacity(len(materialized), bloom_fp_rate)
+    data = bytearray()
+    index_entries: List[Tuple[bytes, int]] = []
+    for i, (key, value) in enumerate(materialized):
+        if i % index_interval == 0:
+            index_entries.append((key, len(data)))
+        bloom.add(key)
+        data.extend(_encode_record(key, value))
+
+    index_block = bytearray()
+    for key, offset in index_entries:
+        index_block.extend(encode_uvarint(len(key)))
+        index_block.extend(key)
+        index_block.extend(encode_uvarint(offset))
+
+    bloom_block = bloom.to_bytes()
+    body = bytes(data) + bloom_block + bytes(index_block)
+    footer = _FOOTER.pack(
+        len(data), len(bloom_block), len(index_block), zlib.crc32(body), _MAGIC
+    )
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(body)
+        f.write(footer)
+    return SSTable(path)
+
+
+class SSTable:
+    """Reader for one on-disk SSTable."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        raw = self.path.read_bytes()
+        if len(raw) < len(_MAGIC) + _FOOTER.size or raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError(f"not an SSTable: {self.path}")
+        data_len, bloom_len, index_len, crc, magic = _FOOTER.unpack(
+            raw[-_FOOTER.size :]
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad SSTable footer magic: {self.path}")
+        body = raw[len(_MAGIC) : -_FOOTER.size]
+        if len(body) != data_len + bloom_len + index_len:
+            raise ValueError(f"SSTable length mismatch: {self.path}")
+        if zlib.crc32(body) != crc:
+            raise ValueError(f"SSTable checksum failure: {self.path}")
+        self._data = body[:data_len]
+        self._bloom = BloomFilter.from_bytes(
+            body[data_len : data_len + bloom_len]
+        )
+        self._index_keys: List[bytes] = []
+        self._index_offsets: List[int] = []
+        pos = 0
+        index_block = body[data_len + bloom_len :]
+        while pos < len(index_block):
+            key_len, pos = decode_uvarint(index_block, pos)
+            self._index_keys.append(index_block[pos : pos + key_len])
+            pos += key_len
+            offset, pos = decode_uvarint(index_block, pos)
+            self._index_offsets.append(offset)
+
+    def get(self, key: bytes) -> LookupResult:
+        """Point lookup; ``(True, None)`` signals a tombstone."""
+        if not self._index_keys or not self._bloom.may_contain(key):
+            return False, None
+        slot = bisect_right(self._index_keys, key) - 1
+        if slot < 0:
+            return False, None
+        offset = self._index_offsets[slot]
+        end = (
+            self._index_offsets[slot + 1]
+            if slot + 1 < len(self._index_offsets)
+            else len(self._data)
+        )
+        while offset < end:
+            record_key, value, offset = _decode_record(self._data, offset)
+            if record_key == key:
+                return True, value
+            if record_key > key:
+                return False, None
+        return False, None
+
+    def __iter__(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Iterate all records (including tombstones) in key order."""
+        offset = 0
+        while offset < len(self._data):
+            key, value, offset = _decode_record(self._data, offset)
+            yield key, value
+
+    def __len__(self) -> int:
+        count = 0
+        for _ in self:
+            count += 1
+        return count
+
+    def file_bytes(self) -> int:
+        """Size of the table file on disk."""
+        return self.path.stat().st_size

@@ -1,0 +1,38 @@
+"""TEDStore: the networked encrypted-deduplication prototype (paper §4)."""
+
+from repro.tedstore.client import TedStoreClient, UploadResult
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.network import (
+    RemoteKeyManager,
+    RemoteProvider,
+    ServerHandle,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.tedstore.provider import ProviderService
+from repro.tedstore.quorum import (
+    QuorumClient,
+    QuorumKeyServer,
+    deal_quorum,
+)
+from repro.tedstore.ratelimit import KeyGenRateLimiter, RateLimitExceeded
+
+__all__ = [
+    "QuorumClient",
+    "QuorumKeyServer",
+    "deal_quorum",
+    "KeyGenRateLimiter",
+    "RateLimitExceeded",
+    "TedStoreClient",
+    "UploadResult",
+    "LocalKeyManager",
+    "LocalProvider",
+    "KeyManagerService",
+    "RemoteKeyManager",
+    "RemoteProvider",
+    "ServerHandle",
+    "serve_key_manager",
+    "serve_provider",
+    "ProviderService",
+]

@@ -1,0 +1,312 @@
+"""TEDStore client: chunk, fingerprint, hash, key-gen, encrypt, upload.
+
+The client implements the full upload/download pipeline of Figure 1:
+
+1. **Chunking** — content-defined chunking of the file data (§4).
+2. **Fingerprinting** — cryptographic hash of each plaintext chunk.
+3. **Hashing** — one MurmurHash3 per chunk, split into ``r`` short hashes.
+4. **Key seeding** — short hashes go to the key manager in batches
+   (default 48,000 per batch, §3.5); seeds come back.
+5. **Key derivation** — ``K = H(seed || P)`` (Eq. 4), client-side.
+6. **Encryption** — deterministic symmetric encryption of each chunk.
+7. **Write** — ciphertext chunks (keyed by *ciphertext* fingerprint) are
+   uploaded in batches; the provider deduplicates.
+
+The client also builds the file recipe (ciphertext fingerprints + sizes)
+and the key recipe (per-chunk keys), seals both under its master key, and
+uploads them (§2.2). Every step is attributed to a
+:class:`~repro.utils.timer.StageTimer` using the paper's step names so
+Experiments B.1/B.4 can report the same breakdown tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.chunking.cdc import ChunkerParams, ContentDefinedChunker
+from repro.core.keygen import derive_key
+from repro.crypto.cipher import SECURE, CipherProfile
+from repro.crypto.hashes import digest
+from repro.crypto.murmur3 import short_hashes
+from repro.storage.recipe import FileRecipe, KeyRecipe, seal, unseal
+from repro.tedstore.messages import (
+    GetChunks,
+    GetRecipes,
+    KeyGenRequest,
+    PutChunks,
+    PutRecipes,
+)
+from repro.tedstore.transports import KeyManagerTransport, ProviderTransport
+from repro.utils.timer import StageTimer
+
+DEFAULT_BATCH_SIZE = 48_000
+
+
+@dataclass
+class UploadResult:
+    """Outcome of one file upload."""
+
+    file_name: str
+    logical_bytes: int
+    chunk_count: int
+    stored_chunks: int
+    duplicate_chunks: int
+
+
+class TedStoreClient:
+    """One TEDStore client (one user of the organization).
+
+    Args:
+        key_manager: transport to the key manager.
+        provider: transport to the provider.
+        master_key: per-client master key protecting recipes.
+        profile: cipher/hash profile ("secure", "fast", or "shactr").
+        sketch_rows / sketch_width: must match the key manager's sketch
+            geometry — the client computes the short hashes (§3.3).
+        batch_size: chunks per key-generation round trip (§3.5).
+        chunker: content-defined chunker (paper defaults 4/8/16 KB).
+        timer: optional stage timer; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        key_manager: KeyManagerTransport,
+        provider: ProviderTransport,
+        master_key: bytes = b"\x01" * 32,
+        profile: CipherProfile = SECURE,
+        sketch_rows: int = 4,
+        sketch_width: int = 2**21,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        chunker: Optional[ContentDefinedChunker] = None,
+        timer: Optional[StageTimer] = None,
+        metadata_dedup: bool = False,
+        metadata_entries_per_chunk: int = 128,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.key_manager = key_manager
+        self.provider = provider
+        self.master_key = master_key
+        self.profile = profile
+        self.sketch_rows = sketch_rows
+        self.sketch_width = sketch_width
+        self.batch_size = batch_size
+        self.chunker = chunker or ContentDefinedChunker(ChunkerParams())
+        self.timer = timer or StageTimer()
+        # Metadata deduplication (Metadedup-style, DESIGN.md §6): recipes
+        # are split into content-keyed metadata chunks that ride the normal
+        # chunk path and deduplicate across snapshots; only a compact meta
+        # recipe stays sealed per file.
+        self.metadata_dedup = metadata_dedup
+        self.metadata_entries_per_chunk = metadata_entries_per_chunk
+
+    # -- upload ---------------------------------------------------------------
+
+    def upload(self, file_name: str, data: bytes) -> UploadResult:
+        """Chunk and upload a file's raw bytes."""
+        with self.timer.stage("chunking"):
+            chunks = list(self.chunker.chunk(data))
+        return self._upload_chunks(file_name, chunks)
+
+    def upload_chunks(
+        self, file_name: str, chunks: Sequence[bytes]
+    ) -> UploadResult:
+        """Upload pre-chunked data (the trace-replay path, §5.3.2)."""
+        return self._upload_chunks(file_name, chunks)
+
+    def _upload_chunks(
+        self, file_name: str, chunks: Sequence[bytes]
+    ) -> UploadResult:
+        algorithm = self.profile.hash_algorithm
+        file_recipe = FileRecipe(file_name=file_name)
+        key_recipe = KeyRecipe()
+        stored = 0
+        duplicates = 0
+        logical = 0
+
+        for start in range(0, len(chunks), self.batch_size):
+            batch = chunks[start : start + self.batch_size]
+
+            with self.timer.stage("fingerprinting"):
+                fingerprints = [digest(c, algorithm) for c in batch]
+
+            # Short hashes are computed over the chunk *fingerprint* rather
+            # than the raw chunk: the client has just computed the
+            # fingerprint anyway, the counter mapping is statistically
+            # identical, and it keeps the MurmurHash pass off the
+            # full-data path (the C++ prototype murmurs whole chunks
+            # because Murmur is nearly free there; in Python it is not).
+            with self.timer.stage("hashing"):
+                hash_vectors = [
+                    short_hashes(fp, self.sketch_rows, self.sketch_width)
+                    for fp in fingerprints
+                ]
+
+            with self.timer.stage("key seeding"):
+                response = self.key_manager.keygen(
+                    KeyGenRequest(hash_vectors=hash_vectors)
+                )
+            if len(response.seeds) != len(batch):
+                raise RuntimeError(
+                    "key manager returned a mismatched seed batch"
+                )
+
+            with self.timer.stage("key derivation"):
+                keys = [
+                    derive_key(seed, fp, algorithm)
+                    for seed, fp in zip(response.seeds, fingerprints)
+                ]
+
+            with self.timer.stage("encryption"):
+                ciphertexts = [
+                    self.profile.encrypt(key, chunk)
+                    for key, chunk in zip(keys, batch)
+                ]
+                cipher_fps = [
+                    digest(ct, algorithm) for ct in ciphertexts
+                ]
+
+            with self.timer.stage("write"):
+                result = self.provider.put_chunks(
+                    PutChunks(chunks=list(zip(cipher_fps, ciphertexts)))
+                )
+            stored += result.stored
+            duplicates += result.duplicates
+
+            for chunk, cipher_fp, key in zip(batch, cipher_fps, keys):
+                file_recipe.add(cipher_fp, len(chunk))
+                key_recipe.add(key)
+                logical += len(chunk)
+
+        with self.timer.stage("write"):
+            if self.metadata_dedup:
+                from repro.storage.metadedup import pack_metadata_chunks
+
+                meta_chunks, meta_plain = pack_metadata_chunks(
+                    file_recipe,
+                    key_recipe,
+                    self.metadata_entries_per_chunk,
+                )
+                if meta_chunks:
+                    self.provider.put_chunks(PutChunks(chunks=meta_chunks))
+                # An empty sealed key recipe marks the metadata-dedup
+                # layout; the file slot carries the sealed meta recipe.
+                self.provider.put_recipes(
+                    PutRecipes(
+                        file_name=file_name,
+                        sealed_file_recipe=seal(self.master_key, meta_plain),
+                        sealed_key_recipe=b"",
+                    )
+                )
+            else:
+                self.provider.put_recipes(
+                    PutRecipes(
+                        file_name=file_name,
+                        sealed_file_recipe=seal(
+                            self.master_key, file_recipe.serialize()
+                        ),
+                        sealed_key_recipe=seal(
+                            self.master_key, key_recipe.serialize()
+                        ),
+                    )
+                )
+        return UploadResult(
+            file_name=file_name,
+            logical_bytes=logical,
+            chunk_count=len(chunks),
+            stored_chunks=stored,
+            duplicate_chunks=duplicates,
+        )
+
+    # -- download ----------------------------------------------------------------
+
+    def download(self, file_name: str) -> bytes:
+        """Fetch, decrypt, and reassemble a file.
+
+        Raises:
+            ValueError: recipe authentication failure (wrong master key or
+                tampering), or a chunk that decrypts to the wrong size.
+        """
+        with self.timer.stage("recipe fetch"):
+            recipes = self.provider.get_recipes(
+                GetRecipes(file_name=file_name)
+            )
+            if not recipes.sealed_key_recipe:
+                # Metadata-dedup layout: the file slot holds a meta recipe
+                # whose metadata chunks live on the normal chunk path.
+                from repro.storage.metadedup import unpack_metadata_chunks
+
+                meta_plain = unseal(
+                    self.master_key, recipes.sealed_file_recipe
+                )
+                file_recipe, key_recipe = unpack_metadata_chunks(
+                    meta_plain,
+                    fetch=lambda fps: self.provider.get_chunks(
+                        GetChunks(fingerprints=fps)
+                    ).chunks,
+                )
+            else:
+                file_recipe = FileRecipe.deserialize(
+                    unseal(self.master_key, recipes.sealed_file_recipe)
+                )
+                key_recipe = KeyRecipe.deserialize(
+                    unseal(self.master_key, recipes.sealed_key_recipe)
+                )
+        if len(file_recipe.entries) != len(key_recipe.keys):
+            raise ValueError("file and key recipes disagree on chunk count")
+
+        pieces: List[bytes] = []
+        entries = file_recipe.entries
+        keys = key_recipe.keys
+        for start in range(0, len(entries), self.batch_size):
+            batch_entries = entries[start : start + self.batch_size]
+            batch_keys = keys[start : start + self.batch_size]
+            with self.timer.stage("chunk fetch"):
+                chunks = self.provider.get_chunks(
+                    GetChunks(
+                        fingerprints=[fp for fp, _ in batch_entries]
+                    )
+                ).chunks
+            with self.timer.stage("decryption"):
+                for (fp, size), key, ciphertext in zip(
+                    batch_entries, batch_keys, chunks
+                ):
+                    plaintext = self.profile.decrypt(key, ciphertext)
+                    if len(plaintext) != size:
+                        raise ValueError(
+                            f"chunk {fp.hex()} decrypted to {len(plaintext)} "
+                            f"bytes, expected {size}"
+                        )
+                    pieces.append(plaintext)
+        return b"".join(pieces)
+
+    # -- key generation only (Experiment B.2) -------------------------------------
+
+    def generate_keys_only(
+        self, chunks: Iterable[bytes]
+    ) -> List[Tuple[bytes, bytes]]:
+        """Run only the key-generation pipeline: hash → seed → derive.
+
+        Returns per-chunk ``(fingerprint, key)`` pairs. This isolates the
+        steps Experiment B.2 measures (hashing + key seeding + key
+        derivation) from chunk encryption and upload.
+        """
+        algorithm = self.profile.hash_algorithm
+        chunk_list = list(chunks)
+        output: List[Tuple[bytes, bytes]] = []
+        for start in range(0, len(chunk_list), self.batch_size):
+            batch = chunk_list[start : start + self.batch_size]
+            fingerprints = [digest(c, algorithm) for c in batch]
+            hash_vectors = [
+                short_hashes(fp, self.sketch_rows, self.sketch_width)
+                for fp in fingerprints
+            ]
+            response = self.key_manager.keygen(
+                KeyGenRequest(hash_vectors=hash_vectors)
+            )
+            output.extend(
+                (fp, derive_key(seed, fp, algorithm))
+                for seed, fp in zip(response.seeds, fingerprints)
+            )
+        return output

@@ -1,0 +1,55 @@
+"""In-process TEDStore deployment: direct service calls, no sockets.
+
+Used by unit/integration tests and the single-machine microbenchmarks
+(Experiment B.1 runs all three entities on one machine; the in-process
+transport is the zero-network-cost limit of that setup).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import (
+    Chunks,
+    GetChunks,
+    GetRecipes,
+    KeyGenRequest,
+    KeyGenResponse,
+    PutChunks,
+    PutChunksResponse,
+    PutRecipes,
+)
+from repro.tedstore.provider import ProviderService
+
+
+class LocalKeyManager:
+    """Direct-call key-manager transport."""
+
+    def __init__(self, service: KeyManagerService) -> None:
+        self.service = service
+
+    def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
+        return self.service.handle_keygen(request)
+
+
+class LocalProvider:
+    """Direct-call provider transport."""
+
+    def __init__(self, service: ProviderService) -> None:
+        self.service = service
+
+    def put_chunks(self, request: PutChunks) -> PutChunksResponse:
+        return self.service.handle_put_chunks(request)
+
+    def get_chunks(self, request: GetChunks) -> Chunks:
+        return self.service.handle_get_chunks(request)
+
+    def put_recipes(self, request: PutRecipes) -> None:
+        self.service.handle_put_recipes(request)
+
+    def get_recipes(self, request: GetRecipes) -> PutRecipes:
+        return self.service.handle_get_recipes(request)
+
+    def stats(self) -> List[Tuple[str, int]]:
+        return self.service.stats()

@@ -1,0 +1,65 @@
+"""TEDStore key-manager service.
+
+Wraps :class:`repro.core.ted.TedKeyManager` behind the batch request/response
+interface the clients speak (one :class:`KeyGenRequest` per client batch,
+§3.5), with a lock so multiple client threads can be served concurrently —
+the frequency state (sketch + tuner) is shared across all clients, which is
+what makes TED's frequencies *global* across the organization's users.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.ted import TedKeyManager
+from repro.tedstore.messages import KeyGenRequest, KeyGenResponse
+from repro.tedstore.ratelimit import KeyGenRateLimiter
+
+
+class KeyManagerService:
+    """Thread-safe key-generation service.
+
+    Args:
+        key_manager: the TED key manager to serve (BTED or FTED).
+        rate_limiter: optional per-client request budget (§2.3's online
+            brute-force defence); ``None`` disables limiting.
+    """
+
+    def __init__(
+        self,
+        key_manager: Optional[TedKeyManager] = None,
+        rate_limiter: Optional[KeyGenRateLimiter] = None,
+    ) -> None:
+        self.key_manager = key_manager or TedKeyManager(
+            secret=b"tedstore-default-secret",
+            blowup_factor=1.05,
+            batch_size=48_000,
+            sketch_width=2**21,
+        )
+        self.rate_limiter = rate_limiter
+        self._lock = threading.Lock()
+
+    def handle_keygen(
+        self, request: KeyGenRequest, client_id: str = "local"
+    ) -> KeyGenResponse:
+        """Serve one batch of key-generation requests.
+
+        Raises:
+            RateLimitExceeded: if a rate limiter is configured and this
+                client exhausted its key-generation budget.
+        """
+        if self.rate_limiter is not None:
+            self.rate_limiter.check(client_id, len(request.hash_vectors))
+        with self._lock:
+            seeds = self.key_manager.generate_seeds(request.hash_vectors)
+            return KeyGenResponse(seeds=seeds, current_t=self.key_manager.t)
+
+    def stats(self):
+        """Counters for the evaluation harness."""
+        with self._lock:
+            return [
+                ("requests", self.key_manager.stats.requests),
+                ("batches_tuned", self.key_manager.stats.batches_tuned),
+                ("current_t", self.key_manager.t),
+            ]

@@ -1,0 +1,334 @@
+"""TEDStore wire protocol: message framing and serialization.
+
+Every message is framed as ``[length u32 BE][type u8][payload]`` where
+length covers type + payload. Payloads are built from varints and
+length-prefixed byte strings only — no pickle, no external formats — so the
+protocol is compact, deterministic, and safe to parse from untrusted peers.
+
+The protocol batches aggressively (key-generation requests, chunk uploads,
+chunk downloads), matching TEDStore's optimization of combining small data
+units into single transmissions (paper §4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+_LEN = struct.Struct(">I")
+
+MSG_KEYGEN_REQUEST = 1
+MSG_KEYGEN_RESPONSE = 2
+MSG_PUT_CHUNKS = 3
+MSG_PUT_CHUNKS_RESPONSE = 4
+MSG_PUT_RECIPES = 5
+MSG_OK = 6
+MSG_GET_RECIPES = 7
+MSG_RECIPES = 8
+MSG_GET_CHUNKS = 9
+MSG_CHUNKS = 10
+MSG_ERROR = 11
+MSG_STATS_REQUEST = 12
+MSG_STATS_RESPONSE = 13
+
+MAX_MESSAGE_BYTES = 256 << 20  # guard against absurd/corrupt frames
+
+
+class ProtocolError(Exception):
+    """Raised on malformed frames or payloads."""
+
+
+def frame(message_type: int, payload: bytes) -> bytes:
+    """Wrap a payload in the wire framing."""
+    body = bytes([message_type]) + payload
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError("message exceeds the frame size limit")
+    return _LEN.pack(len(body)) + body
+
+
+def read_frame(recv_exact) -> Tuple[int, bytes]:
+    """Read one frame via a ``recv_exact(n) -> bytes`` callable.
+
+    Returns:
+        ``(message_type, payload)``.
+
+    Raises:
+        ProtocolError: on oversized or truncated frames.
+    """
+    header = recv_exact(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length == 0 or length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"invalid frame length {length}")
+    body = recv_exact(length)
+    return body[0], body[1:]
+
+
+class _Writer:
+    """Payload builder."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+
+    def varint(self, value: int) -> "_Writer":
+        self._out.extend(encode_uvarint(value))
+        return self
+
+    def blob(self, data: bytes) -> "_Writer":
+        self._out.extend(encode_uvarint(len(data)))
+        self._out.extend(data)
+        return self
+
+    def text(self, value: str) -> "_Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def done(self) -> bytes:
+        return bytes(self._out)
+
+
+class _Reader:
+    """Payload parser with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def varint(self) -> int:
+        value, self._pos = decode_uvarint(self._data, self._pos)
+        return value
+
+    def blob(self) -> bytes:
+        length = self.varint()
+        end = self._pos + length
+        if end > len(self._data):
+            raise ProtocolError("truncated payload blob")
+        value = self._data[self._pos : end]
+        self._pos = end
+        return value
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise ProtocolError("trailing bytes in payload")
+
+
+# -- key generation -----------------------------------------------------------
+
+
+@dataclass
+class KeyGenRequest:
+    """A batch of per-chunk short-hash vectors."""
+
+    hash_vectors: List[List[int]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.hash_vectors))
+        for vector in self.hash_vectors:
+            w.varint(len(vector))
+            for h in vector:
+                w.varint(h)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KeyGenRequest":
+        r = _Reader(payload)
+        count = r.varint()
+        vectors = []
+        for _ in range(count):
+            rows = r.varint()
+            vectors.append([r.varint() for _ in range(rows)])
+        r.expect_end()
+        return cls(hash_vectors=vectors)
+
+
+@dataclass
+class KeyGenResponse:
+    """Key seeds for a batch, plus the key manager's current ``t``."""
+
+    seeds: List[bytes] = field(default_factory=list)
+    current_t: int = 1
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.seeds))
+        for seed in self.seeds:
+            w.blob(seed)
+        w.varint(self.current_t)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "KeyGenResponse":
+        r = _Reader(payload)
+        count = r.varint()
+        seeds = [r.blob() for _ in range(count)]
+        t = r.varint()
+        r.expect_end()
+        return cls(seeds=seeds, current_t=t)
+
+
+# -- chunk upload/download ---------------------------------------------------
+
+
+@dataclass
+class PutChunks:
+    """A batch of (fingerprint, ciphertext chunk) pairs to store."""
+
+    chunks: List[Tuple[bytes, bytes]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.chunks))
+        for fingerprint, data in self.chunks:
+            w.blob(fingerprint).blob(data)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "PutChunks":
+        r = _Reader(payload)
+        count = r.varint()
+        chunks = [(r.blob(), r.blob()) for _ in range(count)]
+        r.expect_end()
+        return cls(chunks=chunks)
+
+
+@dataclass
+class PutChunksResponse:
+    """Dedup outcome of a chunk batch."""
+
+    stored: int = 0
+    duplicates: int = 0
+
+    def encode(self) -> bytes:
+        return _Writer().varint(self.stored).varint(self.duplicates).done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "PutChunksResponse":
+        r = _Reader(payload)
+        stored = r.varint()
+        duplicates = r.varint()
+        r.expect_end()
+        return cls(stored=stored, duplicates=duplicates)
+
+
+@dataclass
+class GetChunks:
+    """Fingerprints of chunks to fetch (download path)."""
+
+    fingerprints: List[bytes] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.fingerprints))
+        for fingerprint in self.fingerprints:
+            w.blob(fingerprint)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "GetChunks":
+        r = _Reader(payload)
+        count = r.varint()
+        fps = [r.blob() for _ in range(count)]
+        r.expect_end()
+        return cls(fingerprints=fps)
+
+
+@dataclass
+class Chunks:
+    """Chunk payloads, in request order."""
+
+    chunks: List[bytes] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.chunks))
+        for data in self.chunks:
+            w.blob(data)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Chunks":
+        r = _Reader(payload)
+        count = r.varint()
+        chunks = [r.blob() for _ in range(count)]
+        r.expect_end()
+        return cls(chunks=chunks)
+
+
+# -- recipes --------------------------------------------------------------------
+
+
+@dataclass
+class PutRecipes:
+    """Sealed file + key recipes for an uploaded file."""
+
+    file_name: str = ""
+    sealed_file_recipe: bytes = b""
+    sealed_key_recipe: bytes = b""
+
+    def encode(self) -> bytes:
+        return (
+            _Writer()
+            .text(self.file_name)
+            .blob(self.sealed_file_recipe)
+            .blob(self.sealed_key_recipe)
+            .done()
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "PutRecipes":
+        r = _Reader(payload)
+        name = r.text()
+        file_recipe = r.blob()
+        key_recipe = r.blob()
+        r.expect_end()
+        return cls(name, file_recipe, key_recipe)
+
+
+@dataclass
+class GetRecipes:
+    """Request the sealed recipes for a file."""
+
+    file_name: str = ""
+
+    def encode(self) -> bytes:
+        return _Writer().text(self.file_name).done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "GetRecipes":
+        r = _Reader(payload)
+        name = r.text()
+        r.expect_end()
+        return cls(file_name=name)
+
+
+# -- misc ------------------------------------------------------------------------
+
+
+def encode_error(message: str) -> bytes:
+    """Payload for MSG_ERROR."""
+    return _Writer().text(message).done()
+
+
+def decode_error(payload: bytes) -> str:
+    """Inverse of :func:`encode_error`."""
+    r = _Reader(payload)
+    message = r.text()
+    r.expect_end()
+    return message
+
+
+def encode_stats(pairs: Sequence[Tuple[str, int]]) -> bytes:
+    """Payload for MSG_STATS_RESPONSE: ordered (name, value) counters."""
+    w = _Writer().varint(len(pairs))
+    for name, value in pairs:
+        w.text(name).varint(value)
+    return w.done()
+
+
+def decode_stats(payload: bytes) -> List[Tuple[str, int]]:
+    """Inverse of :func:`encode_stats`."""
+    r = _Reader(payload)
+    count = r.varint()
+    pairs = [(r.text(), r.varint()) for _ in range(count)]
+    r.expect_end()
+    return pairs

@@ -1,0 +1,219 @@
+"""TCP deployment of TEDStore: threaded servers and client stubs.
+
+One server per entity (key manager, provider), each accepting persistent
+connections from any number of clients; every connection is served by its
+own thread, mirroring the paper's multi-threaded prototype (§4). The wire
+format is :mod:`repro.tedstore.messages`. Servers bind to an ephemeral port
+by default so tests and benchmarks can run many instances concurrently.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import List, Optional, Tuple
+
+from repro.tedstore import messages as m
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.provider import ProviderService
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ConnectionError."""
+    parts = []
+    remaining = n
+    while remaining:
+        piece = sock.recv(min(remaining, 1 << 20))
+        if not piece:
+            raise ConnectionError("peer closed the connection")
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _ServiceHandler(socketserver.BaseRequestHandler):
+    """Per-connection loop: read frame, dispatch, reply."""
+
+    def handle(self) -> None:
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        dispatch = self.server.dispatch  # type: ignore[attr-defined]
+        # Rate-limiting identity is the peer host (not host:port): a
+        # brute-forcing client must not reset its budget by reconnecting.
+        peer = str(self.client_address[0])
+        while True:
+            try:
+                message_type, payload = m.read_frame(
+                    lambda n: _recv_exact(sock, n)
+                )
+            except (ConnectionError, OSError):
+                return
+            try:
+                reply = dispatch(message_type, payload, peer)
+            except KeyError as exc:
+                reply = m.frame(m.MSG_ERROR, m.encode_error(f"not found: {exc}"))
+            except Exception as exc:  # report, keep the connection alive
+                reply = m.frame(m.MSG_ERROR, m.encode_error(str(exc)))
+            try:
+                sock.sendall(reply)
+            except OSError:
+                return
+
+
+class ServerHandle:
+    """A running server plus its lifecycle controls."""
+
+    def __init__(self, server: _Server) -> None:
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) the server is listening on."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def stop(self) -> None:
+        """Shut the server down and join its accept thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_key_manager(
+    service: KeyManagerService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start a key-manager server; returns its handle."""
+
+    def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
+        if message_type == m.MSG_KEYGEN_REQUEST:
+            response = service.handle_keygen(
+                m.KeyGenRequest.decode(payload), client_id=peer
+            )
+            return m.frame(m.MSG_KEYGEN_RESPONSE, response.encode())
+        if message_type == m.MSG_STATS_REQUEST:
+            return m.frame(m.MSG_STATS_RESPONSE, m.encode_stats(service.stats()))
+        return m.frame(
+            m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
+        )
+
+    server = _Server((host, port), _ServiceHandler)
+    server.dispatch = dispatch  # type: ignore[attr-defined]
+    return ServerHandle(server)
+
+
+def serve_provider(
+    service: ProviderService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start a provider server; returns its handle."""
+
+    def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
+        if message_type == m.MSG_PUT_CHUNKS:
+            response = service.handle_put_chunks(m.PutChunks.decode(payload))
+            return m.frame(m.MSG_PUT_CHUNKS_RESPONSE, response.encode())
+        if message_type == m.MSG_GET_CHUNKS:
+            response = service.handle_get_chunks(m.GetChunks.decode(payload))
+            return m.frame(m.MSG_CHUNKS, response.encode())
+        if message_type == m.MSG_PUT_RECIPES:
+            service.handle_put_recipes(m.PutRecipes.decode(payload))
+            return m.frame(m.MSG_OK, b"")
+        if message_type == m.MSG_GET_RECIPES:
+            response = service.handle_get_recipes(m.GetRecipes.decode(payload))
+            return m.frame(m.MSG_RECIPES, response.encode())
+        if message_type == m.MSG_STATS_REQUEST:
+            return m.frame(m.MSG_STATS_RESPONSE, m.encode_stats(service.stats()))
+        return m.frame(
+            m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
+        )
+
+    server = _Server((host, port), _ServiceHandler)
+    server.dispatch = dispatch  # type: ignore[attr-defined]
+    return ServerHandle(server)
+
+
+class _Connection:
+    """One persistent client connection with request/response semantics."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self._sock = socket.create_connection(address, timeout=60)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def call(self, message_type: int, payload: bytes) -> Tuple[int, bytes]:
+        with self._lock:
+            self._sock.sendall(m.frame(message_type, payload))
+            reply_type, reply = m.read_frame(
+                lambda n: _recv_exact(self._sock, n)
+            )
+        if reply_type == m.MSG_ERROR:
+            raise RuntimeError(
+                f"remote error: {m.decode_error(reply)}"
+            )
+        return reply_type, reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class RemoteKeyManager:
+    """TCP key-manager transport (client stub)."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self._conn = _Connection(address)
+
+    def keygen(self, request: m.KeyGenRequest) -> m.KeyGenResponse:
+        _, payload = self._conn.call(m.MSG_KEYGEN_REQUEST, request.encode())
+        return m.KeyGenResponse.decode(payload)
+
+    def stats(self) -> List[Tuple[str, int]]:
+        _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
+        return m.decode_stats(payload)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class RemoteProvider:
+    """TCP provider transport (client stub)."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self._conn = _Connection(address)
+
+    def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
+        _, payload = self._conn.call(m.MSG_PUT_CHUNKS, request.encode())
+        return m.PutChunksResponse.decode(payload)
+
+    def get_chunks(self, request: m.GetChunks) -> m.Chunks:
+        _, payload = self._conn.call(m.MSG_GET_CHUNKS, request.encode())
+        return m.Chunks.decode(payload)
+
+    def put_recipes(self, request: m.PutRecipes) -> None:
+        self._conn.call(m.MSG_PUT_RECIPES, request.encode())
+
+    def get_recipes(self, request: m.GetRecipes) -> m.PutRecipes:
+        _, payload = self._conn.call(m.MSG_GET_RECIPES, request.encode())
+        return m.PutRecipes.decode(payload)
+
+    def stats(self) -> List[Tuple[str, int]]:
+        _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
+        return m.decode_stats(payload)
+
+    def close(self) -> None:
+        self._conn.close()

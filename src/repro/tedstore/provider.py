@@ -1,0 +1,165 @@
+"""TEDStore storage-provider service.
+
+The provider owns the deduplicated storage backend: ciphertext chunks are
+deduplicated by fingerprint (provider-side dedup, §2.2), packed into
+containers, and indexed by the LSM fingerprint index. Sealed file/key
+recipes are stored as opaque blobs keyed by file name — the provider never
+deduplicates or inspects metadata (§2.2).
+
+Thread-safe: one lock serializes the dedup engine and the recipe store, so
+multiple client connections can upload concurrently (Experiment B.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.storage.dedup import DedupEngine
+from repro.tedstore.messages import (
+    Chunks,
+    GetChunks,
+    GetRecipes,
+    PutChunks,
+    PutChunksResponse,
+    PutRecipes,
+)
+
+
+class ProviderService:
+    """Thread-safe deduplicating storage service.
+
+    Args:
+        directory: provider storage root.
+        container_bytes: container capacity (paper default 8 MB).
+        in_memory: keep chunks in a dict instead of the on-disk engine —
+            Experiments B.1–B.3 remove disk I/O to measure compute limits.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        container_bytes: int = 8 << 20,
+        in_memory: bool = False,
+        engine: Optional[DedupEngine] = None,
+        lookahead_window: Optional[int] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self.in_memory = in_memory
+        # Look-ahead restore scheduling (off by default — the paper's
+        # prototype restores naively, which is what produces Figure 9's
+        # declining download curve; see the B.5 ablation).
+        self.lookahead_window = lookahead_window
+        self._recipes = {}
+        if in_memory:
+            self._memory_chunks = {}
+            self.engine = None
+            self._logical_chunks = 0
+            self._duplicate_chunks = 0
+        elif engine is not None:
+            self.engine = engine
+        else:
+            if directory is None:
+                raise ValueError(
+                    "directory is required unless in_memory or engine given"
+                )
+            self.engine = DedupEngine(
+                Path(directory), container_bytes=container_bytes
+            )
+
+    # -- chunk path ----------------------------------------------------------
+
+    def handle_put_chunks(self, request: PutChunks) -> PutChunksResponse:
+        """Store a batch of ciphertext chunks with inline deduplication."""
+        stored = 0
+        duplicates = 0
+        with self._lock:
+            if self.in_memory:
+                for fingerprint, data in request.chunks:
+                    self._logical_chunks += 1
+                    if fingerprint in self._memory_chunks:
+                        duplicates += 1
+                        self._duplicate_chunks += 1
+                    else:
+                        self._memory_chunks[fingerprint] = data
+                        stored += 1
+            else:
+                for fingerprint, data in request.chunks:
+                    if self.engine.store(fingerprint, data):
+                        stored += 1
+                    else:
+                        duplicates += 1
+        return PutChunksResponse(stored=stored, duplicates=duplicates)
+
+    def handle_get_chunks(self, request: GetChunks) -> Chunks:
+        """Fetch chunks by fingerprint, in request order.
+
+        Raises:
+            KeyError: if any fingerprint is unknown.
+        """
+        with self._lock:
+            if self.in_memory:
+                return Chunks(
+                    chunks=[
+                        self._memory_chunks[fp] for fp in request.fingerprints
+                    ]
+                )
+            return Chunks(
+                chunks=self.engine.load_many(
+                    request.fingerprints,
+                    lookahead_window=self.lookahead_window,
+                )
+            )
+
+    # -- recipe path -------------------------------------------------------------
+
+    def handle_put_recipes(self, request: PutRecipes) -> None:
+        """Store sealed recipes verbatim (no metadata dedup, §2.2)."""
+        with self._lock:
+            self._recipes[request.file_name] = (
+                request.sealed_file_recipe,
+                request.sealed_key_recipe,
+            )
+
+    def handle_get_recipes(self, request: GetRecipes) -> PutRecipes:
+        """Fetch a file's sealed recipes.
+
+        Raises:
+            KeyError: unknown file.
+        """
+        with self._lock:
+            file_recipe, key_recipe = self._recipes[request.file_name]
+        return PutRecipes(
+            file_name=request.file_name,
+            sealed_file_recipe=file_recipe,
+            sealed_key_recipe=key_recipe,
+        )
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Seal containers and flush the index (no-op in memory mode)."""
+        with self._lock:
+            if self.engine is not None:
+                self.engine.flush()
+
+    def stats(self):
+        """Counters for the evaluation harness."""
+        with self._lock:
+            if self.in_memory:
+                return [
+                    ("logical_chunks", self._logical_chunks),
+                    ("unique_chunks", len(self._memory_chunks)),
+                    ("duplicate_chunks", self._duplicate_chunks),
+                    ("files", len(self._recipes)),
+                ]
+            stats = self.engine.stats
+            return [
+                ("logical_chunks", stats.logical_chunks),
+                ("unique_chunks", stats.unique_chunks),
+                ("logical_bytes", stats.logical_bytes),
+                ("unique_bytes", stats.unique_bytes),
+                ("files", len(self._recipes)),
+                ("containers", self.engine.containers.container_count()),
+            ]

@@ -1,0 +1,156 @@
+"""Quorum-based key management (the paper's §4 fault-tolerance extension).
+
+The TEDStore prototype "does not address the fault tolerance of the key
+manager ... yet we can implement a quorum-based design for key generation
+[27]" (§4, citing Duan, CCSW '14). This module implements that design as a
+(k, n)-threshold oblivious signing service:
+
+* A dealer Shamir-shares a signing scalar ``d`` over the P-256 group order
+  and hands one share to each of ``n`` key-manager replicas.
+* To derive a chunk key, the client hashes the fingerprint to a curve
+  point, *blinds* it with a random scalar (so no replica learns the
+  fingerprint), and asks any ``k`` live replicas for partial signatures
+  ``d_i * (r * P)``.
+* The client combines the partials with Lagrange coefficients in the
+  exponent — yielding ``d * (r * P)`` regardless of *which* ``k`` replicas
+  answered — unblinds, and derives the chunk key as ``H(d * P)``.
+
+Determinism across quorums is the crucial property: duplicate chunks get
+identical keys no matter which replicas are alive, so deduplication
+survives key-manager failures. Up to ``n - k`` replicas can be down (or
+even hold their shares hostage) without affecting availability, and fewer
+than ``k`` colluding replicas learn nothing about ``d``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto import ec
+from repro.crypto.shamir import Share, lagrange_coefficients_at_zero, split
+
+
+class QuorumKeyServer:
+    """One key-manager replica holding a Shamir share of the signing key."""
+
+    def __init__(self, share: Share) -> None:
+        self.share = share
+
+    @property
+    def server_id(self) -> int:
+        """The replica's share index (the Shamir x-coordinate)."""
+        return self.share.x
+
+    def sign_blinded(self, blinded_point: ec.Point) -> ec.Point:
+        """Partial signature: multiply the blinded point by the share.
+
+        Raises:
+            ValueError: for points not on the curve (malformed requests).
+        """
+        if blinded_point is None or not ec.is_on_curve(blinded_point):
+            raise ValueError("invalid blinded point")
+        return ec.scalar_mult(self.share.y, blinded_point)
+
+
+def deal_quorum(
+    threshold: int,
+    num_servers: int,
+    rng: Optional[random.Random] = None,
+) -> Tuple[List[QuorumKeyServer], ec.Point]:
+    """Create ``num_servers`` replicas with a fresh shared signing key.
+
+    Returns:
+        The replicas and the public point ``d * G`` (for auditing).
+    """
+    rng = rng or random.Random()
+    secret = rng.randrange(1, ec.N)
+    shares = split(secret, threshold, num_servers, prime=ec.N, rng=rng)
+    servers = [QuorumKeyServer(share) for share in shares]
+    return servers, ec.scalar_mult(secret, ec.GENERATOR)
+
+
+class QuorumClient:
+    """Client side of the threshold oblivious signing protocol."""
+
+    def __init__(
+        self, threshold: int, rng: Optional[random.Random] = None
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self._rng = rng or random.Random()
+
+    def derive_key(
+        self, fingerprint: bytes, servers: Sequence[QuorumKeyServer]
+    ) -> bytes:
+        """Derive the chunk key using any ``threshold`` live replicas.
+
+        Raises:
+            ValueError: if fewer than ``threshold`` replicas are offered or
+                two replicas claim the same share index.
+        """
+        if len(servers) < self.threshold:
+            raise ValueError(
+                f"need {self.threshold} replicas, got {len(servers)}"
+            )
+        quorum = list(servers[: self.threshold])
+        ids = [server.server_id for server in quorum]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate replica ids in quorum")
+
+        point = ec.hash_to_curve(fingerprint)
+        blinding = self._rng.randrange(1, ec.N)
+        blinded = ec.scalar_mult(blinding, point)
+
+        partials = [server.sign_blinded(blinded) for server in quorum]
+        coefficients = lagrange_coefficients_at_zero(ids, ec.N)
+        combined: ec.Point = None
+        for coefficient, partial in zip(coefficients, partials):
+            combined = ec.point_add(
+                combined, ec.scalar_mult(coefficient, partial)
+            )
+        unblinded = ec.scalar_mult(
+            pow(blinding, ec.N - 2, ec.N), combined
+        )
+        return hashlib.sha256(ec.encode_point(unblinded)).digest()
+
+    def derive_keys(
+        self,
+        fingerprints: Sequence[bytes],
+        servers: Sequence[QuorumKeyServer],
+    ) -> List[bytes]:
+        """Batch wrapper over :meth:`derive_key`."""
+        return [self.derive_key(fp, servers) for fp in fingerprints]
+
+
+def simulate_failover(
+    fingerprint: bytes,
+    servers: Sequence[QuorumKeyServer],
+    threshold: int,
+    down: Sequence[int],
+    rng: Optional[random.Random] = None,
+) -> bytes:
+    """Derive a key while the replicas in ``down`` are unavailable.
+
+    Raises:
+        ValueError: if fewer than ``threshold`` replicas remain.
+    """
+    alive = [s for s in servers if s.server_id not in set(down)]
+    client = QuorumClient(threshold, rng=rng)
+    return client.derive_key(fingerprint, alive)
+
+
+def availability_map(
+    num_servers: int, threshold: int
+) -> Dict[str, int]:
+    """How many replica failures the deployment tolerates."""
+    if threshold < 1 or num_servers < threshold:
+        raise ValueError("invalid quorum configuration")
+    return {
+        "replicas": num_servers,
+        "threshold": threshold,
+        "tolerated_failures": num_servers - threshold,
+        "collusion_resistance": threshold - 1,
+    }

@@ -1,0 +1,119 @@
+"""Per-client rate limiting for key-generation requests.
+
+The threat model assumes "the key manager rate-limits each client's key
+generation requests, so as to defend against online brute-force attacks"
+(§2.3, following DupLESS): a malicious client who can ask for unlimited
+keys can test candidate chunks against the store. A token bucket per client
+bounds the *sustained* key-generation rate while allowing bursts the size
+of a normal upload batch.
+
+The bucket is deliberately generous to legitimate traffic: a backup client
+requests one key per chunk, so the budget is expressed in chunks/second.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+
+class RateLimitExceeded(Exception):
+    """Raised when a client exceeds its key-generation budget."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, up to ``burst`` stored."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock or time.monotonic
+        self._tokens = burst
+        self._last = self._clock()
+
+    def try_consume(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` from the bucket; False if not enough available."""
+        if tokens < 0:
+            raise ValueError("cannot consume negative tokens")
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if tokens > self._tokens:
+            return False
+        self._tokens -= tokens
+        return True
+
+    def available(self) -> float:
+        """Tokens currently available (refreshes the clock)."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        return self._tokens
+
+
+class KeyGenRateLimiter:
+    """Per-client token buckets keyed by an opaque client id.
+
+    Args:
+        chunks_per_second: sustained key-generation budget per client.
+        burst_chunks: instantaneous burst allowance (size one upload batch
+            generously; the paper's default batch is 48,000 chunks).
+        clock: injectable time source (tests use a fake clock).
+    """
+
+    def __init__(
+        self,
+        chunks_per_second: float = 50_000.0,
+        burst_chunks: float = 96_000.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.chunks_per_second = chunks_per_second
+        self.burst_chunks = burst_chunks
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.stats = {"allowed": 0, "rejected": 0}
+
+    def check(self, client_id: str, num_chunks: int) -> None:
+        """Charge a key-generation batch against the client's budget.
+
+        Raises:
+            RateLimitExceeded: when the client's bucket runs dry — the
+                online brute-force signature (many more requests than any
+                legitimate upload produces).
+        """
+        if num_chunks < 0:
+            raise ValueError("num_chunks cannot be negative")
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.chunks_per_second, self.burst_chunks, clock=self._clock
+                )
+                self._buckets[client_id] = bucket
+            if bucket.try_consume(num_chunks):
+                self.stats["allowed"] += num_chunks
+                return
+            self.stats["rejected"] += num_chunks
+        raise RateLimitExceeded(
+            f"client {client_id!r} exceeded the key-generation budget "
+            f"({self.chunks_per_second:.0f} chunks/s, "
+            f"burst {self.burst_chunks:.0f})"
+        )
+
+    def clients(self) -> int:
+        """Number of clients with active buckets."""
+        with self._lock:
+            return len(self._buckets)

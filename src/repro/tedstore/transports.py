@@ -1,0 +1,53 @@
+"""Transport interfaces between TEDStore entities.
+
+The client speaks to the key manager and the provider through these small
+interfaces, so the same client code runs over direct in-process calls
+(:mod:`repro.tedstore.inprocess`) or real TCP (:mod:`repro.tedstore.network`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+from repro.tedstore.messages import (
+    Chunks,
+    GetChunks,
+    GetRecipes,
+    KeyGenRequest,
+    KeyGenResponse,
+    PutChunks,
+    PutChunksResponse,
+    PutRecipes,
+)
+
+
+class KeyManagerTransport(Protocol):
+    """Client's view of the key manager."""
+
+    def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
+        """Submit a batch of short-hash vectors; receive key seeds."""
+        ...
+
+
+class ProviderTransport(Protocol):
+    """Client's view of the storage provider."""
+
+    def put_chunks(self, request: PutChunks) -> PutChunksResponse:
+        """Upload a batch of (fingerprint, ciphertext) pairs."""
+        ...
+
+    def get_chunks(self, request: GetChunks) -> Chunks:
+        """Download chunks by fingerprint."""
+        ...
+
+    def put_recipes(self, request: PutRecipes) -> None:
+        """Upload a file's sealed recipes."""
+        ...
+
+    def get_recipes(self, request: GetRecipes) -> PutRecipes:
+        """Download a file's sealed recipes."""
+        ...
+
+    def stats(self) -> List[Tuple[str, int]]:
+        """Fetch provider counters."""
+        ...

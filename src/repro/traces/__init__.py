@@ -1,0 +1,44 @@
+"""Trace substrate: snapshot model, formats, and synthetic generators."""
+
+from repro.traces.format import (
+    read_dataset,
+    read_snapshot,
+    read_snapshot_text,
+    write_dataset,
+    write_snapshot,
+    write_snapshot_text,
+)
+from repro.traces.model import ChunkRecord, Dataset, Snapshot, materialize_chunk
+from repro.traces.synthetic import (
+    SyntheticTraceGenerator,
+    TraceConfig,
+    generate_fsl_like,
+    generate_ms_like,
+)
+from repro.traces.workload import (
+    snapshot_to_chunks,
+    unique_bytes,
+    unique_chunk_stream,
+    unique_file,
+)
+
+__all__ = [
+    "read_dataset",
+    "read_snapshot",
+    "read_snapshot_text",
+    "write_dataset",
+    "write_snapshot",
+    "write_snapshot_text",
+    "ChunkRecord",
+    "Dataset",
+    "Snapshot",
+    "materialize_chunk",
+    "SyntheticTraceGenerator",
+    "TraceConfig",
+    "generate_fsl_like",
+    "generate_ms_like",
+    "snapshot_to_chunks",
+    "unique_bytes",
+    "unique_chunk_stream",
+    "unique_file",
+]

@@ -1,0 +1,131 @@
+"""Binary and text trace formats for snapshot fingerprint lists.
+
+Real FSL/MS traces ship as fingerprint lists; this module defines compact,
+self-describing equivalents so real traces can be converted in and synthetic
+traces can be persisted and replayed byte-identically.
+
+Binary layout::
+
+    [magic "REPROTRC"] [version u8] [fp_bytes u8]
+    [snapshot_id_len varint] [snapshot_id utf-8]
+    [record_count varint]
+    repeat: [fingerprint fp_bytes] [size varint]
+
+The text format is one ``<hex fingerprint>,<size>`` pair per line with a
+``# snapshot: <id>`` header — convenient for eyeballing and diffing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.traces.model import Dataset, Snapshot
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+_MAGIC = b"REPROTRC"
+_VERSION = 1
+
+
+def write_snapshot(path, snapshot: Snapshot) -> None:
+    """Write one snapshot in the binary trace format.
+
+    Raises:
+        ValueError: if fingerprints are not all the same length.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fp_lengths = {len(fp) for fp, _ in snapshot.records}
+    if len(fp_lengths) > 1:
+        raise ValueError("all fingerprints in a trace must share one length")
+    fp_bytes = fp_lengths.pop() if fp_lengths else 0
+    out = bytearray(_MAGIC)
+    out.append(_VERSION)
+    out.append(fp_bytes)
+    sid = snapshot.snapshot_id.encode("utf-8")
+    out.extend(encode_uvarint(len(sid)))
+    out.extend(sid)
+    out.extend(encode_uvarint(len(snapshot.records)))
+    for fingerprint, size in snapshot.records:
+        out.extend(fingerprint)
+        out.extend(encode_uvarint(size))
+    path.write_bytes(bytes(out))
+
+
+def read_snapshot(path) -> Snapshot:
+    """Read one snapshot from the binary trace format.
+
+    Raises:
+        ValueError: on bad magic, version, or truncation.
+    """
+    data = Path(path).read_bytes()
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ValueError(f"not a trace file: {path}")
+    pos = len(_MAGIC)
+    version = data[pos]
+    if version != _VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    fp_bytes = data[pos + 1]
+    pos += 2
+    sid_len, pos = decode_uvarint(data, pos)
+    snapshot_id = data[pos : pos + sid_len].decode("utf-8")
+    pos += sid_len
+    count, pos = decode_uvarint(data, pos)
+    snapshot = Snapshot(snapshot_id=snapshot_id)
+    for _ in range(count):
+        fingerprint = data[pos : pos + fp_bytes]
+        if len(fingerprint) != fp_bytes:
+            raise ValueError("truncated trace file")
+        pos += fp_bytes
+        size, pos = decode_uvarint(data, pos)
+        snapshot.records.append((fingerprint, size))
+    return snapshot
+
+
+def write_dataset(directory, dataset: Dataset) -> List[Path]:
+    """Write each snapshot of a dataset as ``<name>-<index>.trc``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, snapshot in enumerate(dataset.snapshots):
+        path = directory / f"{dataset.name}-{i:04d}.trc"
+        write_snapshot(path, snapshot)
+        paths.append(path)
+    return paths
+
+
+def read_dataset(directory, name: str) -> Dataset:
+    """Read back a dataset written by :func:`write_dataset`."""
+    directory = Path(directory)
+    paths = sorted(directory.glob(f"{name}-*.trc"))
+    if not paths:
+        raise FileNotFoundError(f"no trace files for dataset {name!r}")
+    return Dataset(name=name, snapshots=[read_snapshot(p) for p in paths])
+
+
+def write_snapshot_text(path, snapshot: Snapshot) -> None:
+    """Write the human-readable text form."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [f"# snapshot: {snapshot.snapshot_id}"]
+    lines.extend(
+        f"{fp.hex()},{size}" for fp, size in snapshot.records
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_snapshot_text(path) -> Snapshot:
+    """Read the human-readable text form."""
+    snapshot_id = Path(path).stem
+    snapshot = Snapshot(snapshot_id=snapshot_id)
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# snapshot:"):
+                snapshot.snapshot_id = line.split(":", 1)[1].strip()
+            continue
+        fp_hex, size_str = line.split(",")
+        snapshot.records.append((bytes.fromhex(fp_hex), int(size_str)))
+    return snapshot

@@ -1,0 +1,108 @@
+"""Trace data model: chunk records, snapshots, and datasets.
+
+The paper's evaluation datasets (FSL fslhomes and MS file-system snapshots)
+are ordered lists of truncated chunk fingerprints with chunk sizes — no
+content. A :class:`Snapshot` is exactly that; a :class:`Dataset` is a named
+series of snapshots. Chunk *content* can be materialized from a fingerprint
+on demand (:func:`materialize_chunk`) the same way the paper's trace replay
+does: "reconstruct each chunk by repeatedly writing its fingerprint to a
+chunk of the specified size" (§5.3.2), so identical fingerprints produce
+identical chunks and dedup behaviour is preserved end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+#: One chunk copy: (truncated fingerprint bytes, chunk size in bytes).
+ChunkRecord = Tuple[bytes, int]
+
+
+@dataclass
+class Snapshot:
+    """An ordered list of chunk records for one file-system snapshot."""
+
+    snapshot_id: str
+    records: List[ChunkRecord] = field(default_factory=list)
+
+    def add(self, fingerprint: bytes, size: int) -> None:
+        """Append one chunk record."""
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        self.records.append((fingerprint, size))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ChunkRecord]:
+        return iter(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Pre-deduplicated (logical) size."""
+        return sum(size for _, size in self.records)
+
+    @property
+    def unique_chunks(self) -> int:
+        """Number of distinct fingerprints."""
+        return len({fp for fp, _ in self.records})
+
+    @property
+    def unique_bytes(self) -> int:
+        """Post-deduplication (per-snapshot exact dedup) size."""
+        seen: Dict[bytes, int] = {}
+        for fp, size in self.records:
+            seen[fp] = size
+        return sum(seen.values())
+
+    def frequencies(self) -> List[int]:
+        """Duplicate counts per unique plaintext chunk."""
+        return list(Counter(fp for fp, _ in self.records).values())
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical/unique byte ratio for this snapshot alone."""
+        unique = self.unique_bytes
+        return self.total_bytes / unique if unique else 1.0
+
+
+@dataclass
+class Dataset:
+    """A named series of snapshots (e.g. one per backup date)."""
+
+    name: str
+    snapshots: List[Snapshot] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self.snapshots)
+
+    @property
+    def total_bytes(self) -> int:
+        """Pre-deduplicated size across all snapshots."""
+        return sum(s.total_bytes for s in self.snapshots)
+
+    @property
+    def per_snapshot_dedup_bytes(self) -> int:
+        """Size after deduplicating each snapshot independently (§5.1)."""
+        return sum(s.unique_bytes for s in self.snapshots)
+
+
+def materialize_chunk(fingerprint: bytes, size: int) -> bytes:
+    """Reconstruct chunk content from its fingerprint (paper §5.3.2).
+
+    Repeats the fingerprint to fill ``size`` bytes, so the same fingerprint
+    always yields the same content and distinct fingerprints yield distinct
+    content (collisions of truncated fingerprints notwithstanding, as in the
+    paper's replay).
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    if not fingerprint:
+        raise ValueError("fingerprint must be non-empty")
+    repeats = -(-size // len(fingerprint))
+    return (fingerprint * repeats)[:size]

@@ -1,0 +1,270 @@
+"""Synthetic file-system snapshot generator (the FSL/MS substitution).
+
+The paper's traces are unavailable here, so we generate snapshot series that
+reproduce the *properties the experiments depend on* (DESIGN.md §4):
+
+* **Intra-snapshot duplication** — each snapshot deduplicates on its own
+  (paper: FSL 2.0x, MS 2.9x), produced by file copies and a popular-chunk
+  pool (zero blocks, shared libraries) with Zipf-skewed popularity.
+* **Skewed frequency distributions** — what frequency analysis exploits and
+  what gives MLE its high KLD.
+* **Chunk locality** — duplicate chunks recur in runs (copied files), which
+  MinHash encryption's segment-similarity assumption needs.
+* **Snapshot evolution** — consecutive snapshots share most content
+  (unchanged files), with modifications, deletions, and growth; this drives
+  the cross-snapshot dedup and fragmentation behaviour of Experiment B.5.
+* **Per-dataset contrast** — FSL-like: per-user series, widely varying
+  snapshot sizes, larger chunks; MS-like: per-machine snapshots of similar
+  size, smaller chunks, heavier duplication (matching §5.1's description
+  and the chunks-per-MB difference Experiment B.4 observes).
+
+Generation is fully deterministic given the seed. A "file" is a list of
+chunk ids; the snapshot's record stream is the concatenation of its files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.traces.model import ChunkRecord, Dataset, Snapshot
+
+
+@dataclass
+class TraceConfig:
+    """Knobs of the synthetic snapshot model.
+
+    Attributes:
+        name: dataset name (also salts fingerprints).
+        fingerprint_bits: truncated fingerprint width (FSL 48, MS 40).
+        min_chunk / max_chunk: chunk size range; sizes are derived
+            deterministically from fingerprints so duplicates agree.
+        files_per_snapshot: initial file count per user/machine.
+        mean_file_chunks: geometric mean of file length in chunks.
+        file_copy_prob: probability a new file duplicates an existing file
+            (with a few edits) — the locality + duplication source.
+        popular_pool_size: size of the hot-chunk pool.
+        popular_prob: per-chunk probability of drawing from the pool.
+        zipf_s: popularity skew of the pool (higher = more skew).
+        modify_prob / delete_prob: per-file evolution rates per snapshot.
+        growth_files: new files added per snapshot step.
+        size_jitter: multiplicative spread of per-user snapshot sizes.
+    """
+
+    name: str
+    fingerprint_bits: int = 48
+    min_chunk: int = 4096
+    max_chunk: int = 16384
+    files_per_snapshot: int = 40
+    mean_file_chunks: int = 48
+    file_copy_prob: float = 0.30
+    popular_pool_size: int = 400
+    popular_prob: float = 0.10
+    zipf_s: float = 1.25
+    modify_prob: float = 0.20
+    delete_prob: float = 0.05
+    growth_files: int = 4
+    size_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fingerprint_bits % 8:
+            raise ValueError("fingerprint_bits must be a multiple of 8")
+        if not 0 < self.min_chunk <= self.max_chunk:
+            raise ValueError("require 0 < min_chunk <= max_chunk")
+
+
+class SyntheticTraceGenerator:
+    """Stateful generator for one user's (or machine's) snapshot series."""
+
+    def __init__(self, config: TraceConfig, user: str, seed: int) -> None:
+        self.config = config
+        self.user = user
+        self._rng = random.Random(
+            hashlib.sha256(
+                f"{config.name}/{user}/{seed}".encode()
+            ).digest()
+        )
+        self._next_chunk_id = 0
+        self._files: List[List[int]] = []
+        self._pool = [self._new_chunk_id() for _ in range(config.popular_pool_size)]
+        self._zipf_weights = self._build_zipf_weights()
+        jitter = config.size_jitter
+        self._scale = 1.0
+        if jitter > 0:
+            self._scale = self._rng.uniform(1.0 / (1.0 + jitter), 1.0 + jitter)
+
+    def _build_zipf_weights(self) -> List[float]:
+        s = self.config.zipf_s
+        weights = [1.0 / (rank**s) for rank in range(1, self.config.popular_pool_size + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        return cumulative
+
+    def _new_chunk_id(self) -> int:
+        cid = self._next_chunk_id
+        self._next_chunk_id += 1
+        return cid
+
+    def _draw_pool_chunk(self) -> int:
+        u = self._rng.random()
+        lo, hi = 0, len(self._zipf_weights) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._zipf_weights[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._pool[lo]
+
+    def _draw_chunk(self) -> int:
+        if self._rng.random() < self.config.popular_prob:
+            return self._draw_pool_chunk()
+        return self._new_chunk_id()
+
+    def _new_file(self) -> List[int]:
+        rng = self._rng
+        if self._files and rng.random() < self.config.file_copy_prob:
+            original = rng.choice(self._files)
+            copy = list(original)
+            # A handful of edits so copies are near- rather than exact
+            # duplicates about half the time.
+            for _ in range(rng.randrange(0, max(1, len(copy) // 16) + 1)):
+                if copy:
+                    copy[rng.randrange(len(copy))] = self._draw_chunk()
+            return copy
+        length = max(
+            1,
+            int(self._scale * rng.expovariate(1.0 / self.config.mean_file_chunks))
+            + 1,
+        )
+        return [self._draw_chunk() for _ in range(length)]
+
+    def _evolve(self) -> None:
+        rng = self._rng
+        survivors: List[List[int]] = []
+        for file in self._files:
+            roll = rng.random()
+            if roll < self.config.delete_prob:
+                continue
+            if roll < self.config.delete_prob + self.config.modify_prob:
+                file = list(file)
+                edits = max(1, len(file) // 10)
+                for _ in range(edits):
+                    position = rng.randrange(len(file))
+                    file[position] = self._draw_chunk()
+                if rng.random() < 0.5:  # appends model file growth
+                    file.extend(
+                        self._draw_chunk() for _ in range(rng.randrange(1, 6))
+                    )
+            survivors.append(file)
+        self._files = survivors
+        for _ in range(self.config.growth_files):
+            self._files.append(self._new_file())
+
+    def _fingerprint(self, chunk_id: int) -> bytes:
+        digest = hashlib.sha256(
+            f"{self.config.name}/{self.user}/{chunk_id}".encode()
+        ).digest()
+        return digest[: self.config.fingerprint_bits // 8]
+
+    def _size(self, fingerprint: bytes) -> int:
+        span = self.config.max_chunk - self.config.min_chunk
+        if span == 0:
+            return self.config.min_chunk
+        value = int.from_bytes(
+            hashlib.sha256(b"size" + fingerprint).digest()[:4], "big"
+        )
+        return self.config.min_chunk + value % span
+
+    def snapshot(self, snapshot_id: str) -> Snapshot:
+        """Generate the next snapshot in this user's series."""
+        if not self._files:
+            count = max(1, int(self.config.files_per_snapshot * self._scale))
+            # Append incrementally so later files can copy earlier ones —
+            # the source of intra-snapshot duplication and chunk locality.
+            for _ in range(count):
+                self._files.append(self._new_file())
+        else:
+            self._evolve()
+        records: List[ChunkRecord] = []
+        for file in self._files:
+            for chunk_id in file:
+                fingerprint = self._fingerprint(chunk_id)
+                records.append((fingerprint, self._size(fingerprint)))
+        return Snapshot(snapshot_id=snapshot_id, records=records)
+
+
+def generate_fsl_like(
+    users: int = 3,
+    snapshots_per_user: int = 4,
+    scale: float = 1.0,
+    seed: int = 2013,
+) -> Dataset:
+    """FSL-fslhomes-like dataset: per-user home-directory snapshot series.
+
+    Matches the paper's description (§5.1): 48-bit fingerprints, snapshot
+    sizes varying widely across users, per-snapshot dedup factor around 2x.
+    ``scale`` multiplies the per-snapshot chunk volume.
+    """
+    config = TraceConfig(
+        name="fsl",
+        fingerprint_bits=48,
+        min_chunk=4096,
+        max_chunk=16384,
+        files_per_snapshot=max(4, int(300 * scale)),
+        mean_file_chunks=48,
+        file_copy_prob=0.38,
+        popular_pool_size=4000,
+        popular_prob=0.30,
+        zipf_s=1.85,
+        size_jitter=2.5,
+    )
+    dataset = Dataset(name="fsl")
+    for user in range(users):
+        generator = SyntheticTraceGenerator(config, f"user{user:03d}", seed)
+        for step in range(snapshots_per_user):
+            dataset.snapshots.append(
+                generator.snapshot(f"fsl/user{user:03d}/snap{step:02d}")
+            )
+    return dataset
+
+
+def generate_ms_like(
+    machines: int = 10,
+    snapshots_per_machine: int = 1,
+    scale: float = 1.0,
+    seed: int = 2011,
+) -> Dataset:
+    """MS-like dataset: Windows machine snapshots of similar size.
+
+    Matches §5.1: 40-bit fingerprints, snapshots of roughly equal size,
+    heavier duplication (≈3x per-snapshot dedup), smaller average chunk
+    size than FSL (the Experiment B.4 contrast).
+    """
+    config = TraceConfig(
+        name="ms",
+        fingerprint_bits=40,
+        min_chunk=2048,
+        max_chunk=12288,
+        files_per_snapshot=max(4, int(300 * scale)),
+        mean_file_chunks=40,
+        file_copy_prob=0.55,
+        popular_pool_size=3000,
+        popular_prob=0.33,
+        zipf_s=1.95,
+        size_jitter=0.15,
+    )
+    dataset = Dataset(name="ms")
+    for machine in range(machines):
+        generator = SyntheticTraceGenerator(config, f"m{machine:03d}", seed)
+        for step in range(snapshots_per_machine):
+            dataset.snapshots.append(
+                generator.snapshot(f"ms/m{machine:03d}/snap{step:02d}")
+            )
+    return dataset

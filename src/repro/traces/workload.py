@@ -1,0 +1,63 @@
+"""Synthetic unique-data workloads for the performance experiments.
+
+Experiments B.1–B.3 upload files of globally unique chunks (no duplicates)
+to measure maximum achievable performance without deduplication effects
+(§5.3.1). The paper uses 2 GB files; we generate the same *kind* of data at
+a configurable (laptop-appropriate) size.
+
+Data is produced from a seeded SHA-256 counter stream rather than
+``os.urandom`` so workloads are reproducible run to run; the stream is
+incompressible and collision-free for chunking purposes, which is all the
+experiments need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Tuple
+
+from repro.traces.model import Snapshot, materialize_chunk
+
+
+def unique_bytes(size: int, seed: int = 0) -> bytes:
+    """Generate ``size`` deterministic pseudo-random bytes."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    blocks: List[bytes] = []
+    generated = 0
+    counter = 0
+    prefix = b"repro-workload" + seed.to_bytes(8, "big")
+    while generated < size:
+        block = hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+        blocks.append(block)
+        generated += len(block)
+        counter += 1
+    return b"".join(blocks)[:size]
+
+
+def unique_file(size: int, client_id: int = 0) -> bytes:
+    """A file of globally unique content, distinct per client.
+
+    Seeding by ``client_id`` guarantees different clients upload disjoint
+    content, as in Experiment B.3's concurrent-client setup.
+    """
+    return unique_bytes(size, seed=client_id + 1)
+
+
+def unique_chunk_stream(
+    count: int, chunk_size: int = 8192, seed: int = 0
+) -> Iterator[bytes]:
+    """Yield ``count`` unique chunks of ``chunk_size`` bytes each."""
+    for i in range(count):
+        yield unique_bytes(chunk_size, seed=(seed << 32) | (i + 1))
+
+
+def snapshot_to_chunks(snapshot: Snapshot) -> Iterator[Tuple[bytes, bytes]]:
+    """Materialize a trace snapshot into (fingerprint, content) pairs.
+
+    This is the paper's real-world replay path (§5.3.2): traces carry only
+    fingerprints and sizes, so content is reconstructed deterministically
+    from each fingerprint.
+    """
+    for fingerprint, size in snapshot.records:
+        yield fingerprint, materialize_chunk(fingerprint, size)

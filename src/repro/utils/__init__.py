@@ -1,0 +1,21 @@
+"""Small shared utilities: byte helpers, timers, and varint codecs."""
+
+from repro.utils.bytesutil import (
+    bytes_to_int,
+    ceil_div,
+    int_to_bytes,
+    xor_bytes,
+)
+from repro.utils.timer import StageTimer, Stopwatch
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+__all__ = [
+    "bytes_to_int",
+    "ceil_div",
+    "int_to_bytes",
+    "xor_bytes",
+    "StageTimer",
+    "Stopwatch",
+    "decode_uvarint",
+    "encode_uvarint",
+]

@@ -1,0 +1,35 @@
+"""Byte-level helpers used across the crypto and storage substrates."""
+
+from __future__ import annotations
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the XOR of two equal-length byte strings.
+
+    Raises:
+        ValueError: if the inputs differ in length.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} != {len(b)}")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Encode a non-negative integer as big-endian bytes of a fixed length."""
+    if value < 0:
+        raise ValueError("int_to_bytes requires a non-negative integer")
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode big-endian bytes into a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)

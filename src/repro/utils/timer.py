@@ -1,0 +1,74 @@
+"""Timing helpers for the performance experiments (Experiments B.1/B.4).
+
+The paper reports per-step compute-time breakdowns (Tables 1 and 2). The
+``StageTimer`` accumulates wall-clock time per named stage so the TEDStore
+client and key manager can attribute time to chunking, fingerprinting,
+hashing, key seeding, key derivation, encryption, and write steps.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch based on ``time.perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the stopwatch to zero."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Return seconds elapsed since construction or last restart."""
+        return time.perf_counter() - self._start
+
+
+class StageTimer:
+    """Accumulates elapsed time per named stage.
+
+    Example:
+        >>> timer = StageTimer()
+        >>> with timer.stage("encryption"):
+        ...     pass
+        >>> timer.total("encryption") >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager that attributes elapsed time to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add elapsed seconds to a stage."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        """Return accumulated seconds for a stage (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        """Return a copy of all accumulated stage totals."""
+        return dict(self._totals)
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's totals into this one."""
+        for name, seconds in other.totals().items():
+            self.add(name, seconds)
+
+    def reset(self) -> None:
+        """Drop all accumulated totals."""
+        self._totals.clear()

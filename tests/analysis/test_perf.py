@@ -1,0 +1,96 @@
+"""Experiment B.* drivers (smoke-scale: shapes, not absolute numbers)."""
+
+import random
+
+import pytest
+
+from repro.analysis.perf import (
+    UPLOAD_STEPS,
+    experiment_b1,
+    experiment_b3,
+    experiment_b4,
+    experiment_b5,
+    keygen_speed_blind_bls,
+    keygen_speed_blind_rsa,
+    keygen_speed_ted,
+)
+from repro.crypto import rsa
+
+
+class TestExperimentB1:
+    def test_breakdown_covers_all_steps(self):
+        breakdown = experiment_b1(file_bytes=64 << 10, profile_name="shactr")
+        per_mb = breakdown.ms_per_mb()
+        for step in UPLOAD_STEPS:
+            assert step in per_mb, step
+            assert per_mb[step] >= 0
+
+    def test_keygen_is_not_the_bottleneck(self):
+        # §5.3 headline: TED key generation is a small share of upload time.
+        breakdown = experiment_b1(file_bytes=128 << 10, profile_name="shactr")
+        assert breakdown.keygen_share < 0.5
+
+    def test_fast_vs_secure_profiles_run(self):
+        fast = experiment_b1(file_bytes=24 << 10, profile_name="fast")
+        secure = experiment_b1(file_bytes=24 << 10, profile_name="secure")
+        # Both produce full breakdowns; AES-128/MD5 is the cheaper profile.
+        assert fast.step_seconds["encryption"] <= \
+            secure.step_seconds["encryption"] * 1.5
+
+
+class TestExperimentB2:
+    def test_ted_beats_blind_protocols(self):
+        # Figure 7's ordering: TED >> blind RSA > blind BLS.
+        ted = keygen_speed_ted(num_chunks=300, batch_size=100)
+        key = rsa.generate_keypair(bits=1024, rng=random.Random(2))
+        blind_rsa = keygen_speed_blind_rsa(num_chunks=30, key=key)
+        blind_bls = keygen_speed_blind_bls(num_chunks=10)
+        assert ted > blind_rsa > 0
+        assert ted > blind_bls > 0
+        assert ted > 10 * blind_bls
+
+    def test_ted_keygen_over_tcp(self):
+        speed = keygen_speed_ted(num_chunks=200, batch_size=100, use_tcp=True)
+        assert speed > 0
+
+
+class TestExperimentB3:
+    @pytest.mark.parametrize("clients", [1, 2])
+    def test_multi_client_runs(self, clients):
+        result = experiment_b3(
+            clients, file_bytes=128 << 10, batch_size=200
+        )
+        assert result.clients == clients
+        assert result.upload_mb_s > 0
+        assert result.download_mb_s > 0
+
+
+class TestExperimentB4:
+    def test_trace_replay_breakdown(self, tmp_path, fsl_small):
+        snapshot = fsl_small.snapshots[0]
+        breakdown = experiment_b4(
+            snapshot,
+            directory=str(tmp_path),
+            batch_size=1000,
+            container_bytes=256 << 10,
+        )
+        per_mb = breakdown.ms_per_mb()
+        assert "chunking" not in per_mb  # trace replay skips chunking
+        for step in ("fingerprinting", "hashing", "key seeding",
+                     "key derivation", "encryption", "write"):
+            assert step in per_mb
+        assert breakdown.keygen_share < 0.5
+
+
+class TestExperimentB5:
+    def test_series_uploads_and_restores(self, tmp_path, snapshot_series):
+        points = experiment_b5(
+            snapshot_series[:3],
+            directory=str(tmp_path),
+            batch_size=1000,
+            container_bytes=128 << 10,
+        )
+        assert len(points) == 3
+        for point in points:
+            assert point.upload_mb_s > 0
+            assert point.download_mb_s > 0

@@ -1,0 +1,61 @@
+"""Unit tests for the performance-analysis data structures."""
+
+import pytest
+
+from repro.analysis.perf import UPLOAD_STEPS, Breakdown, keygen_speed_ted
+
+
+class TestBreakdown:
+    def _breakdown(self):
+        return Breakdown(
+            label="unit",
+            data_bytes=2 << 20,  # 2 MiB
+            step_seconds={
+                "chunking": 0.2,
+                "fingerprinting": 0.1,
+                "hashing": 0.05,
+                "key seeding": 0.03,
+                "key derivation": 0.02,
+                "encryption": 0.5,
+                "write": 0.1,
+            },
+        )
+
+    def test_ms_per_mb_normalization(self):
+        per_mb = self._breakdown().ms_per_mb()
+        # 0.2 s over 2 MiB → 100 ms/MiB.
+        assert per_mb["chunking"] == pytest.approx(100.0)
+        assert per_mb["encryption"] == pytest.approx(250.0)
+
+    def test_ms_per_mb_covers_only_present_steps(self):
+        breakdown = Breakdown(
+            label="partial", data_bytes=1 << 20,
+            step_seconds={"encryption": 1.0},
+        )
+        assert set(breakdown.ms_per_mb()) == {"encryption"}
+
+    def test_keygen_share(self):
+        breakdown = self._breakdown()
+        total = sum(breakdown.step_seconds.values())
+        expected = (0.05 + 0.03 + 0.02) / total
+        assert breakdown.keygen_share == pytest.approx(expected)
+
+    def test_keygen_share_empty(self):
+        assert Breakdown(label="e", data_bytes=1).keygen_share == 0.0
+
+    def test_upload_steps_order_matches_paper(self):
+        assert UPLOAD_STEPS == (
+            "chunking",
+            "fingerprinting",
+            "hashing",
+            "key seeding",
+            "key derivation",
+            "encryption",
+            "write",
+        )
+
+
+class TestKeygenSpeed:
+    def test_inprocess_speed_positive(self):
+        speed = keygen_speed_ted(num_chunks=100, batch_size=50)
+        assert speed > 0

@@ -1,0 +1,118 @@
+"""Security-analysis helpers (Eq. 9 sweeps and blowup recommendation)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.security import (
+    recommend_blowup,
+    scheme_comparison,
+    success_curve,
+)
+
+
+class TestSuccessCurve:
+    def test_monotone_in_samples(self):
+        curve = success_curve(0.3, [10, 100, 1000, 10_000])
+        probabilities = [point["success_probability"] for point in curve]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[0] >= 0.5
+        assert probabilities[-1] <= 1.0
+
+    def test_zero_kld_flat_at_half(self):
+        curve = success_curve(0.0, [1, 1000, 1_000_000])
+        assert all(
+            point["success_probability"] == pytest.approx(0.5)
+            for point in curve
+        )
+
+
+class TestSchemeComparison:
+    def test_paper_ratio(self):
+        # §3.6's example: MLE 1.72 vs TED 0.26 → 6.6x the samples.
+        rows = {
+            r["scheme"]: r
+            for r in scheme_comparison({"MLE": 1.72, "TED": 0.26})
+        }
+        assert rows["MLE"]["vs_baseline"] == pytest.approx(1.0)
+        assert rows["TED"]["vs_baseline"] == pytest.approx(
+            1.72 / 0.26, rel=1e-6
+        )
+
+    def test_ske_needs_infinite_samples(self):
+        rows = {
+            r["scheme"]: r
+            for r in scheme_comparison({"MLE": 1.0, "SKE": 0.0})
+        }
+        assert math.isinf(rows["SKE"]["samples_needed"])
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            scheme_comparison({"TED": 0.3}, baseline="MLE")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            scheme_comparison({"MLE": 0.0})
+
+
+class TestRecommendBlowup:
+    @pytest.fixture
+    def frequencies(self):
+        rng = random.Random(4)
+        freqs = [1] * 800
+        freqs += [rng.randrange(2, 40) for _ in range(150)]
+        freqs += [rng.randrange(100, 800) for _ in range(10)]
+        return freqs
+
+    def test_recommends_feasible_minimum(self, frequencies):
+        # Eq. 9 distinguishes with very few samples (the paper's point is
+        # the *ratio* between schemes, not absolute hardness), so the
+        # feasibility boundary lives at single-digit sample budgets.
+        rec = recommend_blowup(
+            frequencies, adversary_samples=2, tolerated_success=0.7
+        )
+        assert rec.feasible
+        assert rec.adversary_success <= 0.7
+        # The next-smaller candidate must NOT satisfy the tolerance —
+        # minimality check.
+        candidates = (1.01, 1.02, 1.05, 1.10, 1.15, 1.20, 1.30, 1.50, 2.00)
+        smaller = [b for b in candidates if b < rec.blowup_factor]
+        if smaller:
+            prev = recommend_blowup(
+                frequencies,
+                adversary_samples=2,
+                tolerated_success=0.7,
+                candidates=smaller,
+            )
+            assert not prev.feasible
+
+    def test_bigger_adversary_needs_bigger_b(self, frequencies):
+        small = recommend_blowup(frequencies, adversary_samples=1)
+        large = recommend_blowup(frequencies, adversary_samples=8)
+        assert large.blowup_factor >= small.blowup_factor
+
+    def test_infeasible_reported(self, frequencies):
+        rec = recommend_blowup(
+            frequencies,
+            adversary_samples=10**12,
+            tolerated_success=0.5,
+            candidates=(1.01, 1.05),
+        )
+        assert not rec.feasible
+        assert rec.blowup_factor == 1.05
+
+    def test_validation(self, frequencies):
+        with pytest.raises(ValueError):
+            recommend_blowup(frequencies, 100, candidates=())
+        with pytest.raises(ValueError):
+            recommend_blowup(frequencies, 100, tolerated_success=0.4)
+        with pytest.raises(ValueError):
+            recommend_blowup(frequencies, -1)
+
+    def test_tiny_adversary_allows_tiny_b(self, frequencies):
+        rec = recommend_blowup(
+            frequencies, adversary_samples=0, tolerated_success=0.6
+        )
+        assert rec.feasible
+        assert rec.blowup_factor == 1.01

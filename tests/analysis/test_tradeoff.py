@@ -1,0 +1,188 @@
+"""Experiment A.* drivers: the paper's qualitative shapes must hold."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    difference_rates,
+    evaluate_scheme,
+    experiment_a1,
+    experiment_a2,
+    experiment_a3,
+    experiment_a4,
+    experiment_a5,
+    make_bted,
+    make_fted,
+)
+from repro.core.schemes import MLEScheme
+
+
+@pytest.fixture(scope="module")
+def a1_rows(fsl_small):
+    return experiment_a1(
+        fsl_small, ts=(20, 5), bs=(1.05, 1.2), sketch_width=2**14
+    )
+
+
+class TestExperimentA1:
+    def test_row_schema(self, a1_rows):
+        for row in a1_rows:
+            assert {"scheme", "kld", "kld_ci95", "blowup", "blowup_ci95"} <= \
+                set(row)
+
+    def test_mle_exact_dedup_highest_kld(self, a1_rows):
+        by_name = {row["scheme"]: row for row in a1_rows}
+        mle = by_name["MLE"]
+        assert mle["blowup"] == pytest.approx(1.0)
+        assert mle["kld"] == max(row["kld"] for row in a1_rows)
+
+    def test_ske_zero_kld_highest_blowup(self, a1_rows):
+        by_name = {row["scheme"]: row for row in a1_rows}
+        ske = by_name["SKE"]
+        assert ske["kld"] == pytest.approx(0.0, abs=1e-9)
+        assert ske["blowup"] == max(row["blowup"] for row in a1_rows)
+
+    def test_ted_dominates_minhash(self, a1_rows):
+        # The paper's headline: TED beats MinHash on both axes. Our
+        # synthetic traces have weaker chunk locality than real FSL, so
+        # MinHash lands at a lower KLD than the paper's (it pays more
+        # storage for it); we assert the robust form: every TED variant
+        # stores less than MinHash, and the tuned FTED variants also leak
+        # less, i.e. MinHash is Pareto-dominated.
+        by_name = {row["scheme"]: row for row in a1_rows}
+        minhash = by_name["MinHash"]
+        for name, row in by_name.items():
+            if name.startswith(("BTED", "FTED")):
+                assert row["blowup"] < minhash["blowup"], name
+        fted_best = by_name["FTED(b=1.2)"]
+        assert fted_best["kld"] < minhash["kld"]
+        assert fted_best["blowup"] < minhash["blowup"]
+
+    def test_fted_blowup_tracks_b(self, a1_rows):
+        by_name = {row["scheme"]: row for row in a1_rows}
+        assert by_name["FTED(b=1.05)"]["blowup"] <= 1.05 + 0.05
+        assert by_name["FTED(b=1.2)"]["blowup"] <= 1.2 + 0.05
+
+    def test_fted_kld_decreases_with_b(self, a1_rows):
+        by_name = {row["scheme"]: row for row in a1_rows}
+        assert by_name["FTED(b=1.2)"]["kld"] < by_name["FTED(b=1.05)"]["kld"]
+
+    def test_bted_kld_increases_with_t(self, a1_rows):
+        by_name = {row["scheme"]: row for row in a1_rows}
+        assert by_name["BTED(t=20)"]["kld"] >= by_name["BTED(t=5)"]["kld"]
+
+    def test_fted_reduces_mle_kld_substantially(self, a1_rows):
+        # Paper: up to 84.7% reduction at b = 1.2; require at least half.
+        by_name = {row["scheme"]: row for row in a1_rows}
+        assert by_name["FTED(b=1.2)"]["kld"] < 0.5 * by_name["MLE"]["kld"]
+
+
+class TestExperimentA2:
+    def test_smaller_width_more_overestimation(self, fsl_small):
+        rows = experiment_a2(
+            fsl_small, widths=(2**8, 2**14), bs=(1.2,), seed=3
+        )
+        narrow = next(r for r in rows if r["w"] == 2**8)
+        wide = next(r for r in rows if r["w"] == 2**14)
+        # Figure 3: smaller w → larger t → less blowup, more KLD.
+        assert narrow["blowup"] <= wide["blowup"] + 1e-9
+        assert narrow["kld"] >= wide["kld"] - 1e-9
+
+    def test_conservative_ablation_runs(self, fsl_small):
+        rows = experiment_a2(
+            fsl_small, widths=(2**10,), bs=(1.1,), conservative=True
+        )
+        assert len(rows) == 1
+
+
+class TestExperimentA3:
+    def test_probabilistic_vs_deterministic(self, fsl_small):
+        result = experiment_a3(fsl_small, bs=(1.05, 1.2), sketch_width=2**14)
+        for row in result["comparison"]:
+            # Figure 4: probabilistic keygen trades slightly more KLD for
+            # slightly less blowup.
+            assert row["kld_probabilistic"] >= row["kld_deterministic"] * 0.8
+            assert row["blowup_probabilistic"] <= \
+                row["blowup_deterministic"] + 0.02
+
+    def test_difference_rates_increase_with_frequency(self, fsl_small):
+        rates = difference_rates(
+            lambda seed: make_fted(1.05, 2**14, seed=seed),
+            fsl_small.snapshots[0],
+            percentiles=(20, 100),
+        )
+        # Figure 4(e,f): high-frequency chunks differ more across runs.
+        # (Magnitudes are distribution-dependent — see EXPERIMENTS.md A.3.)
+        assert rates[20] >= rates[100]
+        assert rates[20] > 0
+
+    def test_deterministic_difference_rate_zero(self, fsl_small):
+        rates = difference_rates(
+            lambda seed: make_fted(1.05, 2**14, seed=7, probabilistic=False),
+            fsl_small.snapshots[0],
+            percentiles=(100,),
+        )
+        assert rates[100] == 0.0
+
+
+class TestAccumulatedDifferenceRates:
+    def test_accumulation_raises_difference_rates(self, snapshot_series):
+        from repro.analysis.tradeoff import accumulated_difference_rates
+
+        accumulated = accumulated_difference_rates(
+            snapshot_series, b=1.05, sketch_width=2**14,
+            percentiles=(20, 100),
+        )
+        per_snapshot = difference_rates(
+            lambda seed: make_fted(1.05, 2**14, seed=seed),
+            snapshot_series[-1],
+            percentiles=(20, 100),
+        )
+        # A key manager that saw the whole series spreads duplicates much
+        # more aggressively than a per-snapshot one (EXPERIMENTS.md A.3).
+        assert accumulated[20] >= per_snapshot[20]
+        assert accumulated[20] > 0.1
+
+    def test_requires_a_series(self, snapshot_small):
+        from repro.analysis.tradeoff import accumulated_difference_rates
+
+        with pytest.raises(ValueError):
+            accumulated_difference_rates([snapshot_small])
+
+
+class TestExperimentA4:
+    def test_fted_controls_variance(self, fsl_small):
+        result = experiment_a4(fsl_small, t=5, b=1.05, sketch_width=2**14)
+        bted_spread = max(result["bted_blowup"]) - min(result["bted_blowup"])
+        fted_spread = max(result["fted_blowup"]) - min(result["fted_blowup"])
+        # Figure 5: FTED pins blowup near b; BTED varies across snapshots.
+        assert fted_spread <= bted_spread + 1e-9
+        assert max(result["fted_blowup"]) <= 1.05 + 0.06
+
+    def test_series_sorted(self, fsl_small):
+        result = experiment_a4(fsl_small, sketch_width=2**14)
+        for key, series in result.items():
+            assert series == sorted(series), key
+
+
+class TestExperimentA5:
+    def test_batching_rows(self, fsl_small):
+        rows = experiment_a5(
+            fsl_small,
+            bs=(1.05,),
+            batch_sizes=(None, 500),
+            sketch_width=2**14,
+        )
+        nil = next(r for r in rows if r["batch_size"] == 0)
+        batched = next(r for r in rows if r["batch_size"] == 500)
+        # Figure 6: batching costs a little extra blowup (t starts at 1).
+        assert batched["blowup"] >= nil["blowup"] - 0.02
+
+
+class TestEvaluateScheme:
+    def test_summary_statistics(self, fsl_small):
+        summary = evaluate_scheme(MLEScheme(), fsl_small)
+        assert len(summary.klds) == len(fsl_small)
+        assert summary.blowup_mean == pytest.approx(1.0)
+        assert summary.kld_ci >= 0
+        row = summary.as_row()
+        assert row["scheme"] == "MLE"

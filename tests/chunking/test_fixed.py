@@ -1,0 +1,49 @@
+"""Fixed-size chunking and trace-replay splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chunking.fixed import fixed_chunks, split_by_sizes
+
+
+class TestFixedChunks:
+    def test_even_split(self):
+        chunks = list(fixed_chunks(b"abcdefgh", 4))
+        assert chunks == [b"abcd", b"efgh"]
+
+    def test_trailing_partial_chunk(self):
+        chunks = list(fixed_chunks(b"abcdefghij", 4))
+        assert chunks == [b"abcd", b"efgh", b"ij"]
+
+    def test_empty(self):
+        assert list(fixed_chunks(b"", 4)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(fixed_chunks(b"abc", 0))
+
+    @given(st.binary(max_size=500), st.integers(1, 64))
+    def test_lossless(self, data, size):
+        assert b"".join(fixed_chunks(data, size)) == data
+
+
+class TestSplitBySizes:
+    def test_exact_split(self):
+        assert split_by_sizes(b"abcdef", [2, 3, 1]) == [b"ab", b"cde", b"f"]
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            split_by_sizes(b"abc", [2, 2])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            split_by_sizes(b"abc", [3, 0])
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=20))
+    def test_roundtrip(self, sizes):
+        data = bytes(range(256))[: sum(sizes)]
+        if len(data) < sum(sizes):
+            data = (data * ((sum(sizes) // max(1, len(data))) + 1))[: sum(sizes)]
+        parts = split_by_sizes(data, sizes)
+        assert [len(p) for p in parts] == sizes
+        assert b"".join(parts) == data

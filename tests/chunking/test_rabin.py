@@ -1,0 +1,104 @@
+"""Rabin fingerprinting: GF(2) math and the rolling-window property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.rabin import (
+    RabinFingerprint,
+    find_irreducible,
+    is_irreducible,
+)
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize(
+        "poly",
+        [
+            0b111,  # x^2 + x + 1
+            0b1011,  # x^3 + x + 1
+            0b1101,  # x^3 + x^2 + 1
+            0b10011,  # x^4 + x + 1
+            0x11B,  # the AES polynomial, x^8+x^4+x^3+x+1
+        ],
+    )
+    def test_known_irreducible(self, poly):
+        assert is_irreducible(poly)
+
+    @pytest.mark.parametrize(
+        "poly",
+        [
+            0b101,  # x^2 + 1 = (x+1)^2
+            0b110,  # x^2 + x = x(x+1)
+            0b1001,  # x^3 + 1 = (x+1)(x^2+x+1)
+            0b1111,  # x^3+x^2+x+1 = (x+1)^3? divisible by x+1 (even weight)
+        ],
+    )
+    def test_known_reducible(self, poly):
+        assert not is_irreducible(poly)
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(17) == find_irreducible(17)
+
+    def test_find_irreducible_degree(self):
+        for degree in (8, 16, 31, 53):
+            poly = find_irreducible(degree)
+            assert poly.bit_length() - 1 == degree
+            assert is_irreducible(poly)
+
+    def test_seed_varies_polynomial(self):
+        assert find_irreducible(24, seed=1) != find_irreducible(24, seed=2)
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError):
+            find_irreducible(1)
+
+
+class TestRolling:
+    def test_rolling_matches_reference(self):
+        rf = RabinFingerprint(window_size=16)
+        data = bytes(range(200))
+        for byte in data:
+            rf.roll(byte)
+        assert rf.fingerprint == RabinFingerprint.of(
+            data[-16:], rf.polynomial
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=16, max_size=120))
+    def test_rolling_matches_reference_property(self, data):
+        rf = RabinFingerprint(window_size=16)
+        for byte in data:
+            rf.roll(byte)
+        assert rf.fingerprint == RabinFingerprint.of(data[-16:], rf.polynomial)
+
+    def test_window_independence(self):
+        # The fingerprint depends only on the last window_size bytes.
+        rf1 = RabinFingerprint(window_size=8)
+        rf2 = RabinFingerprint(window_size=8)
+        tail = b"same-tail"[:8]
+        for byte in b"prefix-one-" + tail:
+            rf1.roll(byte)
+        for byte in b"another-longer-prefix-" + tail:
+            rf2.roll(byte)
+        assert rf1.fingerprint == rf2.fingerprint
+
+    def test_reset(self):
+        rf = RabinFingerprint(window_size=8)
+        for byte in b"some data":
+            rf.roll(byte)
+        rf.reset()
+        assert rf.fingerprint == 0
+        for byte in b"abcdefgh":
+            rf.roll(byte)
+        fresh = RabinFingerprint(window_size=8)
+        for byte in b"abcdefgh":
+            fresh.roll(byte)
+        assert rf.fingerprint == fresh.fingerprint
+
+    def test_fingerprint_bounded_by_degree(self):
+        rf = RabinFingerprint()
+        for byte in bytes(range(256)):
+            assert rf.roll(byte) < (1 << rf.degree)
+
+    def test_default_degree_53(self):
+        assert RabinFingerprint().degree == 53

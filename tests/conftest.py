@@ -1,0 +1,58 @@
+"""Shared fixtures: small synthetic datasets and tuned-down components.
+
+Everything here is scaled for test speed (snapshots of a few thousand
+chunks, kilobyte containers) while keeping the statistical properties the
+assertions rely on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.traces.synthetic import (
+    TraceConfig,
+    SyntheticTraceGenerator,
+    generate_fsl_like,
+    generate_ms_like,
+)
+
+
+@pytest.fixture(scope="session")
+def fsl_small():
+    """Three FSL-like snapshots (~2-4k chunks each)."""
+    return generate_fsl_like(users=3, snapshots_per_user=1, scale=0.15, seed=42)
+
+
+@pytest.fixture(scope="session")
+def ms_small():
+    """Three MS-like snapshots (~2-4k chunks each)."""
+    return generate_ms_like(machines=3, scale=0.15, seed=42)
+
+
+@pytest.fixture(scope="session")
+def snapshot_small(fsl_small):
+    """One FSL-like snapshot with meaningful duplication."""
+    return fsl_small.snapshots[0]
+
+
+@pytest.fixture(scope="session")
+def snapshot_series():
+    """A 5-snapshot evolution series from one user (cross-snapshot overlap)."""
+    config = TraceConfig(
+        name="series",
+        files_per_snapshot=30,
+        file_copy_prob=0.4,
+        popular_pool_size=300,
+        popular_prob=0.2,
+        zipf_s=1.5,
+    )
+    generator = SyntheticTraceGenerator(config, "u0", seed=7)
+    return [generator.snapshot(f"snap{i:02d}") for i in range(5)]
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG per test."""
+    return random.Random(1234)

@@ -1,0 +1,228 @@
+"""The scheme zoo: per-scheme security/efficiency behaviour."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.schemes import (
+    MLEScheme,
+    MinHashScheme,
+    SKEScheme,
+    TedScheme,
+)
+from repro.core.ted import TedKeyManager
+
+_W = 2**12
+
+
+def _ted(t=None, b=None, seed=1, probabilistic=True, batch_size=None):
+    return TedScheme(
+        TedKeyManager(
+            secret=b"zoo-secret",
+            t=t,
+            blowup_factor=b,
+            batch_size=batch_size,
+            sketch_width=_W,
+            probabilistic=probabilistic,
+            rng=random.Random(seed),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def records():
+    # A realistic backup-like stream: mostly unique chunks, a Zipf-skewed
+    # popular head, and locality runs from duplicated files — the frequency
+    # profile the paper's trade-off behaviour depends on.
+    rng = random.Random(3)
+    stream = []
+    unique_id = 0
+    files = []
+    for _ in range(40):
+        if files and rng.random() < 0.45:
+            file = list(rng.choice(files))
+            for _ in range(2):
+                file[rng.randrange(len(file))] = "u-%d" % unique_id
+                unique_id += 1
+        else:
+            file = []
+            for _ in range(40):
+                if rng.random() < 0.25:
+                    rank = min(int(rng.paretovariate(1.2)), 50)
+                    file.append("p-%d" % rank)
+                else:
+                    file.append("u-%d" % unique_id)
+                    unique_id += 1
+        files.append(file)
+        stream.extend(file)
+    return [
+        (fp.encode(), 4096 + (sum(fp.encode()) % 4096)) for fp in stream
+    ]
+
+
+class TestMLE:
+    def test_exact_dedup(self, records):
+        output = MLEScheme().process(records)
+        assert output.blowup() == 1.0
+        assert output.ciphertext_unique == output.plaintext_unique
+
+    def test_preserves_frequency_distribution(self, records):
+        output = MLEScheme().process(records)
+        plain = sorted(Counter(fp for fp, _ in records).values())
+        cipher = sorted(output.ciphertext_frequencies())
+        assert plain == cipher
+
+    def test_deterministic_across_runs(self, records):
+        a = MLEScheme().process(records)
+        b = MLEScheme().process(records)
+        assert a.ciphertext_ids == b.ciphertext_ids
+
+    def test_secret_changes_ciphertexts(self, records):
+        a = MLEScheme(secret=b"s1").process(records)
+        b = MLEScheme(secret=b"s2").process(records)
+        assert a.ciphertext_ids != b.ciphertext_ids
+
+
+class TestCE:
+    def test_exact_dedup_like_mle(self, records):
+        from repro.core.schemes import CEScheme
+
+        output = CEScheme().process(records)
+        assert output.blowup() == 1.0
+        assert sorted(output.ciphertext_frequencies()) == sorted(
+            MLEScheme().process(records).ciphertext_frequencies()
+        )
+
+    def test_offline_bruteforce_surface(self, records):
+        # Anyone who can guess a chunk can derive its CE key offline —
+        # the §2.1 weakness server-aided MLE fixes.
+        from repro.core.schemes import CEScheme
+
+        scheme = CEScheme()
+        fingerprint = records[0][0]
+        attacker_key = CEScheme.offline_bruteforce_key(fingerprint)
+        assert attacker_key == scheme.key_for(records[0], 0)
+
+    def test_mle_secret_blocks_offline_bruteforce(self, records):
+        # The server-aided variant's keys cannot be recomputed from the
+        # chunk alone.
+        from repro.core.schemes import CEScheme
+
+        fingerprint = records[0][0]
+        assert MLEScheme().key_for(records[0], 0) != \
+            CEScheme.offline_bruteforce_key(fingerprint)
+
+
+class TestSKE:
+    def test_no_dedup_at_all(self, records):
+        output = SKEScheme(rng=random.Random(1)).process(records)
+        assert output.ciphertext_unique == len(records)
+
+    def test_zero_kld(self, records):
+        output = SKEScheme(rng=random.Random(1)).process(records)
+        assert output.kld() == pytest.approx(0.0)
+
+    def test_blowup_equals_dedup_factor(self, records):
+        output = SKEScheme(rng=random.Random(1)).process(records)
+        expected = len(records) / len({fp for fp, _ in records})
+        assert output.blowup() == pytest.approx(expected)
+
+
+class TestMinHash:
+    def test_intermediate_behaviour(self, records):
+        mle = MLEScheme().process(records)
+        minhash = MinHashScheme(
+            min_segment=8 << 10, avg_segment=16 << 10, max_segment=32 << 10
+        ).process(records)
+        # Some dedup lost, some KLD gained back.
+        assert minhash.blowup() >= 1.0
+        assert minhash.kld() <= mle.kld() + 1e-9
+
+    def test_deterministic(self, records):
+        scheme = MinHashScheme(
+            min_segment=8 << 10, avg_segment=16 << 10, max_segment=32 << 10
+        )
+        assert scheme.process(records).ciphertext_ids == scheme.process(
+            records
+        ).ciphertext_ids
+
+    def test_segment_boundaries_respect_max(self, records):
+        scheme = MinHashScheme(
+            min_segment=4 << 10, avg_segment=8 << 10, max_segment=16 << 10
+        )
+        boundaries = scheme._segment_boundaries(records)
+        assert boundaries[-1] == len(records)
+        start = 0
+        for end in boundaries:
+            segment_bytes = sum(size for _, size in records[start:end])
+            # max_segment plus at most one chunk of overshoot.
+            assert segment_bytes <= (16 << 10) + 16384
+            start = end
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinHashScheme(min_segment=10, avg_segment=5, max_segment=20)
+
+
+class TestTed:
+    def test_bted_blowup_between_mle_and_ske(self, records):
+        output = _ted(t=5).process(records)
+        ske_blowup = len(records) / len({fp for fp, _ in records})
+        assert 1.0 <= output.blowup() <= ske_blowup
+
+    def test_larger_t_less_blowup(self, records):
+        loose = _ted(t=20).process(records).blowup()
+        tight = _ted(t=2).process(records).blowup()
+        assert tight >= loose
+
+    def test_larger_t_more_kld(self, records):
+        loose = _ted(t=20).process(records).kld()
+        tight = _ted(t=2).process(records).kld()
+        assert loose >= tight
+
+    def test_fted_blowup_tracks_b(self, records):
+        for b in (1.05, 1.2):
+            output = _ted(b=b).process(records)
+            assert output.blowup() <= b + 0.05
+
+    def test_fted_reduces_kld_vs_mle(self, records):
+        mle = MLEScheme().process(records)
+        fted = _ted(b=1.2).process(records)
+        assert fted.kld() < mle.kld()
+
+    def test_deterministic_variant_reproducible(self, records):
+        a = _ted(b=1.1, probabilistic=False, seed=1).process(records)
+        b = _ted(b=1.1, probabilistic=False, seed=999).process(records)
+        assert a.ciphertext_ids == b.ciphertext_ids
+
+    def test_probabilistic_variant_differs_across_runs(self, records):
+        a = _ted(b=1.1, seed=1).process(records)
+        b = _ted(b=1.1, seed=2).process(records)
+        assert a.ciphertext_ids != b.ciphertext_ids
+
+    def test_ciphertext_count_never_below_plaintext(self, records):
+        output = _ted(b=1.05).process(records)
+        assert output.ciphertext_unique >= output.plaintext_unique
+
+    def test_batched_fted_runs(self, records):
+        output = _ted(b=1.1, batch_size=50).process(records)
+        assert output.blowup() >= 1.0
+
+    def test_scheme_names(self):
+        assert _ted(t=7).name == "BTED(t=7)"
+        assert _ted(b=1.15).name == "FTED(b=1.15)"
+
+    def test_total_copies_preserved(self, records):
+        output = _ted(b=1.1).process(records)
+        assert sum(output.ciphertext_frequencies()) == len(records)
+
+
+class TestSchemeOutput:
+    def test_byte_blowup_consistent_with_sizes(self, records):
+        output = MLEScheme().process(records)
+        assert output.blowup_bytes() == pytest.approx(1.0)
+
+    def test_total_bytes(self, records):
+        output = MLEScheme().process(records)
+        assert output.total_bytes == sum(size for _, size in records)

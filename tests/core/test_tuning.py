@@ -1,0 +1,156 @@
+"""Automated parameter configuration (Eqs. 6-8) — closed form vs numeric."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import minimize
+
+from repro.core.kld import kld_from_frequencies
+from repro.core.tuning import (
+    TuningSolution,
+    configure_t,
+    solve,
+    target_unique_ciphertexts,
+)
+
+
+def _numeric_optimum(freqs, b):
+    """Direct SLSQP solution of the relaxed Eq. 6 problem."""
+    freqs = sorted(freqs)
+    n = len(freqs)
+    total = sum(freqs)
+    n_star = max(n, min(int(round(n * b)), total))
+
+    def kld(f):
+        p = f / total
+        terms = np.where(p > 1e-15, p * np.log(np.maximum(p, 1e-15)), 0.0)
+        return math.log(n_star) + terms.sum()
+
+    bounds = [(0, freqs[i]) for i in range(n)] + [(0, total)] * (n_star - n)
+    x0 = np.minimum(np.full(n_star, total / n_star), [b_[1] for b_ in bounds])
+    x0 *= total / x0.sum()
+    x0 = np.minimum(x0, [b_[1] for b_ in bounds])
+    result = minimize(
+        kld,
+        x0,
+        bounds=bounds,
+        constraints=[{"type": "eq", "fun": lambda f: f.sum() - total}],
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    return result.fun
+
+
+class TestTargetUniqueCiphertexts:
+    def test_basic_scaling(self):
+        assert target_unique_ciphertexts(100, 1000, 1.2) == 120
+
+    def test_clamped_to_total_copies(self):
+        # Cannot have more unique ciphertexts than chunk copies — the FSL
+        # saturation effect in Experiment A.1.
+        assert target_unique_ciphertexts(100, 110, 1.5) == 110
+
+    def test_never_below_n(self):
+        assert target_unique_ciphertexts(100, 1000, 1.0) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            target_unique_ciphertexts(0, 10, 1.1)
+        with pytest.raises(ValueError):
+            target_unique_ciphertexts(10, 5, 1.1)
+        with pytest.raises(ValueError):
+            target_unique_ciphertexts(10, 20, 0.9)
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_numeric_optimum(self, seed):
+        rng = random.Random(seed)
+        freqs = [rng.randrange(1, 60) for _ in range(rng.randrange(3, 12))]
+        b = 1.0 + rng.random() * 0.6
+        closed = solve(freqs, b).predicted_kld
+        numeric = _numeric_optimum(freqs, b)
+        assert closed == pytest.approx(numeric, abs=1e-5)
+
+    def test_solution_satisfies_constraints(self):
+        freqs = [1, 2, 3, 10, 50]
+        solution = solve(freqs, 1.3)
+        optimal = solution.optimal_frequencies
+        assert len(optimal) == solution.n_star
+        assert sum(optimal) == pytest.approx(sum(freqs))
+        for original, capped in zip(sorted(freqs)[: solution.m], optimal):
+            assert capped == original
+
+    def test_optimal_frequencies_sorted(self):
+        solution = solve([1, 5, 9, 30, 100], 1.2)
+        optimal = solution.optimal_frequencies
+        assert optimal == sorted(optimal)
+
+    def test_t_is_ceiling_of_tail_share(self):
+        freqs = [1, 1, 1, 9]  # total 12
+        solution = solve(freqs, 1.25)  # n* = 5
+        # m = 3 (the three 1s fit), tail share = 9 / (5 - 3) = 4.5 → t = 5.
+        assert solution.m == 3
+        assert solution.t == 5
+
+    def test_b_one_reduces_to_mle_like_cap(self):
+        freqs = [1, 2, 3, 100]
+        solution = solve(freqs, 1.0)
+        # n* = n: the cap is the maximum frequency — nothing is split.
+        assert solution.n_star == len(freqs)
+        assert solution.t == 100
+
+    def test_all_unique_chunks(self):
+        solution = solve([1] * 50, 1.2)
+        assert solution.t == 1
+        assert solution.n_star == 50  # clamped: no duplicates to split
+
+    def test_uniform_duplicates(self):
+        solution = solve([4] * 10, 1.5)
+        assert solution.n_star == 15
+        # Every chunk capped at the even share 40/15 → t = 3.
+        assert solution.t == 3
+        assert solution.m == 0
+
+    def test_monotone_kld_in_b(self):
+        rng = random.Random(5)
+        freqs = [rng.randrange(1, 100) for _ in range(50)]
+        klds = [solve(freqs, b).predicted_kld for b in (1.0, 1.1, 1.3, 1.6)]
+        assert klds == sorted(klds, reverse=True)
+        assert klds[0] > klds[-1]  # strictly improves with budget
+
+    def test_t_non_increasing_in_b(self):
+        rng = random.Random(6)
+        freqs = [rng.randrange(1, 100) for _ in range(50)]
+        ts = [solve(freqs, b).t for b in (1.0, 1.1, 1.3, 1.6, 2.0)]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_configure_t_wrapper(self):
+        freqs = [1, 2, 3, 10]
+        assert configure_t(freqs, 1.2) == solve(freqs, 1.2).t
+
+    def test_t_at_least_one(self):
+        assert solve([1], 1.0).t >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve([], 1.2)
+        with pytest.raises(ValueError):
+            solve([0, 1], 1.2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(1, 500), min_size=1, max_size=60),
+        st.floats(1.0, 3.0),
+    )
+    def test_invariants_property(self, freqs, b):
+        solution = solve(freqs, b)
+        assert solution.t >= 1
+        assert len(freqs) <= solution.n_star <= sum(freqs)
+        assert sum(solution.optimal_frequencies) == pytest.approx(sum(freqs))
+        assert solution.predicted_kld >= -1e-9
+        # Predicted KLD can never exceed the uncapped (MLE) KLD.
+        assert solution.predicted_kld <= kld_from_frequencies(freqs) + 1e-9

@@ -1,0 +1,78 @@
+"""AES block cipher against FIPS-197 vectors plus structural properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+_FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize(
+        "key_len,expected",
+        [
+            (16, "69c4e0d86a7b0430d8cdb78070b4c55a"),
+            (24, "dda97ca4864cdfe06eaf70a0ec0d7191"),
+            (32, "8ea2b7ca516745bfeafc49904b496089"),
+        ],
+    )
+    def test_fips197_appendix_c(self, key_len, expected):
+        cipher = AES(bytes(range(key_len)))
+        assert cipher.encrypt_block(_FIPS_PLAINTEXT).hex() == expected
+
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_fips197_decrypt(self, key_len):
+        cipher = AES(bytes(range(key_len)))
+        ct = cipher.encrypt_block(_FIPS_PLAINTEXT)
+        assert cipher.decrypt_block(ct) == _FIPS_PLAINTEXT
+
+    def test_aes128_zero_key_known_answer(self):
+        # NIST SP 800-38A / common KAT: AES-128(0^128, 0^128).
+        cipher = AES(b"\x00" * 16)
+        assert (
+            cipher.encrypt_block(b"\x00" * 16).hex()
+            == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+        )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+    def test_round_counts(self, key_len, rounds):
+        assert AES(bytes(key_len)).rounds == rounds
+
+    @pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 33, 64])
+    def test_rejects_bad_key_lengths(self, bad_len):
+        with pytest.raises(ValueError):
+            AES(bytes(bad_len))
+
+    @pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+    def test_rejects_bad_block_lengths(self, bad_len):
+        cipher = AES(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(bad_len))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(bad_len))
+
+    def test_encryption_is_a_permutation(self):
+        cipher = AES(b"k" * 16)
+        blocks = {bytes([i]) + bytes(15) for i in range(64)}
+        images = {cipher.encrypt_block(b) for b in blocks}
+        assert len(images) == len(blocks)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.sampled_from([16, 24, 32]),
+        st.data(),
+    )
+    def test_roundtrip_property(self, block, key_len, data):
+        key = data.draw(st.binary(min_size=key_len, max_size=key_len))
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(BLOCK_SIZE)
+        assert AES(b"a" * 16).encrypt_block(block) != AES(
+            b"b" * 16
+        ).encrypt_block(block)

@@ -1,0 +1,93 @@
+"""Blind key-generation protocols: server-aided MLE contract checks."""
+
+import random
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.blindsig import (
+    BlindBLSClient,
+    BlindBLSKeyServer,
+    BlindRSAClient,
+    BlindRSAKeyServer,
+)
+
+_FPS = [b"fp-%d" % i for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def rsa_server():
+    key = rsa.generate_keypair(bits=1024, rng=random.Random(11))
+    return BlindRSAKeyServer(key=key)
+
+
+@pytest.fixture(scope="module")
+def bls_server():
+    return BlindBLSKeyServer(rng=random.Random(12))
+
+
+class TestBlindRSAProtocol:
+    def test_keys_deterministic_despite_blinding(self, rsa_server):
+        client = BlindRSAClient(rsa_server.public_key, rng=random.Random(1))
+        other = BlindRSAClient(rsa_server.public_key, rng=random.Random(2))
+        assert client.generate_keys(_FPS, rsa_server) == other.generate_keys(
+            _FPS, rsa_server
+        )
+
+    def test_distinct_fingerprints_distinct_keys(self, rsa_server):
+        client = BlindRSAClient(rsa_server.public_key, rng=random.Random(1))
+        keys = client.generate_keys(_FPS, rsa_server)
+        assert len(set(keys)) == len(_FPS)
+
+    def test_key_length(self, rsa_server):
+        client = BlindRSAClient(rsa_server.public_key, rng=random.Random(1))
+        keys = client.generate_keys(_FPS[:1], rsa_server)
+        assert len(keys[0]) == 32
+
+    def test_verification_path(self, rsa_server):
+        client = BlindRSAClient(
+            rsa_server.public_key, rng=random.Random(1), verify=True
+        )
+        blinded, r = client.blind_fingerprint(b"fp")
+        sig = rsa_server.sign_blinded(blinded)
+        key = client.derive_key(b"fp", sig, r)
+        assert len(key) == 32
+
+    def test_verification_catches_forgery(self, rsa_server):
+        client = BlindRSAClient(
+            rsa_server.public_key, rng=random.Random(1), verify=True
+        )
+        _, r = client.blind_fingerprint(b"fp")
+        with pytest.raises(ValueError):
+            client.derive_key(b"fp", 1234567, r)
+
+    def test_server_never_sees_fingerprint(self, rsa_server):
+        # The blinded representative differs from the unblinded hash.
+        client = BlindRSAClient(rsa_server.public_key, rng=random.Random(1))
+        m = rsa.hash_to_int(b"fp", rsa_server.public_key.n)
+        blinded, _ = client.blind_fingerprint(b"fp")
+        assert blinded != m
+
+
+class TestBlindBLSProtocol:
+    def test_keys_deterministic_despite_blinding(self, bls_server):
+        client = BlindBLSClient(rng=random.Random(3))
+        other = BlindBLSClient(rng=random.Random(4))
+        assert client.generate_keys(_FPS, bls_server) == other.generate_keys(
+            _FPS, bls_server
+        )
+
+    def test_distinct_fingerprints_distinct_keys(self, bls_server):
+        client = BlindBLSClient(rng=random.Random(3))
+        keys = client.generate_keys(_FPS, bls_server)
+        assert len(set(keys)) == len(_FPS)
+
+    def test_rejects_invalid_blinded_point(self, bls_server):
+        with pytest.raises(ValueError):
+            bls_server.sign_blinded(None)
+
+    def test_cross_protocol_keys_differ(self, rsa_server, bls_server):
+        rsa_client = BlindRSAClient(rsa_server.public_key, rng=random.Random(1))
+        bls_client = BlindBLSClient(rng=random.Random(2))
+        assert rsa_client.generate_keys(_FPS[:1], rsa_server) != \
+            bls_client.generate_keys(_FPS[:1], bls_server)

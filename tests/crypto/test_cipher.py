@@ -1,0 +1,73 @@
+"""Cipher profiles: determinism (the dedup prerequisite) and key handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import FAST, SECURE, SHACTR, get_profile
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", [SECURE, FAST, SHACTR])
+    def test_roundtrip(self, profile):
+        key = b"K" * profile.key_size
+        data = b"chunk data " * 3
+        assert profile.decrypt(key, profile.encrypt(key, data)) == data
+
+    @pytest.mark.parametrize("profile", [SECURE, FAST, SHACTR])
+    def test_deterministic_encryption(self, profile):
+        # Identical (key, plaintext) must give identical ciphertext, or
+        # deduplication of ciphertext chunks would break.
+        key = b"K" * profile.key_size
+        data = b"duplicate chunk"
+        assert profile.encrypt(key, data) == profile.encrypt(key, data)
+
+    @pytest.mark.parametrize("profile", [SECURE, FAST, SHACTR])
+    def test_key_sensitivity(self, profile):
+        data = b"chunk"
+        a = profile.encrypt(b"a" * profile.key_size, data)
+        b = profile.encrypt(b"b" * profile.key_size, data)
+        assert a != b
+
+    def test_profiles_differ_from_each_other(self):
+        key = b"K" * 32
+        data = b"cross-profile"
+        assert SECURE.encrypt(key, data) != SHACTR.encrypt(key, data)
+
+    def test_hash_algorithms(self):
+        assert SECURE.hash_algorithm == "sha256"
+        assert FAST.hash_algorithm == "md5"
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=100))
+    def test_roundtrip_any_key_material(self, key, data):
+        # Keys are normalized to the profile size, so any derived-key length
+        # must work.
+        assert SHACTR.decrypt(key, SHACTR.encrypt(key, data)) == data
+
+
+class TestKeyNormalization:
+    def test_truncates_long_keys(self):
+        assert FAST.normalize_key(b"x" * 32) == b"x" * 16
+
+    def test_expands_short_keys(self):
+        out = SECURE.normalize_key(b"md5-len-key-16by")
+        assert len(out) == 32
+        assert out.startswith(b"md5-len-key-16by")
+
+    def test_expansion_deterministic(self):
+        assert SECURE.normalize_key(b"s") == SECURE.normalize_key(b"s")
+
+    def test_identity_on_exact_size(self):
+        key = b"k" * 32
+        assert SECURE.normalize_key(key) is not None
+        assert SECURE.normalize_key(key) == key
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["secure", "fast", "shactr"])
+    def test_lookup(self, name):
+        assert get_profile(name).name == name
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("quantum")

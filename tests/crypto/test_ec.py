@@ -1,0 +1,87 @@
+"""P-256 group arithmetic and hash-to-curve."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ec
+
+
+class TestGroupLaw:
+    def test_generator_on_curve(self):
+        assert ec.is_on_curve(ec.GENERATOR)
+
+    def test_infinity_on_curve(self):
+        assert ec.is_on_curve(None)
+
+    def test_order_annihilates_generator(self):
+        assert ec.scalar_mult(ec.N, ec.GENERATOR) is None
+
+    def test_identity_element(self):
+        assert ec.point_add(ec.GENERATOR, None) == ec.GENERATOR
+        assert ec.point_add(None, ec.GENERATOR) == ec.GENERATOR
+        assert ec.point_add(None, None) is None
+
+    def test_inverse_element(self):
+        assert ec.point_add(ec.GENERATOR, ec.point_neg(ec.GENERATOR)) is None
+
+    def test_doubling_matches_addition(self):
+        assert ec.point_add(ec.GENERATOR, ec.GENERATOR) == ec.scalar_mult(
+            2, ec.GENERATOR
+        )
+
+    def test_known_scalar_multiple(self):
+        # 2G for P-256 (public test vector).
+        twice = ec.scalar_mult(2, ec.GENERATOR)
+        assert twice[0] == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978",
+            16,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    def test_scalar_distributivity(self, a, b):
+        left = ec.scalar_mult(a + b, ec.GENERATOR)
+        right = ec.point_add(
+            ec.scalar_mult(a, ec.GENERATOR), ec.scalar_mult(b, ec.GENERATOR)
+        )
+        assert left == right
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 500), st.integers(2, 500))
+    def test_scalar_associativity(self, a, b):
+        assert ec.scalar_mult(a, ec.scalar_mult(b, ec.GENERATOR)) == ec.scalar_mult(
+            a * b % ec.N, ec.GENERATOR
+        )
+
+    def test_scalar_zero(self):
+        assert ec.scalar_mult(0, ec.GENERATOR) is None
+
+
+class TestHashToCurve:
+    @pytest.mark.parametrize("data", [b"", b"a", b"chunk-fp", b"\xff" * 32])
+    def test_output_on_curve(self, data):
+        assert ec.is_on_curve(ec.hash_to_curve(data))
+
+    def test_deterministic(self):
+        assert ec.hash_to_curve(b"x") == ec.hash_to_curve(b"x")
+
+    def test_distinct_inputs_distinct_points(self):
+        assert ec.hash_to_curve(b"a") != ec.hash_to_curve(b"b")
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        point = ec.scalar_mult(12345, ec.GENERATOR)
+        assert ec.decode_point(ec.encode_point(point)) == point
+
+    def test_infinity_roundtrip(self):
+        assert ec.decode_point(ec.encode_point(None)) is None
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ec.decode_point(b"\x01" * 63)
+
+    def test_rejects_off_curve_point(self):
+        bogus = (5).to_bytes(32, "big") + (7).to_bytes(32, "big")
+        with pytest.raises(ValueError):
+            ec.decode_point(bogus)

@@ -1,0 +1,98 @@
+"""Hash helpers: concatenation unambiguity, fingerprints, HMAC."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashes import (
+    digest,
+    fingerprint,
+    hash_concat,
+    hmac_digest,
+    new_hash,
+    truncated_fingerprint,
+)
+
+
+class TestDigest:
+    def test_sha256_matches_hashlib(self):
+        assert digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_md5_matches_hashlib(self):
+        assert digest(b"abc", "md5") == hashlib.md5(b"abc").digest()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            new_hash("sha512-fake")
+
+
+class TestHashConcat:
+    def test_length_prefix_prevents_ambiguity(self):
+        # Without length prefixes these would collide.
+        assert hash_concat([b"ab", b"c"]) != hash_concat([b"a", b"bc"])
+
+    def test_component_count_matters(self):
+        assert hash_concat([b"ab"]) != hash_concat([b"a", b"b"])
+
+    def test_int_components(self):
+        assert hash_concat([b"k", 5]) != hash_concat([b"k", 6])
+
+    def test_int_zero_encodes(self):
+        assert hash_concat([0]) != hash_concat([1])
+
+    def test_string_components_utf8(self):
+        assert hash_concat(["héllo"]) == hash_concat(["héllo".encode()])
+
+    def test_rejects_negative_int(self):
+        with pytest.raises(ValueError):
+            hash_concat([-1])
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            hash_concat([1.5])
+
+    def test_md5_profile(self):
+        assert len(hash_concat([b"x"], algorithm="md5")) == 16
+
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=5))
+    def test_deterministic(self, parts):
+        assert hash_concat(parts) == hash_concat(parts)
+
+
+class TestFingerprints:
+    def test_fingerprint_is_content_hash(self):
+        assert fingerprint(b"chunk") == hashlib.sha256(b"chunk").digest()
+
+    def test_truncated_fsl_width(self):
+        fp = truncated_fingerprint(b"chunk", bits=48)
+        assert len(fp) == 6
+        assert fp == hashlib.sha256(b"chunk").digest()[:6]
+
+    def test_truncated_ms_width(self):
+        assert len(truncated_fingerprint(b"chunk", bits=40)) == 5
+
+    @pytest.mark.parametrize("bits", [0, -8, 7, 12])
+    def test_truncated_rejects_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            truncated_fingerprint(b"chunk", bits=bits)
+
+    def test_truncated_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            truncated_fingerprint(b"chunk", bits=512)
+
+
+class TestHmac:
+    def test_matches_hashlib_hmac(self):
+        import hmac
+
+        assert hmac_digest(b"key", b"msg") == hmac.new(
+            b"key", b"msg", "sha256"
+        ).digest()
+
+    def test_key_matters(self):
+        assert hmac_digest(b"k1", b"m") != hmac_digest(b"k2", b"m")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            hmac_digest(b"k", b"m", "nope")

@@ -1,0 +1,115 @@
+"""Miller–Rabin, RSA keygen, and blind RSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.primes import generate_prime, is_probable_prime, modinv
+
+_MERSENNE_61 = 2**61 - 1
+_CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601]
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(bits=1024, rng=random.Random(42))
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("p", [2, 3, 5, 97, 199, 7919, _MERSENNE_61])
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 7917, 2**61 + 1])
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", _CARMICHAEL)
+    def test_carmichael_numbers_rejected(self, n):
+        # Fermat-style tests fail on these; Miller–Rabin must not.
+        assert not is_probable_prime(n)
+
+    def test_generate_prime_bit_length(self):
+        rng = random.Random(7)
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_modinv(self):
+        assert (3 * modinv(3, 7)) % 7 == 1
+        assert (17 * modinv(17, 2**61 - 1)) % (2**61 - 1) == 1
+
+    def test_modinv_nonexistent(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_modinv_matches_euclid_reference(self):
+        from repro.crypto.primes import modinv_euclid
+
+        rng = random.Random(11)
+        m = 2**61 - 1
+        for _ in range(20):
+            a = rng.randrange(1, m)
+            assert modinv(a, m) == modinv_euclid(a, m)
+
+
+class TestRSA:
+    def test_modulus_size(self, keypair):
+        assert keypair.n.bit_length() == 1024
+
+    def test_crt_signature_matches_plain_pow(self, keypair):
+        m = 0x1234567890ABCDEF
+        assert keypair.sign_raw(m) == pow(m, keypair.d, keypair.n)
+
+    def test_sign_verify(self, keypair):
+        m = rsa.hash_to_int(b"fingerprint", keypair.n)
+        sig = keypair.sign_raw(m)
+        assert rsa.verify_raw(keypair.public_key(), m, sig)
+
+    def test_verify_rejects_wrong_signature(self, keypair):
+        m = rsa.hash_to_int(b"fingerprint", keypair.n)
+        assert not rsa.verify_raw(keypair.public_key(), m, 12345)
+
+    def test_sign_rejects_out_of_range(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.sign_raw(keypair.n)
+
+    def test_hash_to_int_in_range(self, keypair):
+        for i in range(20):
+            m = rsa.hash_to_int(bytes([i]), keypair.n)
+            assert 0 <= m < keypair.n
+
+    def test_hash_to_int_deterministic(self, keypair):
+        assert rsa.hash_to_int(b"x", keypair.n) == rsa.hash_to_int(
+            b"x", keypair.n
+        )
+
+    def test_keygen_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=256)
+
+
+class TestBlindRSA:
+    def test_blind_unblind_recovers_signature(self, keypair):
+        public = keypair.public_key()
+        rng = random.Random(5)
+        m = rsa.hash_to_int(b"chunk-fp", keypair.n)
+        blinded, r = rsa.blind(public, m, rng=rng)
+        sig = rsa.unblind(public, keypair.sign_raw(blinded), r)
+        assert sig == keypair.sign_raw(m)
+
+    def test_blinding_hides_message(self, keypair):
+        # Two blindings of the same message look unrelated.
+        public = keypair.public_key()
+        rng = random.Random(6)
+        m = rsa.hash_to_int(b"chunk-fp", keypair.n)
+        blinded1, _ = rsa.blind(public, m, rng=rng)
+        blinded2, _ = rsa.blind(public, m, rng=rng)
+        assert blinded1 != blinded2
+        assert blinded1 != m and blinded2 != m

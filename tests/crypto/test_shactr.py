@@ -1,0 +1,53 @@
+"""SHA-256 counter-mode stream cipher (the throughput-path substitute)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import shactr
+
+_KEY = b"k" * 32
+_NONCE = b"n" * 16
+
+
+class TestKeystream:
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 100])
+    def test_length(self, n):
+        assert len(shactr.keystream(_KEY, _NONCE, n)) == n
+
+    def test_prefix_consistency(self):
+        long = shactr.keystream(_KEY, _NONCE, 100)
+        short = shactr.keystream(_KEY, _NONCE, 40)
+        assert long[:40] == short
+
+    def test_key_and_nonce_matter(self):
+        base = shactr.keystream(_KEY, _NONCE, 32)
+        assert shactr.keystream(b"x" * 32, _NONCE, 32) != base
+        assert shactr.keystream(_KEY, b"m" * 16, 32) != base
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            shactr.keystream(_KEY, _NONCE, -1)
+
+
+class TestEncrypt:
+    @given(st.binary(max_size=300))
+    def test_roundtrip(self, data):
+        assert shactr.decrypt(
+            _KEY, _NONCE, shactr.encrypt(_KEY, _NONCE, data)
+        ) == data
+
+    def test_involution(self):
+        data = b"twice is identity"
+        assert shactr.encrypt(_KEY, _NONCE, shactr.encrypt(_KEY, _NONCE, data)) == data
+
+    def test_deterministic(self):
+        assert shactr.encrypt(_KEY, _NONCE, b"d") == shactr.encrypt(
+            _KEY, _NONCE, b"d"
+        )
+
+    def test_empty_input(self):
+        assert shactr.encrypt(_KEY, _NONCE, b"") == b""
+
+    def test_ciphertext_differs_from_plaintext(self):
+        data = b"not the identity map" * 4
+        assert shactr.encrypt(_KEY, _NONCE, data) != data

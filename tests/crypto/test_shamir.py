@@ -1,0 +1,94 @@
+"""Shamir secret sharing over a prime field."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.shamir import (
+    Share,
+    lagrange_coefficients_at_zero,
+    reconstruct,
+    split,
+)
+
+_PRIME = 2**127 - 1  # a Mersenne prime, plenty large for tests
+
+
+class TestSplitReconstruct:
+    def test_roundtrip(self):
+        rng = random.Random(1)
+        secret = 123456789
+        shares = split(secret, threshold=3, num_shares=5, prime=_PRIME, rng=rng)
+        assert reconstruct(shares[:3], _PRIME) == secret
+
+    def test_any_subset_works(self):
+        rng = random.Random(2)
+        secret = 42
+        shares = split(secret, threshold=2, num_shares=4, prime=_PRIME, rng=rng)
+        import itertools
+
+        for subset in itertools.combinations(shares, 2):
+            assert reconstruct(list(subset), _PRIME) == secret
+
+    def test_more_than_threshold_works(self):
+        rng = random.Random(3)
+        shares = split(7, threshold=2, num_shares=5, prime=_PRIME, rng=rng)
+        assert reconstruct(shares, _PRIME) == 7
+
+    def test_below_threshold_reveals_nothing_useful(self):
+        # With t-1 shares, every candidate secret is equally consistent; a
+        # cheap proxy check: reconstructing from t-1 shares gives a value
+        # that is (almost surely) not the secret.
+        rng = random.Random(4)
+        secret = 999_999_999
+        shares = split(secret, threshold=3, num_shares=5, prime=_PRIME, rng=rng)
+        assert reconstruct(shares[:2], _PRIME) != secret
+
+    def test_threshold_one_is_replication(self):
+        shares = split(5, threshold=1, num_shares=3, prime=_PRIME)
+        assert all(share.y == 5 for share in shares)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(0, _PRIME - 1),
+        st.integers(1, 5),
+        st.integers(0, 3),
+    )
+    def test_roundtrip_property(self, secret, threshold, extra):
+        num_shares = threshold + extra
+        rng = random.Random(99)
+        shares = split(secret, threshold, num_shares, _PRIME, rng=rng)
+        assert reconstruct(shares[:threshold], _PRIME) == secret
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split(-1, 2, 3, _PRIME)
+        with pytest.raises(ValueError):
+            split(_PRIME, 2, 3, _PRIME)
+        with pytest.raises(ValueError):
+            split(1, 0, 3, _PRIME)
+        with pytest.raises(ValueError):
+            split(1, 4, 3, _PRIME)
+        with pytest.raises(ValueError):
+            split(1, 2, 7, prime=7)
+
+
+class TestLagrange:
+    def test_coefficients_sum_to_one_for_constant(self):
+        # Interpolating a constant polynomial: coefficients sum to 1.
+        coefficients = lagrange_coefficients_at_zero([1, 2, 3], _PRIME)
+        assert sum(coefficients) % _PRIME == 1
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero([1, 1], _PRIME)
+
+    def test_reconstruct_empty(self):
+        with pytest.raises(ValueError):
+            reconstruct([], _PRIME)
+
+    def test_linear_polynomial_by_hand(self):
+        # f(x) = 10 + 3x over the field; shares at x=1,2.
+        shares = [Share(1, 13), Share(2, 16)]
+        assert reconstruct(shares, _PRIME) == 10

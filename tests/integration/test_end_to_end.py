@@ -1,0 +1,147 @@
+"""Cross-module integration: trace → TEDStore → deduplicated storage.
+
+These tests tie the whole system together: the storage blowup the provider
+*actually realizes on disk* must agree with what the trade-off simulation
+predicts, and restores must be byte-perfect after dedup, containers, LSM
+flushes, and recipe sealing all do their thing.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schemes import TedScheme
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.provider import ProviderService
+from repro.traces.workload import snapshot_to_chunks
+
+_W = 2**14
+
+
+def _stack(tmp_path, t=None, b=None, batch_size=4000):
+    key_manager = KeyManagerService(
+        TedKeyManager(
+            secret=b"e2e-secret",
+            t=t,
+            blowup_factor=b,
+            batch_size=batch_size if b else None,
+            sketch_width=_W,
+            rng=random.Random(1),
+        )
+    )
+    provider = ProviderService(
+        directory=str(tmp_path), container_bytes=256 << 10
+    )
+    client = TedStoreClient(
+        LocalKeyManager(key_manager),
+        LocalProvider(provider),
+        profile=SHACTR,
+        sketch_width=_W,
+        batch_size=2000,
+    )
+    return client, provider, key_manager
+
+
+@pytest.fixture(scope="module")
+def small_records(request):
+    # A trimmed snapshot keeps end-to-end uploads fast while still crossing
+    # container and memtable boundaries many times.
+    snapshot = request.getfixturevalue("snapshot_small")
+    from repro.traces.model import Snapshot
+
+    return Snapshot(
+        snapshot_id=snapshot.snapshot_id, records=snapshot.records[:1200]
+    )
+
+
+class TestTraceToStorage:
+    def test_restore_is_byte_perfect(self, tmp_path, small_records):
+        client, provider, _ = _stack(tmp_path, t=10)
+        chunks = [c for _, c in snapshot_to_chunks(small_records)]
+        client.upload_chunks("snap", chunks)
+        provider.flush()
+        assert client.download("snap") == b"".join(chunks)
+
+    def test_actual_storage_blowup_matches_simulation(
+        self, tmp_path, small_records
+    ):
+        # Run the same snapshot through (a) the trace-driven scheme
+        # simulation and (b) the real TEDStore stack, with identical key
+        # manager settings, and compare unique-chunk counts.
+        t = 10
+        sim = TedScheme(
+            TedKeyManager(
+                secret=b"e2e-secret",
+                t=t,
+                sketch_width=_W,
+                rng=random.Random(2),
+            )
+        ).process(small_records.records)
+
+        client, provider, _ = _stack(tmp_path, t=t)
+        chunks = [c for _, c in snapshot_to_chunks(small_records)]
+        client.upload_chunks("snap", chunks)
+        stats = provider.engine.stats
+        assert stats.logical_chunks == len(small_records)
+
+        real_blowup = stats.unique_chunks / small_records.unique_chunks
+        sim_blowup = sim.blowup()
+        assert real_blowup == pytest.approx(sim_blowup, rel=0.05)
+
+    def test_fted_blowup_bounded_on_disk(self, tmp_path, small_records):
+        client, provider, key_manager = _stack(
+            tmp_path, b=1.1, batch_size=500
+        )
+        chunks = [c for _, c in snapshot_to_chunks(small_records)]
+        client.upload_chunks("snap", chunks)
+        stats = provider.engine.stats
+        blowup = stats.unique_chunks / small_records.unique_chunks
+        # Batched FTED starts at t = 1, so allow cold-start overshoot — but
+        # it must stay well below SKE's blowup (the dedup ratio).
+        assert blowup < small_records.dedup_ratio * 0.8
+        assert key_manager.key_manager.stats.batches_tuned >= 1
+
+    def test_cross_snapshot_series_dedups(self, tmp_path, snapshot_series):
+        client, provider, _ = _stack(tmp_path, t=10_000)
+        logical = 0
+        for snapshot in snapshot_series[:3]:
+            chunks = [c for _, c in snapshot_to_chunks(snapshot)]
+            client.upload_chunks(snapshot.snapshot_id, chunks)
+            logical += len(chunks)
+        stats = provider.engine.stats
+        # Consecutive snapshots share most content → strong cross dedup.
+        assert stats.unique_chunks < logical * 0.7
+        # And every snapshot still restores byte-perfectly.
+        for snapshot in snapshot_series[:3]:
+            expected = b"".join(c for _, c in snapshot_to_chunks(snapshot))
+            assert client.download(snapshot.snapshot_id) == expected
+
+    def test_provider_restart_preserves_everything(
+        self, tmp_path, small_records
+    ):
+        client, provider, _ = _stack(tmp_path, t=10)
+        chunks = [c for _, c in snapshot_to_chunks(small_records)][:500]
+        client.upload_chunks("snap", chunks)
+        provider.flush()
+        recipes = provider._recipes  # recipes live outside the engine
+
+        # Simulate a provider restart on the same directory.
+        from repro.storage.dedup import DedupEngine
+
+        provider.engine.close()
+        reopened = ProviderService(
+            engine=DedupEngine(tmp_path, container_bytes=256 << 10)
+        )
+        reopened._recipes = recipes
+        client2 = TedStoreClient(
+            client.key_manager,
+            LocalProvider(reopened),
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=2000,
+        )
+        assert client2.download("snap") == b"".join(chunks)

@@ -1,0 +1,132 @@
+"""Failure injection: corruption, torn writes, and concurrent stress."""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.storage.dedup import DedupEngine
+from repro.storage.kvstore import KVStore
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import PutChunks
+from repro.tedstore.provider import ProviderService
+from repro.traces.workload import unique_file
+
+_W = 2**14
+
+
+def _client(provider):
+    key_manager = KeyManagerService(
+        TedKeyManager(secret=b"fi-secret", t=100, sketch_width=_W)
+    )
+    return TedStoreClient(
+        LocalKeyManager(key_manager),
+        LocalProvider(provider),
+        profile=SHACTR,
+        sketch_width=_W,
+        batch_size=500,
+    )
+
+
+class TestCorruption:
+    def test_corrupt_container_detected_at_download(self, tmp_path):
+        provider = ProviderService(
+            directory=str(tmp_path), container_bytes=32 << 10
+        )
+        client = _client(provider)
+        data = unique_file(40_000)
+        client.upload("f", data)
+        provider.flush()
+        # Flip bytes in every sealed container.
+        containers = list(tmp_path.glob("containers/container-*.bin"))
+        assert containers
+        for path in containers:
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        # Decryption still succeeds (stream cipher), but the restored data
+        # must differ — and the size check in download may fire first.
+        try:
+            restored = client.download("f")
+        except ValueError:
+            return
+        assert restored != data
+
+    def test_corrupt_sstable_rejected_on_reopen(self, tmp_path):
+        store = KVStore(tmp_path)
+        store.put(b"k", b"v" * 100)
+        store.close()
+        table = next(tmp_path.glob("table-*.sst"))
+        blob = bytearray(table.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        table.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            KVStore(tmp_path)
+
+    def test_torn_wal_tail_recovers_prefix(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=1 << 20)
+        for i in range(50):
+            store.put(b"k-%d" % i, b"v-%d" % i)
+        # Crash: no close. Tear the last WAL record.
+        wal = tmp_path / "wal.log"
+        blob = wal.read_bytes()
+        wal.write_bytes(blob[:-4])
+        reopened = KVStore(tmp_path, memtable_bytes=1 << 20)
+        # Everything except (possibly) the torn record survives.
+        for i in range(49):
+            assert reopened.get(b"k-%d" % i) == b"v-%d" % i
+        reopened.close()
+        store.close()
+
+    def test_missing_container_raises_keyerror(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        engine.store(b"fp", b"x" * 512)
+        engine.flush()
+        for path in (tmp_path / "containers").glob("container-*.bin"):
+            os.unlink(path)
+        with pytest.raises(KeyError):
+            engine.load(b"fp")
+
+
+class TestConcurrentStress:
+    def test_parallel_uploads_to_on_disk_provider(self, tmp_path):
+        provider = ProviderService(
+            directory=str(tmp_path), container_bytes=32 << 10
+        )
+        errors = []
+        rng = random.Random(3)
+        shared = [unique_file(2000, client_id=99) for _ in range(20)]
+
+        def worker(worker_id):
+            try:
+                for i in range(30):
+                    if rng.random() < 0.5:
+                        chunk = shared[i % len(shared)]
+                    else:
+                        chunk = unique_file(2000, client_id=worker_id * 100 + i)
+                    fingerprint = bytes([worker_id]) + chunk[:31]
+                    provider.handle_put_chunks(
+                        PutChunks(chunks=[(fingerprint, chunk)])
+                    )
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = dict(provider.stats())
+        assert stats["logical_chunks"] == 120
+        # Every stored chunk must be readable back.
+        provider.flush()
+        for fingerprint, _ in provider.engine.index.items():
+            assert provider.engine.load(fingerprint)

@@ -1,0 +1,50 @@
+"""Exact counter baseline."""
+
+from hypothesis import given, strategies as st
+
+from repro.sketch.exact import ExactCounter
+
+
+class TestExactCounter:
+    def test_counts(self):
+        counter = ExactCounter()
+        assert counter.update_item(b"a") == 1
+        assert counter.update_item(b"a") == 2
+        assert counter.update_item(b"b") == 1
+        assert counter.estimate_item(b"a") == 2
+        assert counter.estimate_item(b"missing") == 0
+
+    def test_unique_and_total(self):
+        counter = ExactCounter()
+        for i in range(30):
+            counter.update_item(bytes([i % 4]))
+        assert counter.unique_items() == 4
+        assert counter.total == 30
+
+    def test_counts_snapshot_is_a_copy(self):
+        counter = ExactCounter()
+        counter.update_item(b"a")
+        snapshot = counter.counts()
+        snapshot[b"a"] = 99
+        assert counter.estimate_item(b"a") == 1
+
+    def test_error_bound_zero(self):
+        assert ExactCounter().error_bound() == 0.0
+
+    def test_reset(self):
+        counter = ExactCounter()
+        counter.update_item(b"a")
+        counter.reset()
+        assert counter.total == 0
+        assert counter.estimate_item(b"a") == 0
+
+    @given(st.lists(st.binary(min_size=1, max_size=4), max_size=100))
+    def test_matches_python_counter(self, stream):
+        import collections
+
+        counter = ExactCounter()
+        truth = collections.Counter()
+        for item in stream:
+            counter.update_item(item)
+            truth[item] += 1
+        assert counter.counts() == dict(truth)

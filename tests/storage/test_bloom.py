@@ -1,0 +1,60 @@
+"""Bloom filter: no false negatives, sane false-positive rate, serde."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.bloom import BloomFilter
+
+
+class TestBloom:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), max_size=100))
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter.with_capacity(max(1, len(keys)))
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.with_capacity(1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bloom.add(b"member-%d" % i)
+        false_positives = sum(
+            bloom.may_contain(b"nonmember-%d" % i) for i in range(10_000)
+        )
+        assert false_positives / 10_000 < 0.05  # target 0.01, generous bound
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter.with_capacity(100)
+        assert not bloom.may_contain(b"anything")
+
+    def test_serialization_roundtrip(self):
+        bloom = BloomFilter.with_capacity(50)
+        for i in range(50):
+            bloom.add(bytes([i]))
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert restored.num_bits == bloom.num_bits
+        assert restored.num_hashes == bloom.num_hashes
+        for i in range(50):
+            assert restored.may_contain(bytes([i]))
+
+    def test_from_bytes_rejects_truncation(self):
+        bloom = BloomFilter.with_capacity(50)
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(bloom.to_bytes()[:-2])
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x00" * 3)
+
+    @pytest.mark.parametrize("bits,hashes", [(0, 1), (8, 0), (-8, 2)])
+    def test_invalid_geometry(self, bits, hashes):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=bits, num_hashes=hashes)
+
+    def test_with_capacity_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(10, false_positive_rate=1.5)
+
+    def test_with_capacity_zero_items(self):
+        bloom = BloomFilter.with_capacity(0)
+        bloom.add(b"k")
+        assert bloom.may_contain(b"k")

@@ -1,0 +1,99 @@
+"""Dedup engine: inline deduplication, stats, persistence."""
+
+import pytest
+
+from repro.storage.dedup import DedupEngine
+
+
+@pytest.fixture
+def engine(tmp_path):
+    e = DedupEngine(tmp_path, container_bytes=1024)
+    yield e
+    e.close()
+
+
+class TestDedup:
+    def test_first_store_is_new(self, engine):
+        assert engine.store(b"fp1", b"chunk-1") is True
+
+    def test_duplicate_not_stored(self, engine):
+        engine.store(b"fp1", b"chunk-1")
+        assert engine.store(b"fp1", b"chunk-1") is False
+        assert engine.stats.unique_chunks == 1
+        assert engine.stats.logical_chunks == 2
+
+    def test_load(self, engine):
+        engine.store(b"fp1", b"chunk-data")
+        assert engine.load(b"fp1") == b"chunk-data"
+
+    def test_load_unknown(self, engine):
+        with pytest.raises(KeyError):
+            engine.load(b"nope")
+
+    def test_contains(self, engine):
+        engine.store(b"fp1", b"c")
+        assert engine.contains(b"fp1")
+        assert not engine.contains(b"fp2")
+
+    def test_byte_accounting(self, engine):
+        engine.store(b"a", b"x" * 100)
+        engine.store(b"a", b"x" * 100)
+        engine.store(b"b", b"y" * 50)
+        assert engine.stats.logical_bytes == 250
+        assert engine.stats.unique_bytes == 150
+        assert engine.stats.dedup_ratio == pytest.approx(250 / 150)
+        assert engine.stats.storage_saving == pytest.approx(1 - 150 / 250)
+
+    def test_dedup_ratio_empty(self, engine):
+        assert engine.stats.dedup_ratio == 1.0
+        assert engine.stats.storage_saving == 0.0
+
+    def test_many_chunks_across_containers(self, engine):
+        for i in range(50):
+            engine.store(b"fp-%d" % i, bytes([i]) * 100)
+        engine.flush()
+        for i in range(50):
+            assert engine.load(b"fp-%d" % i) == bytes([i]) * 100
+        assert engine.containers.container_count() >= 4
+
+    def test_persistence(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        engine.store(b"fp1", b"persist-me")
+        engine.close()
+        reopened = DedupEngine(tmp_path, container_bytes=1024)
+        assert reopened.load(b"fp1") == b"persist-me"
+        assert reopened.store(b"fp1", b"persist-me") is False
+        reopened.close()
+
+    def test_physical_bytes(self, engine):
+        engine.store(b"fp", b"z" * 200)
+        assert engine.physical_bytes() == 200
+
+
+class TestBatchLoad:
+    def test_load_many_plain(self, engine):
+        for i in range(30):
+            engine.store(b"fp-%d" % i, bytes([i]) * 50)
+        engine.flush()
+        fps = [b"fp-%d" % i for i in (5, 17, 5, 29)]
+        assert engine.load_many(fps) == [engine.load(fp) for fp in fps]
+
+    def test_load_many_lookahead_matches_plain(self, engine):
+        for i in range(40):
+            engine.store(b"fp-%d" % i, bytes([i]) * 60)
+        engine.flush()
+        fps = [b"fp-%d" % (i * 7 % 40) for i in range(80)]
+        plain = engine.load_many(fps)
+        scheduled = engine.load_many(fps, lookahead_window=16)
+        assert scheduled == plain
+
+    def test_load_many_unknown_fingerprint(self, engine):
+        with pytest.raises(KeyError):
+            engine.load_many([b"nope"])
+
+    def test_locate(self, engine):
+        engine.store(b"fp", b"payload")
+        location = engine.locate(b"fp")
+        assert engine.containers.read(location) == b"payload"
+        with pytest.raises(KeyError):
+            engine.locate(b"missing")

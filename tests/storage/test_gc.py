@@ -1,0 +1,139 @@
+"""Reference counting, deletion, and container garbage collection."""
+
+import pytest
+
+from repro.storage.dedup import DedupEngine
+from repro.storage.gc import RefcountedStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    engine = DedupEngine(tmp_path / "data", container_bytes=1024)
+    s = RefcountedStore(engine, tmp_path / "refs", gc_threshold=0.5)
+    yield s
+    s.close()
+
+
+class TestRefcounts:
+    def test_put_increments(self, store):
+        store.put(b"fp", b"chunk")
+        assert store.refcount(b"fp") == 1
+        store.put(b"fp", b"chunk")
+        assert store.refcount(b"fp") == 2
+
+    def test_duplicate_put_stores_once(self, store):
+        assert store.put(b"fp", b"chunk") is True
+        assert store.put(b"fp", b"chunk") is False
+
+    def test_release(self, store):
+        store.put(b"fp", b"chunk")
+        store.put(b"fp", b"chunk")
+        assert store.release(b"fp") == 1
+        assert store.release(b"fp") == 0
+
+    def test_release_unknown_raises(self, store):
+        with pytest.raises(KeyError):
+            store.release(b"nope")
+
+    def test_over_release_raises(self, store):
+        store.put(b"fp", b"chunk")
+        store.release(b"fp")
+        with pytest.raises(KeyError):
+            store.release(b"fp")
+
+    def test_load_live_chunk(self, store):
+        store.put(b"fp", b"payload")
+        assert store.load(b"fp") == b"payload"
+
+    def test_load_released_chunk_denied(self, store):
+        store.put(b"fp", b"payload")
+        store.release(b"fp")
+        with pytest.raises(KeyError):
+            store.load(b"fp")
+
+    def test_release_file_counts_garbage(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.put(b"b", b"2")  # second reference
+        garbage = store.release_file([b"a", b"b"])
+        assert garbage == 1  # only `a` became garbage
+
+    def test_refcounts_persist(self, tmp_path):
+        engine = DedupEngine(tmp_path / "data", container_bytes=1024)
+        store = RefcountedStore(engine, tmp_path / "refs")
+        store.put(b"fp", b"chunk")
+        store.put(b"fp", b"chunk")
+        store.close()
+        engine2 = DedupEngine(tmp_path / "data", container_bytes=1024)
+        store2 = RefcountedStore(engine2, tmp_path / "refs")
+        assert store2.refcount(b"fp") == 2
+        store2.close()
+
+
+class TestGarbageCollection:
+    def _fill(self, store, count, size=100, prefix=b"fp"):
+        fps = []
+        for i in range(count):
+            fp = prefix + b"-%04d" % i
+            store.put(fp, bytes([i % 256]) * size)
+            fps.append(fp)
+        return fps
+
+    def test_collect_reclaims_dead_containers(self, store):
+        fps = self._fill(store, 30)  # ~3 containers of 10 chunks
+        before = store.engine.containers.physical_bytes()
+        # Delete the first 20 chunks entirely.
+        store.release_file(fps[:20])
+        report = store.collect()
+        assert report.containers_collected >= 1
+        assert report.bytes_reclaimed > 0
+        after = store.engine.containers.physical_bytes()
+        assert after < before
+        # Survivors still load correctly.
+        for fp in fps[20:]:
+            assert store.load(fp)
+
+    def test_collect_moves_live_chunks(self, store):
+        fps = self._fill(store, 20)
+        # Kill most chunks but keep a couple alive in each container.
+        keep = set(fps[::7])
+        store.release_file([fp for fp in fps if fp not in keep])
+        expected = {fp: store.load(fp) for fp in keep}
+        report = store.collect()
+        assert report.chunks_moved >= len(keep) - 2
+        for fp, payload in expected.items():
+            assert store.load(fp) == payload
+
+    def test_collect_skips_healthy_containers(self, store):
+        fps = self._fill(store, 20)
+        store.release(fps[0])  # tiny amount of garbage
+        report = store.collect()
+        assert report.containers_collected == 0
+
+    def test_collect_idempotent(self, store):
+        fps = self._fill(store, 20)
+        store.release_file(fps[:15])
+        store.collect()
+        second = store.collect()
+        assert second.containers_collected == 0
+        assert second.chunks_moved == 0
+
+    def test_dead_index_entries_removed(self, store):
+        fps = self._fill(store, 20)
+        store.release_file(fps)
+        store.collect()
+        for fp in fps:
+            assert store.engine.index.get(fp) is None
+
+    def test_dedup_after_gc_round_trip(self, store):
+        # A chunk deleted and GC'd can be stored again from scratch.
+        store.put(b"fp", b"reborn")
+        store.release(b"fp")
+        store.collect()
+        assert store.put(b"fp", b"reborn") is True
+        assert store.load(b"fp") == b"reborn"
+
+    def test_threshold_validation(self, tmp_path):
+        engine = DedupEngine(tmp_path / "d", container_bytes=1024)
+        with pytest.raises(ValueError):
+            RefcountedStore(engine, tmp_path / "r", gc_threshold=0.0)

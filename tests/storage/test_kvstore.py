@@ -1,0 +1,181 @@
+"""LSM KV store against a dict model, plus recovery and compaction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.kvstore import KVStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = KVStore(tmp_path, memtable_bytes=512, compaction_trigger=3)
+    yield s
+    s.close()
+
+
+class TestBasicOps:
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing(self, store):
+        assert store.get(b"missing") is None
+        assert store.get(b"missing", b"fallback") == b"fallback"
+
+    def test_overwrite_across_flush(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.put(b"k", b"new")
+        assert store.get(b"k") == b"new"
+        store.flush()
+        assert store.get(b"k") == b"new"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_delete_masks_flushed_value(self, store):
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.flush()
+        assert store.get(b"k") is None
+
+    def test_contains(self, store):
+        store.put(b"k", b"v")
+        assert b"k" in store
+        assert b"nope" not in store
+
+    def test_items_sorted_and_live(self, store):
+        store.put(b"c", b"3")
+        store.put(b"a", b"1")
+        store.flush()
+        store.put(b"b", b"2")
+        store.delete(b"c")
+        assert list(store.items()) == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_len(self, store):
+        for i in range(10):
+            store.put(bytes([i]), b"v")
+        store.delete(bytes([0]))
+        assert len(store) == 9
+
+
+class TestModelConformance:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(0, 30),
+                st.binary(max_size=12),
+            ),
+            max_size=150,
+        )
+    )
+    def test_random_ops_match_dict(self, tmp_path_factory, ops):
+        directory = tmp_path_factory.mktemp("kv")
+        store = KVStore(directory, memtable_bytes=256, compaction_trigger=2)
+        model = {}
+        try:
+            for op, key_id, value in ops:
+                key = b"key-%d" % key_id
+                if op == "put":
+                    store.put(key, value)
+                    model[key] = value
+                else:
+                    store.delete(key)
+                    model.pop(key, None)
+            for key_id in range(31):
+                key = b"key-%d" % key_id
+                assert store.get(key) == model.get(key)
+            assert dict(store.items()) == model
+        finally:
+            store.close()
+
+
+class TestDurability:
+    def test_recovery_from_wal_without_close(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=1 << 20)
+        store.put(b"k1", b"v1")
+        store.put(b"k2", b"v2")
+        store.delete(b"k1")
+        # No close/flush: simulate a crash; state lives only in the WAL.
+        reopened = KVStore(tmp_path, memtable_bytes=1 << 20)
+        assert reopened.get(b"k1") is None
+        assert reopened.get(b"k2") == b"v2"
+        reopened.close()
+
+    def test_recovery_from_tables_and_wal(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=128, compaction_trigger=10)
+        reference = {}
+        rng = random.Random(3)
+        for i in range(200):
+            key = b"k-%d" % rng.randrange(50)
+            value = b"v-%d" % i
+            store.put(key, value)
+            reference[key] = value
+        reopened = KVStore(tmp_path, memtable_bytes=128, compaction_trigger=10)
+        assert dict(reopened.items()) == reference
+        reopened.close()
+        store.close()
+
+    def test_close_flushes(self, tmp_path):
+        store = KVStore(tmp_path)
+        store.put(b"k", b"v")
+        store.close()
+        reopened = KVStore(tmp_path)
+        assert reopened.get(b"k") == b"v"
+        assert reopened.table_count() >= 1
+        reopened.close()
+
+
+class TestCompaction:
+    def test_compaction_reduces_table_count(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=64, compaction_trigger=3)
+        for i in range(100):
+            store.put(b"key-%03d" % (i % 20), b"value-%d" % i)
+        assert store.stats["compactions"] >= 1
+        assert store.table_count() < 3
+        store.close()
+
+    def test_compaction_preserves_latest_values(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=64, compaction_trigger=2)
+        for round_ in range(5):
+            for i in range(10):
+                store.put(b"k-%d" % i, b"round-%d" % round_)
+            store.flush()
+        for i in range(10):
+            assert store.get(b"k-%d" % i) == b"round-4"
+        store.close()
+
+    def test_compaction_drops_tombstones(self, tmp_path):
+        store = KVStore(tmp_path, memtable_bytes=1 << 20, compaction_trigger=100)
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.flush()
+        store.compact()
+        assert store.table_count() == 1
+        assert store.get(b"k") is None
+        assert all(value is not None for _, value in store._tables[0])
+        store.close()
+
+    def test_explicit_compact_noop_on_single_table(self, tmp_path):
+        store = KVStore(tmp_path)
+        store.put(b"k", b"v")
+        store.flush()
+        before = store.stats["compactions"]
+        store.compact()
+        assert store.stats["compactions"] == before
+        store.close()
+
+    def test_disk_bytes_positive_after_flush(self, tmp_path):
+        store = KVStore(tmp_path)
+        store.put(b"k", b"v" * 100)
+        store.flush()
+        assert store.disk_bytes() > 0
+        store.close()

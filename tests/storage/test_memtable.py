@@ -1,0 +1,61 @@
+"""Memtable: point ops, tombstones, sorted flush order."""
+
+from repro.storage.memtable import MemTable
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        assert table.get(b"k") == (True, b"v")
+
+    def test_absent_vs_tombstone(self):
+        table = MemTable()
+        assert table.get(b"missing") == (False, None)
+        table.delete(b"gone")
+        assert table.get(b"gone") == (True, None)
+
+    def test_overwrite(self):
+        table = MemTable()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.get(b"k") == (True, b"v2")
+        assert len(table) == 1
+
+    def test_delete_then_put(self):
+        table = MemTable()
+        table.delete(b"k")
+        table.put(b"k", b"v")
+        assert table.get(b"k") == (True, b"v")
+
+    def test_sorted_items(self):
+        table = MemTable()
+        for key in (b"c", b"a", b"b"):
+            table.put(key, key)
+        assert [k for k, _ in table.sorted_items()] == [b"a", b"b", b"c"]
+
+    def test_sorted_items_include_tombstones(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.delete(b"b")
+        items = dict(table.sorted_items())
+        assert items == {b"a": b"1", b"b": None}
+
+    def test_approximate_bytes_grows(self):
+        table = MemTable()
+        before = table.approximate_bytes()
+        table.put(b"key", b"x" * 100)
+        assert table.approximate_bytes() >= before + 100
+
+    def test_clear(self):
+        table = MemTable()
+        table.put(b"k", b"v")
+        table.clear()
+        assert table.is_empty()
+        assert table.approximate_bytes() == 0
+
+    def test_len(self):
+        table = MemTable()
+        table.put(b"a", b"1")
+        table.delete(b"b")
+        assert len(table) == 2

@@ -1,0 +1,82 @@
+"""Property-based tests for metadata-chunk packing."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.metadedup import (
+    _segment_entries,
+    pack_metadata_chunks,
+    unpack_metadata_chunks,
+)
+from repro.storage.recipe import FileRecipe, KeyRecipe
+
+
+def _build_recipes(labels):
+    file_recipe = FileRecipe(file_name="prop")
+    key_recipe = KeyRecipe()
+    for label in labels:
+        fingerprint = hashlib.sha256(label).digest()[:20]
+        file_recipe.add(fingerprint, 1 + (label[0] if label else 1))
+        key_recipe.add(b"k" + fingerprint)
+    return file_recipe, key_recipe
+
+
+@st.composite
+def label_lists(draw):
+    return draw(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=0, max_size=120)
+    )
+
+
+class TestPackUnpackProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(label_lists(), st.integers(1, 32))
+    def test_roundtrip(self, labels, arity):
+        file_recipe, key_recipe = _build_recipes(labels)
+        chunks, meta = pack_metadata_chunks(file_recipe, key_recipe, arity)
+        store = {fp: ct for fp, ct in chunks}
+        restored_fr, restored_kr = unpack_metadata_chunks(
+            meta, fetch=lambda fps: [store[fp] for fp in fps]
+        )
+        assert restored_fr.entries == file_recipe.entries
+        assert restored_kr.keys == key_recipe.keys
+        assert restored_fr.file_name == "prop"
+
+    @settings(max_examples=30, deadline=None)
+    @given(label_lists(), st.integers(1, 32))
+    def test_deterministic_packing(self, labels, arity):
+        # Identical recipes must pack to identical chunks — the dedup
+        # prerequisite.
+        a = pack_metadata_chunks(*_build_recipes(labels), arity)
+        b = pack_metadata_chunks(*_build_recipes(labels), arity)
+        assert a[0] == b[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(label_lists(), st.integers(1, 16))
+    def test_segments_partition_the_stream(self, labels, arity):
+        file_recipe, key_recipe = _build_recipes(labels)
+        entries = [
+            (fp, size, key)
+            for (fp, size), key in zip(file_recipe.entries, key_recipe.keys)
+        ]
+        segments = _segment_entries(entries, arity)
+        covered = []
+        for start, end in segments:
+            assert start < end
+            assert end - start <= 4 * arity
+            covered.extend(range(start, end))
+        assert covered == list(range(len(entries)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(label_lists(), st.integers(4, 16))
+    def test_shared_prefix_shares_leading_chunks(self, labels, arity):
+        if len(labels) < 8:
+            return
+        base_chunks, _ = pack_metadata_chunks(*_build_recipes(labels), arity)
+        extended = labels + [b"\xffnew-tail"]
+        ext_chunks, _ = pack_metadata_chunks(*_build_recipes(extended), arity)
+        # All but (at most) the final segment are unchanged.
+        base_fps = [fp for fp, _ in base_chunks]
+        ext_fps = [fp for fp, _ in ext_chunks]
+        assert ext_fps[: len(base_fps) - 1] == base_fps[:-1]

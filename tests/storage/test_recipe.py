@@ -1,0 +1,107 @@
+"""File/key recipes: serialization, sealing, tamper detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.recipe import FileRecipe, KeyRecipe, seal, unseal
+
+_MASTER = b"m" * 32
+
+
+class TestFileRecipe:
+    def test_roundtrip(self):
+        recipe = FileRecipe(file_name="backup/2026-07-06.tar")
+        recipe.add(b"\x01" * 32, 8192)
+        recipe.add(b"\x02" * 32, 4096)
+        restored = FileRecipe.deserialize(recipe.serialize())
+        assert restored.file_name == recipe.file_name
+        assert restored.entries == recipe.entries
+
+    def test_file_size(self):
+        recipe = FileRecipe(file_name="f")
+        recipe.add(b"a", 10)
+        recipe.add(b"b", 20)
+        assert recipe.file_size == 30
+
+    def test_unicode_name(self):
+        recipe = FileRecipe(file_name="资料/бэкап.bin")
+        restored = FileRecipe.deserialize(recipe.serialize())
+        assert restored.file_name == "资料/бэкап.bin"
+
+    def test_empty_recipe(self):
+        restored = FileRecipe.deserialize(FileRecipe(file_name="e").serialize())
+        assert restored.entries == []
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            FileRecipe(file_name="f").add(b"fp", 0)
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(ValueError):
+            FileRecipe.deserialize(b"XXXXrest")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=32), st.integers(1, 1 << 20)),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        recipe = FileRecipe(file_name="p")
+        for fp, size in entries:
+            recipe.add(fp, size)
+        assert FileRecipe.deserialize(recipe.serialize()).entries == entries
+
+
+class TestKeyRecipe:
+    def test_roundtrip(self):
+        recipe = KeyRecipe()
+        recipe.add(b"k1" * 16)
+        recipe.add(b"k2" * 16)
+        assert KeyRecipe.deserialize(recipe.serialize()).keys == recipe.keys
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            KeyRecipe().add(b"")
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(ValueError):
+            KeyRecipe.deserialize(b"XXXXrest")
+
+
+class TestSealing:
+    def test_seal_unseal(self):
+        plaintext = b"recipe payload"
+        assert unseal(_MASTER, seal(_MASTER, plaintext)) == plaintext
+
+    def test_sealing_is_randomized(self):
+        # Recipes must not deduplicate or leak equality — fresh nonce each.
+        plaintext = b"identical recipes"
+        assert seal(_MASTER, plaintext) != seal(_MASTER, plaintext)
+
+    def test_wrong_key_rejected(self):
+        sealed = seal(_MASTER, b"secret")
+        with pytest.raises(ValueError):
+            unseal(b"w" * 32, sealed)
+
+    def test_tampering_detected(self):
+        sealed = bytearray(seal(_MASTER, b"secret"))
+        sealed[20] ^= 0x01
+        with pytest.raises(ValueError):
+            unseal(_MASTER, bytes(sealed))
+
+    def test_truncation_detected(self):
+        with pytest.raises(ValueError):
+            unseal(_MASTER, b"short")
+
+    @given(st.binary(max_size=300))
+    def test_roundtrip_property(self, payload):
+        assert unseal(_MASTER, seal(_MASTER, payload)) == payload
+
+    def test_end_to_end_with_recipes(self):
+        recipe = FileRecipe(file_name="f")
+        recipe.add(b"fp" * 16, 1024)
+        sealed = seal(_MASTER, recipe.serialize())
+        restored = FileRecipe.deserialize(unseal(_MASTER, sealed))
+        assert restored.entries == recipe.entries

@@ -1,0 +1,113 @@
+"""Look-ahead restore scheduling and fragmentation metrics."""
+
+import random
+
+import pytest
+
+from repro.storage.container import ChunkLocation, ContainerStore
+from repro.storage.restore import (
+    FragmentationAnalyzer,
+    FragmentationReport,
+    LookaheadRestorer,
+)
+
+
+@pytest.fixture
+def fragmented_store(tmp_path):
+    """A store whose logical stream is scattered across many containers.
+
+    Writes 40 chunks into small containers, then builds a restore order
+    that ping-pongs between early and late containers — the fragmentation
+    pattern aged snapshots exhibit.
+    """
+    store = ContainerStore(tmp_path, container_bytes=256, cache_containers=1)
+    locations = []
+    for i in range(40):
+        locations.append(store.append(bytes([i]) * 100))
+    store.seal()
+    order = []
+    for i in range(20):
+        order.append(locations[i])
+        order.append(locations[39 - i])
+    return store, order, locations
+
+
+class TestFragmentationAnalyzer:
+    def test_sequential_stream(self):
+        locations = [ChunkLocation(0, i * 10, 10) for i in range(10)]
+        report = FragmentationAnalyzer.analyze(locations)
+        assert report.containers_touched == 1
+        assert report.container_switches == 0
+        assert report.fragmentation_factor == 0.0
+
+    def test_fully_fragmented_stream(self):
+        locations = [ChunkLocation(i, 0, 10) for i in range(10)]
+        report = FragmentationAnalyzer.analyze(locations)
+        assert report.containers_touched == 10
+        assert report.fragmentation_factor == 1.0
+
+    def test_empty(self):
+        report = FragmentationAnalyzer.analyze([])
+        assert report == FragmentationReport(0, 0, 0, 0.0)
+
+    def test_single_chunk(self):
+        report = FragmentationAnalyzer.analyze([ChunkLocation(3, 0, 5)])
+        assert report.fragmentation_factor == 0.0
+        assert report.chunks_per_container == 1.0
+
+
+class TestLookaheadRestorer:
+    def test_correct_order_and_content(self, fragmented_store):
+        store, order, _ = fragmented_store
+        restorer = LookaheadRestorer(store, window_chunks=8)
+        chunks = restorer.restore_all(order)
+        expected = [store.read(loc) for loc in order]
+        assert chunks == expected
+
+    def test_fewer_fetches_than_naive(self, fragmented_store):
+        store, order, _ = fragmented_store
+        # Naive: read chunk-by-chunk through the store's 1-container cache.
+        store.stats["container_reads"] = 0
+        for loc in order:
+            store.read(loc)
+        naive_fetches = store.stats["container_reads"]
+
+        restorer = LookaheadRestorer(store, window_chunks=len(order))
+        restorer.restore_all(order)
+        assert restorer.stats["container_fetches"] < naive_fetches
+
+    def test_window_bounds_fetches(self, fragmented_store):
+        store, order, _ = fragmented_store
+        restorer = LookaheadRestorer(store, window_chunks=4)
+        restorer.restore_all(order)
+        report = FragmentationAnalyzer.analyze(order)
+        # Each window fetches each needed container at most once.
+        assert restorer.stats["container_fetches"] <= (
+            restorer.stats["window_count"] * report.containers_touched
+        )
+
+    def test_random_access_pattern(self, fragmented_store):
+        store, _, locations = fragmented_store
+        rng = random.Random(5)
+        order = [rng.choice(locations) for _ in range(100)]
+        restorer = LookaheadRestorer(store, window_chunks=16)
+        assert restorer.restore_all(order) == [
+            store.read(loc) for loc in order
+        ]
+
+    def test_empty_restore(self, fragmented_store):
+        store, _, _ = fragmented_store
+        assert LookaheadRestorer(store).restore_all([]) == []
+
+    def test_out_of_bounds_detected(self, fragmented_store):
+        store, _, _ = fragmented_store
+        restorer = LookaheadRestorer(store)
+        with pytest.raises(ValueError):
+            restorer.restore_all([ChunkLocation(0, 0, 10_000)])
+
+    def test_validation(self, fragmented_store):
+        store, _, _ = fragmented_store
+        with pytest.raises(ValueError):
+            LookaheadRestorer(store, window_chunks=0)
+        with pytest.raises(ValueError):
+            LookaheadRestorer(store, cache_containers=-1)

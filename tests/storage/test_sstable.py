@@ -1,0 +1,113 @@
+"""SSTables: lookups, tombstones, sparse index, corruption detection."""
+
+import pytest
+
+from repro.storage.sstable import SSTable, write_sstable
+
+
+def _items(n, prefix=b"key"):
+    return [
+        (prefix + b"-%06d" % i, b"value-%d" % i) for i in range(n)
+    ]
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.sst"
+        items = _items(100)
+        write_sstable(path, items)
+        table = SSTable(path)
+        for key, value in items:
+            assert table.get(key) == (True, value)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, _items(50))
+        table = SSTable(path)
+        assert table.get(b"absent") == (False, None)
+        assert table.get(b"key-999999") == (False, None)
+        assert table.get(b"aaa") == (False, None)
+
+    def test_tombstones_preserved(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, [(b"alive", b"v"), (b"dead", None)])
+        table = SSTable(path)
+        assert table.get(b"alive") == (True, b"v")
+        assert table.get(b"dead") == (True, None)
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, [])
+        table = SSTable(path)
+        assert table.get(b"anything") == (False, None)
+        assert list(table) == []
+
+    def test_iteration_in_key_order(self, tmp_path):
+        path = tmp_path / "t.sst"
+        items = _items(200)
+        write_sstable(path, items)
+        assert list(SSTable(path)) == items
+
+    def test_rejects_unsorted_keys(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sstable(tmp_path / "t.sst", [(b"b", b"1"), (b"a", b"2")])
+
+    def test_rejects_duplicate_keys(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sstable(tmp_path / "t.sst", [(b"a", b"1"), (b"a", b"2")])
+
+    def test_sparse_index_every_interval(self, tmp_path):
+        # Keys landing between index entries must still be found.
+        path = tmp_path / "t.sst"
+        items = _items(100)
+        write_sstable(path, items, index_interval=7)
+        table = SSTable(path)
+        for key, value in items:
+            assert table.get(key) == (True, value)
+
+    def test_large_values(self, tmp_path):
+        path = tmp_path / "t.sst"
+        big = b"x" * 100_000
+        write_sstable(path, [(b"big", big)])
+        assert SSTable(path).get(b"big") == (True, big)
+
+    def test_file_bytes(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, _items(10))
+        assert SSTable(path).file_bytes() == path.stat().st_size
+
+    def test_len(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, _items(37))
+        assert len(SSTable(path)) == 37
+
+
+class TestCorruption:
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.sst"
+        path.write_bytes(b"NOTASSTB" + b"\x00" * 100)
+        with pytest.raises(ValueError):
+            SSTable(path)
+
+    def test_rejects_flipped_byte(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, _items(20))
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            SSTable(path)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, _items(20))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            SSTable(path)
+
+    def test_rejects_tiny_file(self, tmp_path):
+        path = tmp_path / "t.sst"
+        path.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            SSTable(path)

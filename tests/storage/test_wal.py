@@ -1,0 +1,91 @@
+"""Write-ahead log: replay, torn tails, corruption."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.storage.wal import OP_DELETE, OP_PUT, WriteAheadLog, replay_into
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+class TestWal:
+    def test_replay_roundtrip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"k1", b"v1")
+        wal.append(OP_DELETE, b"k2")
+        wal.append(OP_PUT, b"k3", b"v3")
+        wal.close()
+        records = list(WriteAheadLog.replay(wal_path))
+        assert records == [
+            (OP_PUT, b"k1", b"v1"),
+            (OP_DELETE, b"k2", b""),
+            (OP_PUT, b"k3", b"v3"),
+        ]
+
+    def test_replay_missing_file(self, wal_path):
+        assert list(WriteAheadLog.replay(wal_path)) == []
+
+    def test_replay_stops_at_torn_tail(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"good", b"record")
+        wal.append(OP_PUT, b"torn", b"record")
+        wal.close()
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-3])  # simulate a crash mid-write
+        records = list(WriteAheadLog.replay(wal_path))
+        assert records == [(OP_PUT, b"good", b"record")]
+
+    def test_replay_stops_at_corrupt_crc(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"good", b"record")
+        wal.append(OP_PUT, b"bad", b"record")
+        wal.close()
+        data = bytearray(wal_path.read_bytes())
+        data[-1] ^= 0xFF
+        wal_path.write_bytes(bytes(data))
+        records = list(WriteAheadLog.replay(wal_path))
+        assert records == [(OP_PUT, b"good", b"record")]
+
+    def test_truncate(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"k", b"v")
+        wal.truncate()
+        wal.append(OP_PUT, b"k2", b"v2")
+        wal.close()
+        assert list(WriteAheadLog.replay(wal_path)) == [(OP_PUT, b"k2", b"v2")]
+
+    def test_rejects_unknown_op(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        with pytest.raises(ValueError):
+            wal.append(42, b"k")
+        wal.close()
+
+    def test_empty_key_and_value(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"", b"")
+        wal.close()
+        assert list(WriteAheadLog.replay(wal_path)) == [(OP_PUT, b"", b"")]
+
+    def test_replay_into_callbacks(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"a", b"1")
+        wal.append(OP_DELETE, b"a")
+        wal.close()
+        state = {}
+        count = replay_into(
+            wal_path,
+            lambda k, v: state.__setitem__(k, v),
+            lambda k: state.pop(k, None),
+        )
+        assert count == 2
+        assert state == {}
+
+    def test_sync_does_not_crash(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"k", b"v")
+        wal.sync()
+        wal.close()

@@ -1,0 +1,283 @@
+"""TEDStore client over the in-process deployment."""
+
+import random
+
+import pytest
+
+from repro.chunking.cdc import ChunkerParams, ContentDefinedChunker
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import FAST, SECURE, SHACTR
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.provider import ProviderService
+from repro.traces.workload import unique_file
+
+_W = 2**14
+
+
+def _make_client(
+    tmp_path=None,
+    profile=SHACTR,
+    master_key=b"\x01" * 32,
+    batch_size=200,
+    blowup_factor=1.05,
+    provider=None,
+):
+    key_manager = KeyManagerService(
+        TedKeyManager(
+            secret=b"client-test-secret",
+            blowup_factor=blowup_factor,
+            batch_size=batch_size,
+            sketch_width=_W,
+            rng=random.Random(4),
+        )
+    )
+    if provider is None:
+        if tmp_path is None:
+            provider = ProviderService(in_memory=True)
+        else:
+            provider = ProviderService(
+                directory=str(tmp_path), container_bytes=64 << 10
+            )
+    return TedStoreClient(
+        LocalKeyManager(key_manager),
+        LocalProvider(provider),
+        master_key=master_key,
+        profile=profile,
+        sketch_width=_W,
+        batch_size=batch_size,
+        chunker=ContentDefinedChunker(
+            ChunkerParams(min_size=1024, avg_size=2048, max_size=4096)
+        ),
+    )
+
+
+class TestUploadDownload:
+    @pytest.mark.parametrize("profile", [SHACTR, FAST])
+    def test_roundtrip(self, profile):
+        client = _make_client(profile=profile)
+        data = unique_file(100_000)
+        client.upload("file", data)
+        assert client.download("file") == data
+
+    def test_roundtrip_secure_profile_small(self):
+        # Pure-Python AES-256 path; keep the payload small.
+        client = _make_client(profile=SECURE)
+        data = unique_file(8_000)
+        client.upload("file", data)
+        assert client.download("file") == data
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        client = _make_client(tmp_path=tmp_path)
+        data = unique_file(60_000)
+        client.upload("file", data)
+        client.provider.service.flush()
+        assert client.download("file") == data
+
+    def test_empty_file(self):
+        client = _make_client()
+        client.upload("empty", b"")
+        assert client.download("empty") == b""
+
+    def test_multiple_files(self):
+        client = _make_client()
+        files = {f"f{i}": unique_file(20_000, client_id=i) for i in range(4)}
+        for name, data in files.items():
+            client.upload(name, data)
+        for name, data in files.items():
+            assert client.download(name) == data
+
+    def test_duplicate_upload_partially_deduplicates(self):
+        # FTED starts at t = 1 and has not tuned yet on this tiny upload, so
+        # duplicates spread across key-seed buckets — dedup happens but is
+        # deliberately partial (the TED trade-off in action).
+        client = _make_client()
+        data = unique_file(100_000)
+        first = client.upload("f1", data)
+        second = client.upload("f2", data)
+        assert first.duplicate_chunks == 0
+        assert second.duplicate_chunks > 0
+        assert second.duplicate_chunks + second.stored_chunks == \
+            second.chunk_count
+
+    def test_duplicate_upload_full_dedup_with_large_t(self):
+        # BTED with t far above any frequency reduces to MLE: the second
+        # upload of identical data must deduplicate completely.
+        key_manager = KeyManagerService(
+            TedKeyManager(secret=b"s", t=10_000, sketch_width=_W)
+        )
+        client = TedStoreClient(
+            LocalKeyManager(key_manager),
+            LocalProvider(ProviderService(in_memory=True)),
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=200,
+            chunker=ContentDefinedChunker(
+                ChunkerParams(min_size=1024, avg_size=2048, max_size=4096)
+            ),
+        )
+        data = unique_file(100_000)
+        client.upload("f1", data)
+        second = client.upload("f2", data)
+        assert second.stored_chunks == 0
+        assert second.duplicate_chunks == second.chunk_count
+
+    def test_upload_chunks_trace_path(self):
+        client = _make_client()
+        chunks = [unique_file(3000, client_id=i) for i in range(10)]
+        result = client.upload_chunks("trace-file", chunks)
+        assert result.chunk_count == 10
+        assert client.download("trace-file") == b"".join(chunks)
+
+    def test_upload_result_accounting(self):
+        client = _make_client()
+        data = unique_file(50_000)
+        result = client.upload("file", data)
+        assert result.logical_bytes == len(data)
+        assert result.stored_chunks + result.duplicate_chunks == \
+            result.chunk_count
+
+
+class TestMetadataDedup:
+    def _meta_client(self, provider):
+        key_manager = KeyManagerService(
+            TedKeyManager(secret=b"s", t=10_000, sketch_width=_W)
+        )
+        return TedStoreClient(
+            LocalKeyManager(key_manager),
+            LocalProvider(provider),
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=200,
+            metadata_dedup=True,
+            metadata_entries_per_chunk=16,
+        )
+
+    def test_roundtrip(self):
+        client = self._meta_client(ProviderService(in_memory=True))
+        data = unique_file(60_000)
+        client.upload("f", data)
+        assert client.download("f") == data
+
+    def test_empty_file(self):
+        client = self._meta_client(ProviderService(in_memory=True))
+        client.upload("empty", b"")
+        assert client.download("empty") == b""
+
+    def test_recipe_chunks_dedup_across_identical_uploads(self):
+        provider = ProviderService(in_memory=True)
+        client = self._meta_client(provider)
+        data = unique_file(60_000)
+        client.upload("day-0", data)
+        unique_after_first = len(provider._memory_chunks)
+        client.upload("day-1", data)
+        # With t = 10,000 (MLE regime) the data chunks fully dedup AND the
+        # metadata chunks dedup too: no new unique chunks at all.
+        assert len(provider._memory_chunks) == unique_after_first
+
+    def test_wrong_master_key_still_locked_out(self):
+        provider = ProviderService(in_memory=True)
+        uploader = self._meta_client(provider)
+        uploader.upload("f", unique_file(20_000))
+        thief = self._meta_client(provider)
+        thief.master_key = b"\x09" * 32
+        with pytest.raises(ValueError):
+            thief.download("f")
+
+
+class TestSecurity:
+    def test_wrong_master_key_cannot_download(self):
+        provider = ProviderService(in_memory=True)
+        uploader = _make_client(master_key=b"\x01" * 32, provider=provider)
+        thief = _make_client(master_key=b"\x02" * 32, provider=provider)
+        uploader.upload("secret-file", unique_file(20_000))
+        with pytest.raises(ValueError):
+            thief.download("secret-file")
+
+    def test_stored_chunks_are_ciphertext(self):
+        provider = ProviderService(in_memory=True)
+        client = _make_client(provider=provider)
+        data = unique_file(30_000)
+        client.upload("f", data)
+        stored = b"".join(provider._memory_chunks.values())
+        # No 64-byte window of the plaintext appears in storage.
+        assert data[:64] not in stored
+
+    def test_key_manager_never_sees_fingerprints(self):
+        # The client only ever sends short hashes (ints < sketch width).
+        captured = []
+
+        class SpyKeyManager:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def keygen(self, request):
+                captured.extend(request.hash_vectors)
+                return self.inner.keygen(request)
+
+        client = _make_client()
+        client.key_manager = SpyKeyManager(client.key_manager)
+        client.upload("f", unique_file(20_000))
+        assert captured
+        for vector in captured:
+            assert len(vector) == 4
+            assert all(0 <= h < _W for h in vector)
+
+
+class TestInstrumentation:
+    def test_stage_timer_covers_pipeline(self):
+        client = _make_client()
+        client.upload("f", unique_file(30_000))
+        totals = client.timer.totals()
+        for stage in (
+            "chunking",
+            "fingerprinting",
+            "hashing",
+            "key seeding",
+            "key derivation",
+            "encryption",
+            "write",
+        ):
+            assert stage in totals, stage
+        client.download("f")
+        totals = client.timer.totals()
+        assert "chunk fetch" in totals
+        assert "decryption" in totals
+
+    def test_batching_splits_requests(self):
+        client = _make_client(batch_size=5)
+        chunks = [unique_file(1000, client_id=i) for i in range(12)]
+        client.upload_chunks("f", chunks)
+        # 12 chunks at batch size 5 → 3 key-generation round trips.
+        stats = dict(client.key_manager.service.stats())
+        assert stats["requests"] == 12
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            _make_client(batch_size=0)
+
+    def test_recipe_count_mismatch_detected(self):
+        client = _make_client()
+        client.upload("f", unique_file(10_000))
+        # Corrupt the stored key recipe by re-sealing a truncated one.
+        from repro.storage.recipe import KeyRecipe, seal, unseal
+        from repro.tedstore.messages import GetRecipes, PutRecipes
+
+        provider = client.provider
+        recipes = provider.get_recipes(GetRecipes(file_name="f"))
+        key_recipe = KeyRecipe.deserialize(
+            unseal(client.master_key, recipes.sealed_key_recipe)
+        )
+        key_recipe.keys.pop()
+        provider.put_recipes(
+            PutRecipes(
+                file_name="f",
+                sealed_file_recipe=recipes.sealed_file_recipe,
+                sealed_key_recipe=seal(
+                    client.master_key, key_recipe.serialize()
+                ),
+            )
+        )
+        with pytest.raises(ValueError):
+            client.download("f")

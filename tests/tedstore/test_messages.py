@@ -1,0 +1,137 @@
+"""Wire protocol: framing and message serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tedstore import messages as m
+
+
+def _loop_reader(data: bytes):
+    """recv_exact over an in-memory buffer."""
+    state = {"pos": 0}
+
+    def recv(n):
+        start = state["pos"]
+        if start + n > len(data):
+            raise m.ProtocolError("short read")
+        state["pos"] = start + n
+        return data[start : start + n]
+
+    return recv
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        framed = m.frame(m.MSG_OK, b"payload")
+        message_type, payload = m.read_frame(_loop_reader(framed))
+        assert message_type == m.MSG_OK
+        assert payload == b"payload"
+
+    def test_empty_payload(self):
+        framed = m.frame(m.MSG_OK, b"")
+        message_type, payload = m.read_frame(_loop_reader(framed))
+        assert (message_type, payload) == (m.MSG_OK, b"")
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(m.ProtocolError):
+            m.read_frame(_loop_reader(b"\x00\x00\x00\x00"))
+
+    def test_rejects_oversized_frame(self):
+        header = (m.MAX_MESSAGE_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(m.ProtocolError):
+            m.read_frame(_loop_reader(header))
+
+
+class TestKeyGenMessages:
+    def test_request_roundtrip(self):
+        request = m.KeyGenRequest(hash_vectors=[[1, 2, 3, 4], [5, 6, 7, 8]])
+        assert m.KeyGenRequest.decode(request.encode()) == request
+
+    def test_empty_request(self):
+        request = m.KeyGenRequest()
+        assert m.KeyGenRequest.decode(request.encode()) == request
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
+            max_size=20,
+        )
+    )
+    def test_request_roundtrip_property(self, vectors):
+        request = m.KeyGenRequest(hash_vectors=vectors)
+        assert m.KeyGenRequest.decode(request.encode()) == request
+
+    def test_response_roundtrip(self):
+        response = m.KeyGenResponse(seeds=[b"s1", b"s2" * 16], current_t=42)
+        assert m.KeyGenResponse.decode(response.encode()) == response
+
+    def test_decode_rejects_trailing_bytes(self):
+        payload = m.KeyGenRequest(hash_vectors=[[1]]).encode() + b"extra"
+        with pytest.raises(m.ProtocolError):
+            m.KeyGenRequest.decode(payload)
+
+    def test_decode_rejects_truncated_blob(self):
+        payload = m.KeyGenResponse(seeds=[b"seed"], current_t=1).encode()
+        with pytest.raises((m.ProtocolError, ValueError)):
+            m.KeyGenResponse.decode(payload[:-3])
+
+
+class TestChunkMessages:
+    def test_put_chunks_roundtrip(self):
+        request = m.PutChunks(chunks=[(b"fp1", b"data1"), (b"fp2", b"")])
+        assert m.PutChunks.decode(request.encode()) == request
+
+    def test_put_chunks_response_roundtrip(self):
+        response = m.PutChunksResponse(stored=10, duplicates=5)
+        assert m.PutChunksResponse.decode(response.encode()) == response
+
+    def test_get_chunks_roundtrip(self):
+        request = m.GetChunks(fingerprints=[b"a" * 32, b"b" * 32])
+        assert m.GetChunks.decode(request.encode()) == request
+
+    def test_chunks_roundtrip(self):
+        response = m.Chunks(chunks=[b"x" * 1000, b""])
+        assert m.Chunks.decode(response.encode()) == response
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(max_size=32), st.binary(max_size=200)),
+            max_size=10,
+        )
+    )
+    def test_put_chunks_property(self, chunks):
+        request = m.PutChunks(chunks=chunks)
+        assert m.PutChunks.decode(request.encode()) == request
+
+
+class TestRecipeMessages:
+    def test_put_recipes_roundtrip(self):
+        request = m.PutRecipes(
+            file_name="backups/2026-07-06.tar",
+            sealed_file_recipe=b"sealed-fr",
+            sealed_key_recipe=b"sealed-kr",
+        )
+        assert m.PutRecipes.decode(request.encode()) == request
+
+    def test_unicode_file_name(self):
+        request = m.PutRecipes(file_name="файл.bin")
+        assert m.PutRecipes.decode(request.encode()).file_name == "файл.bin"
+
+    def test_get_recipes_roundtrip(self):
+        request = m.GetRecipes(file_name="f")
+        assert m.GetRecipes.decode(request.encode()) == request
+
+
+class TestMiscMessages:
+    def test_error_roundtrip(self):
+        assert m.decode_error(m.encode_error("boom: not found")) == \
+            "boom: not found"
+
+    def test_stats_roundtrip(self):
+        pairs = [("requests", 100), ("current_t", 7)]
+        assert m.decode_stats(m.encode_stats(pairs)) == pairs
+
+    def test_stats_empty(self):
+        assert m.decode_stats(m.encode_stats([])) == []

@@ -1,0 +1,126 @@
+"""TCP deployment: framing over real sockets, concurrency, errors."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import GetChunks, KeyGenRequest
+from repro.tedstore.network import (
+    RemoteKeyManager,
+    RemoteProvider,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.tedstore.provider import ProviderService
+from repro.traces.workload import unique_file
+
+_W = 2**14
+
+
+@pytest.fixture
+def stack():
+    """A running key-manager + provider pair with client factory."""
+    key_manager = KeyManagerService(
+        TedKeyManager(
+            secret=b"net-secret",
+            blowup_factor=1.05,
+            batch_size=500,
+            sketch_width=_W,
+            rng=random.Random(8),
+        )
+    )
+    provider = ProviderService(in_memory=True)
+    km_handle = serve_key_manager(key_manager)
+    prov_handle = serve_provider(provider)
+    transports = []
+
+    def make_client(master_key=b"\x03" * 32):
+        km = RemoteKeyManager(km_handle.address)
+        prov = RemoteProvider(prov_handle.address)
+        transports.extend([km, prov])
+        return TedStoreClient(
+            km,
+            prov,
+            master_key=master_key,
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=200,
+        )
+
+    yield make_client
+    for transport in transports:
+        transport.close()
+    km_handle.stop()
+    prov_handle.stop()
+
+
+class TestTcpRoundTrip:
+    def test_upload_download(self, stack):
+        client = stack()
+        data = unique_file(80_000)
+        client.upload("net-file", data)
+        assert client.download("net-file") == data
+
+    def test_keygen_over_tcp(self, stack):
+        client = stack()
+        response = client.key_manager.keygen(
+            KeyGenRequest(hash_vectors=[[1, 2, 3, 4]])
+        )
+        assert len(response.seeds) == 1
+
+    def test_stats_over_tcp(self, stack):
+        client = stack()
+        client.upload("f", unique_file(10_000))
+        km_stats = dict(client.key_manager.stats())
+        prov_stats = dict(client.provider.stats())
+        assert km_stats["requests"] > 0
+        assert prov_stats["unique_chunks"] > 0
+
+    def test_remote_error_propagates(self, stack):
+        client = stack()
+        with pytest.raises(RuntimeError, match="not found"):
+            client.provider.get_chunks(GetChunks(fingerprints=[b"missing"]))
+
+    def test_connection_survives_error(self, stack):
+        client = stack()
+        with pytest.raises(RuntimeError):
+            client.provider.get_chunks(GetChunks(fingerprints=[b"missing"]))
+        # Same connection continues to work.
+        data = unique_file(10_000)
+        client.upload("after-error", data)
+        assert client.download("after-error") == data
+
+
+class TestConcurrency:
+    def test_multiple_clients_share_backend(self, stack):
+        clients = [stack(master_key=bytes([i + 1]) * 32) for i in range(3)]
+        datasets = [unique_file(30_000, client_id=i) for i in range(3)]
+        errors = []
+
+        def worker(i):
+            try:
+                clients[i].upload(f"c{i}", datasets[i])
+                assert clients[i].download(f"c{i}") == datasets[i]
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_clients_cannot_read_each_others_files(self, stack):
+        alice = stack(master_key=b"\x0a" * 32)
+        bob = stack(master_key=b"\x0b" * 32)
+        alice.upload("alice-file", unique_file(10_000))
+        with pytest.raises(ValueError):
+            bob.download("alice-file")

@@ -1,0 +1,151 @@
+"""Quorum key management: determinism across quorums, failover, security."""
+
+import random
+
+import pytest
+
+from repro.crypto import ec
+from repro.tedstore.quorum import (
+    QuorumClient,
+    availability_map,
+    deal_quorum,
+    simulate_failover,
+)
+
+
+@pytest.fixture(scope="module")
+def quorum():
+    servers, public = deal_quorum(
+        threshold=3, num_servers=5, rng=random.Random(77)
+    )
+    return servers, public
+
+
+class TestDeterminism:
+    def test_same_quorum_same_key(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3, rng=random.Random(1))
+        assert client.derive_key(b"fp", servers[:3]) == client.derive_key(
+            b"fp", servers[:3]
+        )
+
+    def test_different_quorums_same_key(self, quorum):
+        # The dedup-critical property: the key is independent of WHICH
+        # replicas answered.
+        servers, _ = quorum
+        client = QuorumClient(3, rng=random.Random(2))
+        key_a = client.derive_key(b"fp", servers[:3])
+        key_b = client.derive_key(b"fp", servers[2:])
+        key_c = client.derive_key(b"fp", [servers[4], servers[0], servers[2]])
+        assert key_a == key_b == key_c
+
+    def test_different_clients_same_key(self, quorum):
+        servers, _ = quorum
+        a = QuorumClient(3, rng=random.Random(3))
+        b = QuorumClient(3, rng=random.Random(4))
+        assert a.derive_key(b"fp", servers[:3]) == b.derive_key(
+            b"fp", servers[:3]
+        )
+
+    def test_distinct_fingerprints_distinct_keys(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3, rng=random.Random(5))
+        assert client.derive_key(b"fp-A", servers[:3]) != client.derive_key(
+            b"fp-B", servers[:3]
+        )
+
+    def test_matches_direct_signature(self, quorum):
+        # The combined quorum result equals H(d * H2C(fp)) — check against
+        # the public point by reconstructing d from the shares.
+        servers, public = quorum
+        from repro.crypto.shamir import reconstruct
+
+        d = reconstruct([s.share for s in servers[:3]], ec.N)
+        assert ec.scalar_mult(d, ec.GENERATOR) == public
+        import hashlib
+
+        expected = hashlib.sha256(
+            ec.encode_point(ec.scalar_mult(d, ec.hash_to_curve(b"fp")))
+        ).digest()
+        client = QuorumClient(3, rng=random.Random(6))
+        assert client.derive_key(b"fp", servers[:3]) == expected
+
+
+class TestFailover:
+    def test_tolerates_allowed_failures(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3, rng=random.Random(7))
+        healthy = client.derive_key(b"fp", servers)
+        degraded = simulate_failover(
+            b"fp", servers, threshold=3, down=[2, 4], rng=random.Random(8)
+        )
+        assert degraded == healthy
+
+    def test_too_many_failures_rejected(self, quorum):
+        servers, _ = quorum
+        with pytest.raises(ValueError):
+            simulate_failover(
+                b"fp", servers, threshold=3, down=[1, 2, 3]
+            )
+
+    def test_insufficient_quorum_rejected(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3)
+        with pytest.raises(ValueError):
+            client.derive_key(b"fp", servers[:2])
+
+    def test_duplicate_replicas_rejected(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3)
+        with pytest.raises(ValueError):
+            client.derive_key(b"fp", [servers[0], servers[0], servers[1]])
+
+
+class TestSecurity:
+    def test_blinding_hides_fingerprint_point(self, quorum):
+        # The point each server sees differs per request and differs from
+        # the unblinded hash-to-curve point.
+        servers, _ = quorum
+        seen = []
+
+        class Spy:
+            def __init__(self, inner):
+                self.inner = inner
+                self.server_id = inner.server_id
+
+            def sign_blinded(self, point):
+                seen.append(point)
+                return self.inner.sign_blinded(point)
+
+        spied = [Spy(s) for s in servers[:3]]
+        client = QuorumClient(3, rng=random.Random(9))
+        client.derive_key(b"fp", spied)
+        client.derive_key(b"fp", spied)
+        raw = ec.hash_to_curve(b"fp")
+        assert raw not in seen
+        assert seen[0] != seen[3]  # fresh blinding per request
+
+    def test_server_rejects_bad_point(self, quorum):
+        servers, _ = quorum
+        with pytest.raises(ValueError):
+            servers[0].sign_blinded(None)
+        with pytest.raises(ValueError):
+            servers[0].sign_blinded((5, 7))
+
+    def test_batch_api(self, quorum):
+        servers, _ = quorum
+        client = QuorumClient(3, rng=random.Random(10))
+        keys = client.derive_keys([b"a", b"b", b"a"], servers[:3])
+        assert keys[0] == keys[2]
+        assert keys[0] != keys[1]
+
+
+class TestAvailabilityMap:
+    def test_map(self):
+        info = availability_map(num_servers=5, threshold=3)
+        assert info["tolerated_failures"] == 2
+        assert info["collusion_resistance"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability_map(2, 3)

@@ -1,0 +1,129 @@
+"""Key-generation rate limiting (the §2.3 online brute-force defence)."""
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import KeyGenRequest
+from repro.tedstore.ratelimit import (
+    KeyGenRateLimiter,
+    RateLimitExceeded,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=20, clock=clock)
+        assert bucket.try_consume(20)
+        assert not bucket.try_consume(1)
+
+    def test_refills_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=20, clock=clock)
+        bucket.try_consume(20)
+        clock.advance(1.0)
+        assert bucket.try_consume(10)
+        assert not bucket.try_consume(1)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=20, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == 20
+
+    def test_zero_consume_always_allowed(self):
+        bucket = TokenBucket(rate=1, burst=1, clock=FakeClock())
+        assert bucket.try_consume(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+        bucket = TokenBucket(rate=1, burst=1, clock=FakeClock())
+        with pytest.raises(ValueError):
+            bucket.try_consume(-1)
+
+
+class TestKeyGenRateLimiter:
+    def test_legitimate_batches_pass(self):
+        clock = FakeClock()
+        limiter = KeyGenRateLimiter(
+            chunks_per_second=1000, burst_chunks=2000, clock=clock
+        )
+        for _ in range(2):
+            limiter.check("client-a", 1000)
+        assert limiter.stats["allowed"] == 2000
+
+    def test_brute_force_blocked(self):
+        clock = FakeClock()
+        limiter = KeyGenRateLimiter(
+            chunks_per_second=1000, burst_chunks=2000, clock=clock
+        )
+        limiter.check("attacker", 2000)
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("attacker", 1)
+        assert limiter.stats["rejected"] == 1
+
+    def test_budget_recovers(self):
+        clock = FakeClock()
+        limiter = KeyGenRateLimiter(
+            chunks_per_second=1000, burst_chunks=2000, clock=clock
+        )
+        limiter.check("c", 2000)
+        clock.advance(2.0)
+        limiter.check("c", 2000)
+
+    def test_clients_isolated(self):
+        clock = FakeClock()
+        limiter = KeyGenRateLimiter(
+            chunks_per_second=100, burst_chunks=100, clock=clock
+        )
+        limiter.check("a", 100)
+        limiter.check("b", 100)  # b has its own bucket
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("a", 1)
+        assert limiter.clients() == 2
+
+    def test_negative_chunks_rejected(self):
+        limiter = KeyGenRateLimiter(clock=FakeClock())
+        with pytest.raises(ValueError):
+            limiter.check("c", -1)
+
+
+class TestServiceIntegration:
+    def test_key_manager_enforces_limit(self):
+        clock = FakeClock()
+        service = KeyManagerService(
+            TedKeyManager(secret=b"s", t=5, sketch_width=2**12),
+            rate_limiter=KeyGenRateLimiter(
+                chunks_per_second=10, burst_chunks=10, clock=clock
+            ),
+        )
+        request = KeyGenRequest(hash_vectors=[[1, 2, 3, 4]] * 10)
+        service.handle_keygen(request, client_id="mallory")
+        with pytest.raises(RateLimitExceeded):
+            service.handle_keygen(request, client_id="mallory")
+        # Other clients are unaffected.
+        service.handle_keygen(request, client_id="alice")
+
+    def test_no_limiter_means_no_limit(self):
+        service = KeyManagerService(
+            TedKeyManager(secret=b"s", t=5, sketch_width=2**12)
+        )
+        request = KeyGenRequest(hash_vectors=[[1, 2, 3, 4]] * 100)
+        for _ in range(5):
+            service.handle_keygen(request)

@@ -1,0 +1,141 @@
+"""Key-manager and provider services."""
+
+import random
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.murmur3 import short_hashes
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import (
+    GetChunks,
+    GetRecipes,
+    KeyGenRequest,
+    PutChunks,
+    PutRecipes,
+)
+from repro.tedstore.provider import ProviderService
+
+_W = 2**12
+
+
+def _vectors(*items):
+    return [short_hashes(item, 4, _W) for item in items]
+
+
+class TestKeyManagerService:
+    def test_batch_seed_generation(self):
+        service = KeyManagerService(
+            TedKeyManager(secret=b"s", t=5, sketch_width=_W)
+        )
+        response = service.handle_keygen(
+            KeyGenRequest(hash_vectors=_vectors(b"a", b"b", b"a"))
+        )
+        assert len(response.seeds) == 3
+        assert response.current_t == 5
+
+    def test_default_configuration(self):
+        service = KeyManagerService()
+        response = service.handle_keygen(
+            KeyGenRequest(hash_vectors=[short_hashes(b"x", 4, 2**21)])
+        )
+        assert len(response.seeds) == 1
+
+    def test_stats(self):
+        service = KeyManagerService(
+            TedKeyManager(secret=b"s", t=5, sketch_width=_W)
+        )
+        service.handle_keygen(KeyGenRequest(hash_vectors=_vectors(b"a")))
+        stats = dict(service.stats())
+        assert stats["requests"] == 1
+        assert stats["current_t"] == 5
+
+    def test_concurrent_access(self):
+        import threading
+
+        service = KeyManagerService(
+            TedKeyManager(
+                secret=b"s", t=5, sketch_width=_W, rng=random.Random(1)
+            )
+        )
+
+        def worker(prefix):
+            for i in range(50):
+                service.handle_keygen(
+                    KeyGenRequest(
+                        hash_vectors=_vectors(b"%s-%d" % (prefix, i))
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(b"t%d" % t,))
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert dict(service.stats())["requests"] == 200
+
+
+class TestProviderService:
+    def test_in_memory_dedup(self):
+        provider = ProviderService(in_memory=True)
+        response = provider.handle_put_chunks(
+            PutChunks(chunks=[(b"fp1", b"d1"), (b"fp1", b"d1"), (b"fp2", b"d2")])
+        )
+        assert response.stored == 2
+        assert response.duplicates == 1
+
+    def test_on_disk_dedup(self, tmp_path):
+        provider = ProviderService(directory=str(tmp_path), container_bytes=1024)
+        provider.handle_put_chunks(
+            PutChunks(chunks=[(b"fp1", b"d1"), (b"fp1", b"d1")])
+        )
+        stats = dict(provider.stats())
+        assert stats["unique_chunks"] == 1
+        assert stats["logical_chunks"] == 2
+
+    def test_get_chunks_in_order(self):
+        provider = ProviderService(in_memory=True)
+        provider.handle_put_chunks(
+            PutChunks(chunks=[(b"a", b"1"), (b"b", b"2")])
+        )
+        response = provider.handle_get_chunks(
+            GetChunks(fingerprints=[b"b", b"a"])
+        )
+        assert response.chunks == [b"2", b"1"]
+
+    def test_get_unknown_chunk(self):
+        provider = ProviderService(in_memory=True)
+        with pytest.raises(KeyError):
+            provider.handle_get_chunks(GetChunks(fingerprints=[b"nope"]))
+
+    def test_recipes_roundtrip(self):
+        provider = ProviderService(in_memory=True)
+        provider.handle_put_recipes(
+            PutRecipes(
+                file_name="f",
+                sealed_file_recipe=b"fr",
+                sealed_key_recipe=b"kr",
+            )
+        )
+        out = provider.handle_get_recipes(GetRecipes(file_name="f"))
+        assert (out.sealed_file_recipe, out.sealed_key_recipe) == (b"fr", b"kr")
+
+    def test_unknown_recipe(self):
+        provider = ProviderService(in_memory=True)
+        with pytest.raises(KeyError):
+            provider.handle_get_recipes(GetRecipes(file_name="missing"))
+
+    def test_requires_directory_or_memory(self):
+        with pytest.raises(ValueError):
+            ProviderService()
+
+    def test_injected_engine(self, tmp_path):
+        from repro.storage.dedup import DedupEngine
+
+        engine = DedupEngine(tmp_path, container_bytes=512)
+        provider = ProviderService(engine=engine)
+        provider.handle_put_chunks(PutChunks(chunks=[(b"fp", b"data")]))
+        assert engine.load(b"fp") == b"data"

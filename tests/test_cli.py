@@ -1,0 +1,115 @@
+"""Command-line interface: offline subcommands end to end."""
+
+import hashlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["generate-trace", "--out", "/tmp/x"],
+            ["analyze", "trace.trc"],
+            ["tune", "trace.trc", "--b", "1.2"],
+            ["upload", "file.bin"],
+            ["download", "name", "--out", "o.bin"],
+        ],
+    )
+    def test_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestOfflineCommands:
+    def test_generate_and_analyze_and_tune(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(
+            [
+                "generate-trace",
+                "--flavor",
+                "fsl",
+                "--snapshots",
+                "1",
+                "--scale",
+                "0.05",
+                "--out",
+                str(out_dir),
+            ]
+        ) == 0
+        traces = sorted(out_dir.glob("*.trc"))
+        assert traces
+
+        assert main(
+            ["analyze", str(traces[0]), "--b", "1.1", "--sketch-width", "4096"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "MLE" in captured
+        assert "FTED(b=1.1)" in captured
+
+        assert main(["tune", str(traces[0]), "--b", "1.1"]) == 0
+        captured = capsys.readouterr().out
+        assert "t=" in captured
+
+    def test_ms_flavor(self, tmp_path, capsys):
+        out_dir = tmp_path / "ms"
+        assert main(
+            [
+                "generate-trace",
+                "--flavor",
+                "ms",
+                "--snapshots",
+                "1",
+                "--scale",
+                "0.05",
+                "--out",
+                str(out_dir),
+            ]
+        ) == 0
+        assert list(out_dir.glob("ms-*.trc"))
+
+
+class TestNetworkedCommands:
+    def test_upload_download_via_cli(self, tmp_path, capsys):
+        # Spin servers programmatically, then drive the CLI client paths.
+        from repro.core.ted import TedKeyManager
+        from repro.tedstore.keymanager import KeyManagerService
+        from repro.tedstore.network import serve_key_manager, serve_provider
+        from repro.tedstore.provider import ProviderService
+
+        km = KeyManagerService(
+            TedKeyManager(
+                secret=b"cli-secret",
+                blowup_factor=1.05,
+                batch_size=1000,
+                sketch_width=2**14,
+            )
+        )
+        provider = ProviderService(in_memory=True)
+        source = tmp_path / "payload.bin"
+        source.write_bytes(hashlib.sha256(b"cli").digest() * 2000)
+        restored = tmp_path / "restored.bin"
+        key_file = tmp_path / "master.key"
+        key_file.write_bytes(b"cli-master-secret")
+
+        with serve_key_manager(km) as kmh, serve_provider(provider) as prh:
+            km_addr = f"{kmh.address[0]}:{kmh.address[1]}"
+            pr_addr = f"{prh.address[0]}:{prh.address[1]}"
+            common = [
+                "--km", km_addr,
+                "--provider", pr_addr,
+                "--master-key", str(key_file),
+                "--sketch-width", str(2**14),
+                "--batch-size", "1000",
+            ]
+            assert main(["upload", *common, str(source), "--name", "f"]) == 0
+            assert main(
+                ["download", *common, "f", "--out", str(restored)]
+            ) == 0
+        assert restored.read_bytes() == source.read_bytes()

@@ -1,0 +1,124 @@
+"""Utility helpers: varints, byte ops, timers."""
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    StageTimer,
+    Stopwatch,
+    bytes_to_int,
+    ceil_div,
+    decode_uvarint,
+    encode_uvarint,
+    int_to_bytes,
+    xor_bytes,
+)
+
+
+class TestVarint:
+    @given(st.integers(0, 2**63 - 1))
+    def test_roundtrip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, offset = decode_uvarint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_single_byte_values(self):
+        assert encode_uvarint(0) == b"\x00"
+        assert encode_uvarint(127) == b"\x7f"
+
+    def test_multi_byte_boundary(self):
+        assert encode_uvarint(128) == b"\x80\x01"
+
+    def test_offset_decoding(self):
+        data = b"\xff" + encode_uvarint(300)
+        value, offset = decode_uvarint(data, 1)
+        assert value == 300
+        assert offset == len(data)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80" * 11 + b"\x01")
+
+
+class TestBytesUtil:
+    def test_xor(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_xor_self_is_zero(self):
+        assert xor_bytes(b"abc", b"abc") == b"\x00\x00\x00"
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"a", b"ab")
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_int_bytes_roundtrip(self, value):
+        assert bytes_to_int(int_to_bytes(value, 8)) == value
+
+    def test_int_to_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1, 4)
+
+    @pytest.mark.parametrize(
+        "n,d,expected", [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2)]
+    )
+    def test_ceil_div(self, n, d, expected):
+        assert ceil_div(n, d) == expected
+
+    def test_ceil_div_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+
+class TestTimers:
+    def test_stage_accumulation(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.01)
+        with timer.stage("a"):
+            pass
+        assert timer.total("a") >= 0.01
+        assert timer.total("missing") == 0.0
+
+    def test_stage_records_on_exception(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("x"):
+                raise RuntimeError("boom")
+        assert timer.total("x") >= 0.0
+        assert "x" in timer.totals()
+
+    def test_manual_add_and_merge(self):
+        a = StageTimer()
+        b = StageTimer()
+        a.add("s", 1.0)
+        b.add("s", 2.0)
+        b.add("t", 3.0)
+        a.merge(b)
+        assert a.total("s") == 3.0
+        assert a.total("t") == 3.0
+
+    def test_reset(self):
+        timer = StageTimer()
+        timer.add("s", 1.0)
+        timer.reset()
+        assert timer.totals() == {}
+
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        first = watch.elapsed()
+        assert first >= 0.01
+        watch.restart()
+        assert watch.elapsed() < first

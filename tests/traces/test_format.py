@@ -1,0 +1,95 @@
+"""Trace file formats: binary and text roundtrips, error handling."""
+
+import pytest
+
+from repro.traces.format import (
+    read_dataset,
+    read_snapshot,
+    read_snapshot_text,
+    write_dataset,
+    write_snapshot,
+    write_snapshot_text,
+)
+from repro.traces.model import Dataset, Snapshot
+
+
+def _snapshot(fp_bytes=6, n=50):
+    s = Snapshot(snapshot_id="fsl/user0/snap0")
+    for i in range(n):
+        s.add(i.to_bytes(fp_bytes, "big"), 4096 + i)
+    return s
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        snapshot = _snapshot()
+        path = tmp_path / "s.trc"
+        write_snapshot(path, snapshot)
+        restored = read_snapshot(path)
+        assert restored.snapshot_id == snapshot.snapshot_id
+        assert restored.records == snapshot.records
+
+    def test_roundtrip_40bit_fingerprints(self, tmp_path):
+        snapshot = _snapshot(fp_bytes=5)
+        path = tmp_path / "s.trc"
+        write_snapshot(path, snapshot)
+        assert read_snapshot(path).records == snapshot.records
+
+    def test_empty_snapshot(self, tmp_path):
+        path = tmp_path / "e.trc"
+        write_snapshot(path, Snapshot(snapshot_id="empty"))
+        assert read_snapshot(path).records == []
+
+    def test_rejects_mixed_fingerprint_lengths(self, tmp_path):
+        snapshot = Snapshot(snapshot_id="bad")
+        snapshot.add(b"\x01" * 5, 10)
+        snapshot.add(b"\x01" * 6, 10)
+        with pytest.raises(ValueError):
+            write_snapshot(tmp_path / "bad.trc", snapshot)
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_bytes(b"NOTATRACE-FILE")
+        with pytest.raises(ValueError):
+            read_snapshot(path)
+
+    def test_rejects_truncation(self, tmp_path):
+        path = tmp_path / "s.trc"
+        write_snapshot(path, _snapshot())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(ValueError):
+            read_snapshot(path)
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        dataset = Dataset(
+            name="mini", snapshots=[_snapshot(), _snapshot(), _snapshot()]
+        )
+        paths = write_dataset(tmp_path, dataset)
+        assert len(paths) == 3
+        restored = read_dataset(tmp_path, "mini")
+        assert len(restored) == 3
+        for a, b in zip(restored, dataset):
+            assert a.records == b.records
+
+    def test_missing_dataset(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_dataset(tmp_path, "nope")
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        snapshot = _snapshot(n=10)
+        path = tmp_path / "s.txt"
+        write_snapshot_text(path, snapshot)
+        restored = read_snapshot_text(path)
+        assert restored.snapshot_id == snapshot.snapshot_id
+        assert restored.records == snapshot.records
+
+    def test_ignores_blank_and_comment_lines(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("# snapshot: x\n\n# a comment\n0102,100\n")
+        restored = read_snapshot_text(path)
+        assert restored.records == [(b"\x01\x02", 100)]

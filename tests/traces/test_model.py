@@ -1,0 +1,80 @@
+"""Snapshot/dataset accounting and chunk materialization."""
+
+import pytest
+
+from repro.traces.model import Dataset, Snapshot, materialize_chunk
+
+
+def _snapshot():
+    s = Snapshot(snapshot_id="s0")
+    s.add(b"\x01" * 6, 100)
+    s.add(b"\x02" * 6, 200)
+    s.add(b"\x01" * 6, 100)  # duplicate
+    return s
+
+
+class TestSnapshot:
+    def test_total_bytes(self):
+        assert _snapshot().total_bytes == 400
+
+    def test_unique_chunks(self):
+        assert _snapshot().unique_chunks == 2
+
+    def test_unique_bytes(self):
+        assert _snapshot().unique_bytes == 300
+
+    def test_dedup_ratio(self):
+        assert _snapshot().dedup_ratio == pytest.approx(400 / 300)
+
+    def test_frequencies(self):
+        assert sorted(_snapshot().frequencies()) == [1, 2]
+
+    def test_len_and_iter(self):
+        s = _snapshot()
+        assert len(s) == 3
+        assert list(s) == s.records
+
+    def test_add_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Snapshot(snapshot_id="x").add(b"fp", 0)
+
+    def test_empty_snapshot(self):
+        s = Snapshot(snapshot_id="e")
+        assert s.total_bytes == 0
+        assert s.dedup_ratio == 1.0
+
+
+class TestDataset:
+    def test_aggregation(self):
+        ds = Dataset(name="d", snapshots=[_snapshot(), _snapshot()])
+        assert len(ds) == 2
+        assert ds.total_bytes == 800
+        assert ds.per_snapshot_dedup_bytes == 600
+
+    def test_iter(self):
+        ds = Dataset(name="d", snapshots=[_snapshot()])
+        assert list(ds) == ds.snapshots
+
+
+class TestMaterializeChunk:
+    def test_size_and_determinism(self):
+        chunk = materialize_chunk(b"\xab\xcd", 10)
+        assert len(chunk) == 10
+        assert chunk == materialize_chunk(b"\xab\xcd", 10)
+
+    def test_repeats_fingerprint(self):
+        assert materialize_chunk(b"ab", 5) == b"ababa"
+
+    def test_distinct_fingerprints_distinct_chunks(self):
+        assert materialize_chunk(b"a" * 6, 64) != materialize_chunk(
+            b"b" * 6, 64
+        )
+
+    def test_size_smaller_than_fingerprint(self):
+        assert materialize_chunk(b"abcdef", 3) == b"abc"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            materialize_chunk(b"fp", 0)
+        with pytest.raises(ValueError):
+            materialize_chunk(b"", 10)

@@ -1,0 +1,100 @@
+"""Synthetic trace generator: determinism and statistical targets."""
+
+import pytest
+
+from repro.traces.synthetic import (
+    SyntheticTraceGenerator,
+    TraceConfig,
+    generate_fsl_like,
+    generate_ms_like,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_fsl_like(users=1, snapshots_per_user=2, scale=0.05, seed=9)
+        b = generate_fsl_like(users=1, snapshots_per_user=2, scale=0.05, seed=9)
+        for sa, sb in zip(a, b):
+            assert sa.records == sb.records
+
+    def test_different_seed_differs(self):
+        a = generate_fsl_like(users=1, snapshots_per_user=1, scale=0.05, seed=1)
+        b = generate_fsl_like(users=1, snapshots_per_user=1, scale=0.05, seed=2)
+        assert a.snapshots[0].records != b.snapshots[0].records
+
+    def test_users_have_disjoint_chunks(self):
+        ds = generate_fsl_like(users=2, snapshots_per_user=1, scale=0.05)
+        fps0 = {fp for fp, _ in ds.snapshots[0].records}
+        fps1 = {fp for fp, _ in ds.snapshots[1].records}
+        assert not fps0 & fps1
+
+
+class TestStatisticalTargets:
+    def test_fsl_fingerprint_width(self, fsl_small):
+        for snapshot in fsl_small:
+            assert all(len(fp) == 6 for fp, _ in snapshot.records)
+
+    def test_ms_fingerprint_width(self, ms_small):
+        for snapshot in ms_small:
+            assert all(len(fp) == 5 for fp, _ in snapshot.records)
+
+    def test_fsl_has_intra_snapshot_duplicates(self, fsl_small):
+        # §5.1: FSL deduplicates roughly 2x per snapshot.
+        ratios = [s.dedup_ratio for s in fsl_small]
+        assert max(ratios) > 1.3
+
+    def test_ms_duplication_heavier_on_average(self):
+        fsl = generate_fsl_like(users=4, snapshots_per_user=1, scale=0.3, seed=1)
+        ms = generate_ms_like(machines=4, scale=0.3, seed=1)
+        fsl_mean = sum(s.dedup_ratio for s in fsl) / len(fsl)
+        ms_mean = sum(s.dedup_ratio for s in ms) / len(ms)
+        assert ms_mean > fsl_mean
+
+    def test_fsl_sizes_vary_across_users(self):
+        ds = generate_fsl_like(users=6, snapshots_per_user=1, scale=0.1, seed=4)
+        sizes = [s.total_bytes for s in ds]
+        assert max(sizes) / min(sizes) > 2  # §5.1: sizes vary significantly
+
+    def test_chunk_sizes_within_bounds(self, fsl_small):
+        for fp, size in fsl_small.snapshots[0].records:
+            assert 4096 <= size < 16384
+
+    def test_duplicate_fingerprints_have_consistent_sizes(self, fsl_small):
+        sizes = {}
+        for fp, size in fsl_small.snapshots[0].records:
+            assert sizes.setdefault(fp, size) == size
+
+
+class TestEvolution:
+    def test_consecutive_snapshots_share_content(self, snapshot_series):
+        first = {fp for fp, _ in snapshot_series[0].records}
+        second = {fp for fp, _ in snapshot_series[1].records}
+        overlap = len(first & second) / len(first)
+        assert overlap > 0.5  # backups mostly repeat
+
+    def test_snapshots_also_change(self, snapshot_series):
+        first = {fp for fp, _ in snapshot_series[0].records}
+        last = {fp for fp, _ in snapshot_series[-1].records}
+        assert last - first  # new content appears
+
+    def test_series_grows(self, snapshot_series):
+        assert len(snapshot_series[-1]) > 0
+        assert len(snapshot_series) == 5
+
+
+class TestConfig:
+    def test_rejects_bad_fingerprint_bits(self):
+        with pytest.raises(ValueError):
+            TraceConfig(name="x", fingerprint_bits=44)
+
+    def test_rejects_bad_chunk_bounds(self):
+        with pytest.raises(ValueError):
+            TraceConfig(name="x", min_chunk=0)
+        with pytest.raises(ValueError):
+            TraceConfig(name="x", min_chunk=10, max_chunk=5)
+
+    def test_fixed_chunk_size(self):
+        config = TraceConfig(name="x", min_chunk=8192, max_chunk=8192)
+        gen = SyntheticTraceGenerator(config, "u", 1)
+        snapshot = gen.snapshot("s")
+        assert all(size == 8192 for _, size in snapshot.records)
