@@ -175,6 +175,13 @@ class TedKeyManager:
         frequencies = list(self._freq_by_identity.values())
         if frequencies:
             self.tune_from_frequencies(frequencies)
+        # Each tuning round consumes its batch's frequency vector: the map
+        # is cleared so it stays bounded by the batch's distinct-chunk
+        # count instead of growing with the whole stream, and stale
+        # entries from old batches cannot skew later solves. Cumulative
+        # frequency history still informs tuning through the sketch,
+        # which keeps counting across batches.
+        self._freq_by_identity.clear()
 
     def tune_from_stream(
         self, hash_vectors: Sequence[Sequence[int]]

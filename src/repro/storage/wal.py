@@ -62,11 +62,25 @@ class WriteAheadLog:
             self._file.close()
 
     def truncate(self) -> None:
-        """Discard all records (called after a successful memtable flush)."""
+        """Discard all records (called after a successful memtable flush).
+
+        The truncation is fsynced (file and directory) before returning:
+        without the barrier, a crash after the memtable flush could leave
+        the old log contents on disk, and replay would resurrect — and
+        double-apply — mutations that the flush already persisted.
+        """
         self._file.close()
         self._file = open(self.path, "wb")
+        self._file.flush()
+        os.fsync(self._file.fileno())
         self._file.close()
         self._file = open(self.path, "ab")
+        # Durability of the (possibly re-created) directory entry.
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     @staticmethod
     def replay(path: Path) -> Iterator[Tuple[int, bytes, bytes]]:

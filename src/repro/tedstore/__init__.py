@@ -1,11 +1,19 @@
 """TEDStore: the networked encrypted-deduplication prototype (paper §4)."""
 
 from repro.tedstore.client import TedStoreClient, UploadResult
+from repro.tedstore.faults import (
+    FaultPlan,
+    FaultyKeyManager,
+    FaultyProvider,
+    FaultyQuorumServer,
+    InjectedFault,
+)
 from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
 from repro.tedstore.keymanager import KeyManagerService
 from repro.tedstore.network import (
     RemoteKeyManager,
     RemoteProvider,
+    ServerBusy,
     ServerHandle,
     serve_key_manager,
     serve_provider,
@@ -17,6 +25,12 @@ from repro.tedstore.quorum import (
     deal_quorum,
 )
 from repro.tedstore.ratelimit import KeyGenRateLimiter, RateLimitExceeded
+from repro.tedstore.retry import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    retry_call,
+)
 
 __all__ = [
     "QuorumClient",
@@ -31,8 +45,18 @@ __all__ = [
     "KeyManagerService",
     "RemoteKeyManager",
     "RemoteProvider",
+    "ServerBusy",
     "ServerHandle",
     "serve_key_manager",
     "serve_provider",
     "ProviderService",
+    "FaultPlan",
+    "FaultyKeyManager",
+    "FaultyProvider",
+    "FaultyQuorumServer",
+    "InjectedFault",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "retry_call",
 ]

@@ -219,6 +219,25 @@ class TedStoreClient:
             duplicate_chunks=duplicates,
         )
 
+    # -- observability ----------------------------------------------------------
+
+    def transport_stats(self) -> dict:
+        """Counters from both transports, keyed by entity.
+
+        Over TCP this includes the wire-robustness counters — client-side
+        ``client_retries`` / ``client_reconnects`` / ``client_timeouts``
+        and the server-side ``server_*`` guards — so tests and operators
+        can see recoveries that the request/response API papers over.
+        """
+        stats = {}
+        for name, transport in (
+            ("key_manager", self.key_manager),
+            ("provider", self.provider),
+        ):
+            getter = getattr(transport, "stats", None)
+            stats[name] = dict(getter()) if getter is not None else {}
+        return stats
+
     # -- download ----------------------------------------------------------------
 
     def download(self, file_name: str) -> bytes:

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for TEDStore transports.
+
+Wraps any key-manager, provider, or quorum-replica stub and injects the
+four failure modes a real deployment sees on the wire:
+
+* **drop** — the request is lost before delivery (``InjectedFault``).
+* **close** — the request is delivered but the reply is lost, modelling a
+  connection torn down mid-exchange. For non-idempotent state this is the
+  dangerous case: the side effect happened, the caller doesn't know.
+* **delay** — the reply stalls (drives idle-timeout and deadline paths).
+* **corrupt** — the reply's encoded payload has one byte flipped and is
+  re-decoded, so the caller sees either a ``ProtocolError`` or silently
+  corrupted data, exactly as a damaged frame would present.
+
+All randomness comes from one seeded RNG per wrapper, so a fault schedule
+replays identically run after run — degraded-path tests are deterministic,
+never flaky.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tedstore import messages as m
+
+
+class InjectedFault(ConnectionError):
+    """A transport failure injected by a :class:`FaultPlan`."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities and parameters of injected faults.
+
+    Rates are independent per-call probabilities in ``[0, 1]``; ``seed``
+    makes the schedule deterministic; ``sleep`` is injectable so delay
+    faults cost no real time in tests.
+    """
+
+    drop_rate: float = 0.0
+    close_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "close_rate", "delay_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds cannot be negative")
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan with a different RNG seed (per-replica schedules)."""
+        return replace(self, seed=seed)
+
+
+class _Injector:
+    """Seeded fault scheduler shared by the transport wrappers."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.counters: Dict[str, int] = {
+            "drops": 0,
+            "closes": 0,
+            "delays": 0,
+            "corruptions": 0,
+            "deliveries": 0,
+        }
+
+    def before(self, op: str) -> None:
+        """Fault point before the request reaches the inner stub."""
+        if self.plan.delay_rate and self._rng.random() < self.plan.delay_rate:
+            self.counters["delays"] += 1
+            self.plan.sleep(self.plan.delay_seconds)
+        if self.plan.drop_rate and self._rng.random() < self.plan.drop_rate:
+            self.counters["drops"] += 1
+            raise InjectedFault(f"injected drop before {op}")
+
+    def after(self, op: str, response, codec=None):
+        """Fault point after the inner stub produced a response.
+
+        With a ``codec`` (the response dataclass), corruption faults flip
+        one byte of the encoded payload and re-decode it; a decode failure
+        surfaces as :class:`~repro.tedstore.messages.ProtocolError`.
+        """
+        if self.plan.close_rate and self._rng.random() < self.plan.close_rate:
+            self.counters["closes"] += 1
+            raise InjectedFault(f"injected close after {op} (reply lost)")
+        if (
+            codec is not None
+            and self.plan.corrupt_rate
+            and self._rng.random() < self.plan.corrupt_rate
+        ):
+            payload = bytearray(response.encode())
+            if payload:
+                self.counters["corruptions"] += 1
+                payload[self._rng.randrange(len(payload))] ^= 0xFF
+                try:
+                    response = codec.decode(bytes(payload))
+                except Exception as exc:
+                    raise m.ProtocolError(
+                        f"injected corrupt frame in {op}: {exc}"
+                    ) from exc
+        self.counters["deliveries"] += 1
+        return response
+
+
+class FaultyKeyManager:
+    """Fault-injecting wrapper around any ``KeyManagerTransport``."""
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._injector = _Injector(plan)
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        return dict(self._injector.counters)
+
+    def keygen(self, request: m.KeyGenRequest) -> m.KeyGenResponse:
+        self._injector.before("keygen")
+        response = self._inner.keygen(request)
+        return self._injector.after("keygen", response, codec=m.KeyGenResponse)
+
+    def stats(self) -> List[Tuple[str, int]]:
+        self._injector.before("stats")
+        return self._injector.after("stats", self._inner.stats())
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+
+class FaultyProvider:
+    """Fault-injecting wrapper around any ``ProviderTransport``."""
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._injector = _Injector(plan)
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        return dict(self._injector.counters)
+
+    def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
+        self._injector.before("put_chunks")
+        response = self._inner.put_chunks(request)
+        return self._injector.after(
+            "put_chunks", response, codec=m.PutChunksResponse
+        )
+
+    def get_chunks(self, request: m.GetChunks) -> m.Chunks:
+        self._injector.before("get_chunks")
+        response = self._inner.get_chunks(request)
+        return self._injector.after("get_chunks", response, codec=m.Chunks)
+
+    def put_recipes(self, request: m.PutRecipes) -> None:
+        self._injector.before("put_recipes")
+        self._inner.put_recipes(request)
+        self._injector.after("put_recipes", None)
+
+    def get_recipes(self, request: m.GetRecipes) -> m.PutRecipes:
+        self._injector.before("get_recipes")
+        response = self._inner.get_recipes(request)
+        return self._injector.after(
+            "get_recipes", response, codec=m.PutRecipes
+        )
+
+    def stats(self) -> List[Tuple[str, int]]:
+        self._injector.before("stats")
+        return self._injector.after("stats", self._inner.stats())
+
+    def close(self) -> None:
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+
+class FaultyQuorumServer:
+    """Fault-injecting wrapper around a quorum key-manager replica.
+
+    ``QuorumClient.derive_key`` treats :class:`InjectedFault` like any
+    transport failure: the replica is skipped and the quorum proceeds with
+    the remaining ones, which is exactly the degraded-mode behaviour the
+    (k, n)-threshold design promises.
+    """
+
+    def __init__(
+        self, inner, plan: FaultPlan, seed: Optional[int] = None
+    ) -> None:
+        self._inner = inner
+        if seed is None:
+            # Distinct default schedule per replica: a shared seed would
+            # make every replica fail on exactly the same requests, which
+            # defeats the quorum.
+            seed = plan.seed * 1_000_003 + inner.server_id
+        self._injector = _Injector(plan.with_seed(seed))
+
+    @property
+    def server_id(self) -> int:
+        return self._inner.server_id
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        return dict(self._injector.counters)
+
+    def sign_blinded(self, blinded_point):
+        self._injector.before("sign_blinded")
+        result = self._inner.sign_blinded(blinded_point)
+        return self._injector.after("sign_blinded", result)

@@ -32,6 +32,9 @@ class LocalKeyManager:
     def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
         return self.service.handle_keygen(request)
 
+    def stats(self) -> List[Tuple[str, int]]:
+        return self.service.stats()
+
 
 class LocalProvider:
     """Direct-call provider transport."""

@@ -33,6 +33,11 @@ MSG_CHUNKS = 10
 MSG_ERROR = 11
 MSG_STATS_REQUEST = 12
 MSG_STATS_RESPONSE = 13
+# Load-shedding reply (same payload as MSG_ERROR): the server refused to
+# admit the request — max-inflight guard tripped or shutdown is draining.
+# Unlike MSG_ERROR it is always safe to retry: the request was never
+# dispatched, so no state changed.
+MSG_BUSY = 14
 
 MAX_MESSAGE_BYTES = 256 << 20  # guard against absurd/corrupt frames
 

@@ -5,6 +5,21 @@ connections from any number of clients; every connection is served by its
 own thread, mirroring the paper's multi-threaded prototype (§4). The wire
 format is :mod:`repro.tedstore.messages`. Servers bind to an ephemeral port
 by default so tests and benchmarks can run many instances concurrently.
+
+Robustness (DESIGN.md §8):
+
+* **Client** — a failed ``call()`` leaves the stream desynchronized (a late
+  reply would be misread as the answer to the next request), so any
+  transport error closes the socket; idempotent requests then reconnect and
+  retry under a configurable :class:`~repro.tedstore.retry.RetryPolicy`.
+  ``MSG_BUSY`` replies are retried without reconnecting — the stream is
+  still in sync, the server just shed load.
+* **Server** — per-connection idle timeouts release handler threads pinned
+  by stalled peers, a max-inflight guard sheds load with ``MSG_BUSY``
+  instead of queueing unboundedly, and shutdown drains in-flight requests
+  before closing connections.
+* **Observability** — both sides count retries, reconnects, timeouts, and
+  busy rejections; the counters ride the existing stats message.
 """
 
 from __future__ import annotations
@@ -12,11 +27,18 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.tedstore import messages as m
 from repro.tedstore.keymanager import KeyManagerService
 from repro.tedstore.provider import ProviderService
+from repro.tedstore.retry import RetryPolicy
+
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+
+class ServerBusy(ConnectionError):
+    """The server shed this request (max-inflight guard or draining)."""
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -36,34 +58,144 @@ class _Server(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    def __init__(
+        self,
+        server_address: Tuple[str, int],
+        handler_class,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        super().__init__(server_address, handler_class)
+        self.idle_timeout = idle_timeout
+        self.max_inflight = max_inflight
+        self.draining = False
+        self._inflight = 0
+        self._state = threading.Condition()
+        self._active_sockets: set = set()
+        self.wire_counters: Dict[str, int] = {
+            "connections": 0,
+            "idle_timeouts": 0,
+            "busy_rejections": 0,
+            "forced_disconnects": 0,
+        }
+
+    # -- connection / request accounting --------------------------------------
+
+    def register_connection(self, sock: socket.socket) -> None:
+        with self._state:
+            self._active_sockets.add(sock)
+            self.wire_counters["connections"] += 1
+
+    def unregister_connection(self, sock: socket.socket) -> None:
+        with self._state:
+            self._active_sockets.discard(sock)
+
+    def count(self, name: str) -> None:
+        with self._state:
+            self.wire_counters[name] += 1
+
+    def try_begin_request(self) -> bool:
+        """Claim an in-flight slot; False means reply ``MSG_BUSY``."""
+        with self._state:
+            if self.draining:
+                return False
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self.wire_counters["busy_rejections"] += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        with self._state:
+            self._inflight -= 1
+            self._state.notify_all()
+
+    def drain(self, timeout: float) -> bool:
+        """Stop admitting requests; wait for in-flight ones to finish."""
+        with self._state:
+            self.draining = True
+            return self._state.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def close_active_connections(self) -> None:
+        with self._state:
+            victims = list(self._active_sockets)
+            self._active_sockets.clear()
+            self.wire_counters["forced_disconnects"] += len(victims)
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def stats_pairs(self) -> List[Tuple[str, int]]:
+        """Server wire counters as stats-message pairs."""
+        with self._state:
+            return [
+                (f"server_{name}", value)
+                for name, value in self.wire_counters.items()
+            ]
+
 
 class _ServiceHandler(socketserver.BaseRequestHandler):
     """Per-connection loop: read frame, dispatch, reply."""
 
     def handle(self) -> None:
         sock = self.request
+        server: _Server = self.server  # type: ignore[assignment]
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        dispatch = self.server.dispatch  # type: ignore[attr-defined]
+        if server.idle_timeout is not None:
+            # A stalled peer must not pin this handler thread forever.
+            sock.settimeout(server.idle_timeout)
+        dispatch = server.dispatch  # type: ignore[attr-defined]
         # Rate-limiting identity is the peer host (not host:port): a
         # brute-forcing client must not reset its budget by reconnecting.
         peer = str(self.client_address[0])
-        while True:
-            try:
-                message_type, payload = m.read_frame(
-                    lambda n: _recv_exact(sock, n)
-                )
-            except (ConnectionError, OSError):
-                return
-            try:
-                reply = dispatch(message_type, payload, peer)
-            except KeyError as exc:
-                reply = m.frame(m.MSG_ERROR, m.encode_error(f"not found: {exc}"))
-            except Exception as exc:  # report, keep the connection alive
-                reply = m.frame(m.MSG_ERROR, m.encode_error(str(exc)))
-            try:
-                sock.sendall(reply)
-            except OSError:
-                return
+        server.register_connection(sock)
+        try:
+            while True:
+                try:
+                    message_type, payload = m.read_frame(
+                        lambda n: _recv_exact(sock, n)
+                    )
+                except socket.timeout:
+                    server.count("idle_timeouts")
+                    return
+                except (ConnectionError, OSError, m.ProtocolError):
+                    return
+                if not server.try_begin_request():
+                    reply = m.frame(
+                        m.MSG_BUSY, m.encode_error("server busy")
+                    )
+                else:
+                    try:
+                        reply = dispatch(message_type, payload, peer)
+                    except KeyError as exc:
+                        reply = m.frame(
+                            m.MSG_ERROR, m.encode_error(f"not found: {exc}")
+                        )
+                    except Exception as exc:  # report, keep connection alive
+                        reply = m.frame(m.MSG_ERROR, m.encode_error(str(exc)))
+                    finally:
+                        server.end_request()
+                try:
+                    sock.sendall(reply)
+                except OSError:
+                    return
+                if server.draining:
+                    return
+        finally:
+            server.unregister_connection(sock)
 
 
 class ServerHandle:
@@ -81,9 +213,33 @@ class ServerHandle:
         """(host, port) the server is listening on."""
         return self._server.server_address  # type: ignore[return-value]
 
-    def stop(self) -> None:
-        """Shut the server down and join its accept thread."""
+    def wire_stats(self) -> Dict[str, int]:
+        """Server-side wire counters (connections, timeouts, rejections)."""
+        return dict(self._server.stats_pairs())
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Gracefully shut down: drain in-flight requests, then close.
+
+        New requests are rejected with ``MSG_BUSY`` while draining; after
+        ``drain_timeout`` seconds any still-open connections are closed
+        forcibly so the accept thread can always be joined.
+        """
+        self._server.drain(timeout=drain_timeout)
         self._server.shutdown()
+        self._server.close_active_connections()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def kill(self) -> None:
+        """Hard stop: close every connection without draining.
+
+        Fault-injection hook for tests — equivalent to the process dying
+        mid-request.
+        """
+        with self._server._state:
+            self._server.draining = True
+        self._server.shutdown()
+        self._server.close_active_connections()
         self._server.server_close()
         self._thread.join(timeout=5)
 
@@ -95,9 +251,20 @@ class ServerHandle:
 
 
 def serve_key_manager(
-    service: KeyManagerService, host: str = "127.0.0.1", port: int = 0
+    service: KeyManagerService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+    max_inflight: Optional[int] = None,
 ) -> ServerHandle:
     """Start a key-manager server; returns its handle."""
+    server = _Server(
+        (host, port),
+        _ServiceHandler,
+        idle_timeout=idle_timeout,
+        max_inflight=max_inflight,
+    )
 
     def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
         if message_type == m.MSG_KEYGEN_REQUEST:
@@ -106,20 +273,33 @@ def serve_key_manager(
             )
             return m.frame(m.MSG_KEYGEN_RESPONSE, response.encode())
         if message_type == m.MSG_STATS_REQUEST:
-            return m.frame(m.MSG_STATS_RESPONSE, m.encode_stats(service.stats()))
+            return m.frame(
+                m.MSG_STATS_RESPONSE,
+                m.encode_stats(service.stats() + server.stats_pairs()),
+            )
         return m.frame(
             m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
         )
 
-    server = _Server((host, port), _ServiceHandler)
     server.dispatch = dispatch  # type: ignore[attr-defined]
     return ServerHandle(server)
 
 
 def serve_provider(
-    service: ProviderService, host: str = "127.0.0.1", port: int = 0
+    service: ProviderService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+    max_inflight: Optional[int] = None,
 ) -> ServerHandle:
     """Start a provider server; returns its handle."""
+    server = _Server(
+        (host, port),
+        _ServiceHandler,
+        idle_timeout=idle_timeout,
+        max_inflight=max_inflight,
+    )
 
     def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
         if message_type == m.MSG_PUT_CHUNKS:
@@ -135,56 +315,170 @@ def serve_provider(
             response = service.handle_get_recipes(m.GetRecipes.decode(payload))
             return m.frame(m.MSG_RECIPES, response.encode())
         if message_type == m.MSG_STATS_REQUEST:
-            return m.frame(m.MSG_STATS_RESPONSE, m.encode_stats(service.stats()))
+            return m.frame(
+                m.MSG_STATS_RESPONSE,
+                m.encode_stats(service.stats() + server.stats_pairs()),
+            )
         return m.frame(
             m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
         )
 
-    server = _Server((host, port), _ServiceHandler)
     server.dispatch = dispatch  # type: ignore[attr-defined]
     return ServerHandle(server)
 
 
 class _Connection:
-    """One persistent client connection with request/response semantics."""
+    """One persistent client connection with request/response semantics.
 
-    def __init__(self, address: Tuple[str, int]) -> None:
-        self._sock = socket.create_connection(address, timeout=60)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    Connects lazily and reconnects after any transport error: a failed
+    exchange desynchronizes the stream (a late reply would be misread as
+    the answer to the next request), so the socket is always closed on
+    failure. Idempotent calls are then retried under ``retry_policy``.
+    """
+
+    _WIRE_ERRORS = (ConnectionError, socket.timeout, OSError)
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        retry_policy: Optional[RetryPolicy] = None,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
+    ) -> None:
+        self._address = address
+        self._policy = retry_policy or RetryPolicy()
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "calls": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "timeouts": 0,
+            "busy": 0,
+        }
+        self._connect()
 
-    def call(self, message_type: int, payload: bytes) -> Tuple[int, bytes]:
+    # -- socket lifecycle ------------------------------------------------------
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            # The constructor connects eagerly, so any connect here is a
+            # reconnect after a dropped socket.
+            self._connect()
+            self.counters["reconnects"] += 1
+        return self._sock  # type: ignore[return-value]
+
+    # -- request/response ------------------------------------------------------
+
+    def call(
+        self, message_type: int, payload: bytes, idempotent: bool = True
+    ) -> Tuple[int, bytes]:
+        """One request/response exchange, with reconnect-and-retry.
+
+        Non-idempotent calls never retry after the request may have been
+        delivered: the socket is dropped and the error propagates.
+        """
+        request = m.frame(message_type, payload)
         with self._lock:
-            self._sock.sendall(m.frame(message_type, payload))
-            reply_type, reply = m.read_frame(
-                lambda n: _recv_exact(self._sock, n)
-            )
+            self.counters["calls"] += 1
+            state = self._policy.start_call()
+            while True:
+                try:
+                    reply_type, reply = self._exchange(request, state)
+                except ServerBusy as exc:
+                    # Frame was well-formed and answered: the stream is
+                    # still in sync, so retry without reconnecting.
+                    self.counters["busy"] += 1
+                    state.pause(state.admit_failure(exc))
+                    self.counters["retries"] += 1
+                    continue
+                except self._WIRE_ERRORS + (m.ProtocolError,) as exc:
+                    # A corrupt frame desynchronizes the stream exactly
+                    # like a dropped connection: reconnect before retrying.
+                    if isinstance(exc, socket.timeout):
+                        self.counters["timeouts"] += 1
+                    self._drop_socket()
+                    if not idempotent:
+                        raise
+                    state.pause(state.admit_failure(exc))
+                    self.counters["retries"] += 1
+                    continue
+                break
         if reply_type == m.MSG_ERROR:
-            raise RuntimeError(
-                f"remote error: {m.decode_error(reply)}"
-            )
+            raise RuntimeError(f"remote error: {m.decode_error(reply)}")
         return reply_type, reply
 
+    def _exchange(
+        self, request: bytes, state
+    ) -> Tuple[int, bytes]:
+        sock = self._ensure_connected()
+        timeout = self._io_timeout
+        remaining = state.remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                raise socket.timeout("per-call deadline exhausted")
+            timeout = min(timeout, remaining)
+        sock.settimeout(timeout)
+        sock.sendall(request)
+        reply_type, reply = m.read_frame(lambda n: _recv_exact(sock, n))
+        if reply_type == m.MSG_BUSY:
+            raise ServerBusy(m.decode_error(reply))
+        return reply_type, reply
+
+    def stats_pairs(self) -> List[Tuple[str, int]]:
+        """Client wire counters as stats-message pairs."""
+        with self._lock:
+            return [
+                (f"client_{name}", value)
+                for name, value in self.counters.items()
+            ]
+
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._drop_socket()
 
 
 class RemoteKeyManager:
     """TCP key-manager transport (client stub)."""
 
-    def __init__(self, address: Tuple[str, int]) -> None:
-        self._conn = _Connection(address)
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._conn = _Connection(address, retry_policy=retry_policy)
 
     def keygen(self, request: m.KeyGenRequest) -> m.KeyGenResponse:
+        # Retried as idempotent: a duplicate batch re-updates the sketch,
+        # which only over-estimates frequencies — the fail-safe direction
+        # (over-estimates can only raise t; Experiment A.2).
         _, payload = self._conn.call(m.MSG_KEYGEN_REQUEST, request.encode())
         return m.KeyGenResponse.decode(payload)
 
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
-        return m.decode_stats(payload)
+        return m.decode_stats(payload) + self._conn.stats_pairs()
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Client-side retry/reconnect/timeout counters."""
+        return dict(self._conn.stats_pairs())
 
     def close(self) -> None:
         self._conn.close()
@@ -193,10 +487,16 @@ class RemoteKeyManager:
 class RemoteProvider:
     """TCP provider transport (client stub)."""
 
-    def __init__(self, address: Tuple[str, int]) -> None:
-        self._conn = _Connection(address)
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._conn = _Connection(address, retry_policy=retry_policy)
 
     def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
+        # Idempotent: the provider deduplicates by fingerprint, so a
+        # replayed batch stores nothing new.
         _, payload = self._conn.call(m.MSG_PUT_CHUNKS, request.encode())
         return m.PutChunksResponse.decode(payload)
 
@@ -205,6 +505,7 @@ class RemoteProvider:
         return m.Chunks.decode(payload)
 
     def put_recipes(self, request: m.PutRecipes) -> None:
+        # Idempotent: rewriting the same sealed recipes is a no-op.
         self._conn.call(m.MSG_PUT_RECIPES, request.encode())
 
     def get_recipes(self, request: m.GetRecipes) -> m.PutRecipes:
@@ -213,7 +514,11 @@ class RemoteProvider:
 
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
-        return m.decode_stats(payload)
+        return m.decode_stats(payload) + self._conn.stats_pairs()
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Client-side retry/reconnect/timeout counters."""
+        return dict(self._conn.stats_pairs())
 
     def close(self) -> None:
         self._conn.close()

@@ -72,7 +72,18 @@ def deal_quorum(
 
 
 class QuorumClient:
-    """Client side of the threshold oblivious signing protocol."""
+    """Client side of the threshold oblivious signing protocol.
+
+    Replicas that fail with a transport error (connection drop, timeout,
+    injected fault — see :mod:`repro.tedstore.faults`) are skipped and the
+    quorum proceeds with the remaining ones; the Lagrange combination
+    yields the same key regardless of *which* ``threshold`` replicas
+    answered, so dedup survives degraded quorums. The skips are counted in
+    :attr:`stats` so degraded operation is observable.
+    """
+
+    #: Failures that mean "replica unreachable", not "request malformed".
+    TRANSIENT_ERRORS = (ConnectionError, TimeoutError, OSError)
 
     def __init__(
         self, threshold: int, rng: Optional[random.Random] = None
@@ -81,35 +92,62 @@ class QuorumClient:
             raise ValueError("threshold must be at least 1")
         self.threshold = threshold
         self._rng = rng or random.Random()
+        self.stats: Dict[str, int] = {
+            "derivations": 0,
+            "replica_failures": 0,
+            "degraded_derivations": 0,
+        }
 
     def derive_key(
         self, fingerprint: bytes, servers: Sequence[QuorumKeyServer]
     ) -> bytes:
         """Derive the chunk key using any ``threshold`` live replicas.
 
+        Replicas raising a transient transport error are skipped; later
+        replicas in ``servers`` take their place.
+
         Raises:
-            ValueError: if fewer than ``threshold`` replicas are offered or
-                two replicas claim the same share index.
+            ValueError: if fewer than ``threshold`` replicas are offered,
+                fewer than ``threshold`` replicas answer, or two replicas
+                claim the same share index.
         """
         if len(servers) < self.threshold:
             raise ValueError(
                 f"need {self.threshold} replicas, got {len(servers)}"
             )
-        quorum = list(servers[: self.threshold])
-        ids = [server.server_id for server in quorum]
-        if len(set(ids)) != len(ids):
-            raise ValueError("duplicate replica ids in quorum")
 
         point = ec.hash_to_curve(fingerprint)
         blinding = self._rng.randrange(1, ec.N)
         blinded = ec.scalar_mult(blinding, point)
 
-        partials = [server.sign_blinded(blinded) for server in quorum]
+        partials: Dict[int, ec.Point] = {}
+        failures = 0
+        for server in servers:
+            if len(partials) == self.threshold:
+                break
+            if server.server_id in partials:
+                raise ValueError("duplicate replica ids in quorum")
+            try:
+                partials[server.server_id] = server.sign_blinded(blinded)
+            except self.TRANSIENT_ERRORS:
+                failures += 1
+                self.stats["replica_failures"] += 1
+        if len(partials) < self.threshold:
+            raise ValueError(
+                f"quorum degraded below threshold: "
+                f"{len(partials)}/{self.threshold} replicas answered "
+                f"({failures} failed)"
+            )
+        self.stats["derivations"] += 1
+        if failures:
+            self.stats["degraded_derivations"] += 1
+
+        ids = list(partials)
         coefficients = lagrange_coefficients_at_zero(ids, ec.N)
         combined: ec.Point = None
-        for coefficient, partial in zip(coefficients, partials):
+        for coefficient, server_id in zip(coefficients, ids):
             combined = ec.point_add(
-                combined, ec.scalar_mult(coefficient, partial)
+                combined, ec.scalar_mult(coefficient, partials[server_id])
             )
         unblinded = ec.scalar_mult(
             pow(blinding, ec.N - 2, ec.N), combined

@@ -23,7 +23,12 @@ class RateLimitExceeded(Exception):
 
 
 class TokenBucket:
-    """Classic token bucket: ``rate`` tokens/second, up to ``burst`` stored."""
+    """Classic token bucket: ``rate`` tokens/second, up to ``burst`` stored.
+
+    Thread-safe on its own: callers outside ``KeyGenRateLimiter``'s dict
+    lock (e.g. a bucket shared across handler threads) would otherwise
+    race on the refill-and-spend sequence and over-admit.
+    """
 
     def __init__(
         self,
@@ -38,29 +43,32 @@ class TokenBucket:
         self._clock = clock or time.monotonic
         self._tokens = burst
         self._last = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
 
     def try_consume(self, tokens: float = 1.0) -> bool:
         """Take ``tokens`` from the bucket; False if not enough available."""
         if tokens < 0:
             raise ValueError("cannot consume negative tokens")
-        now = self._clock()
-        self._tokens = min(
-            self.burst, self._tokens + (now - self._last) * self.rate
-        )
-        self._last = now
-        if tokens > self._tokens:
-            return False
-        self._tokens -= tokens
-        return True
+        with self._lock:
+            self._refill_locked(self._clock())
+            if tokens > self._tokens:
+                return False
+            self._tokens -= tokens
+            return True
 
     def available(self) -> float:
-        """Tokens currently available (refreshes the clock)."""
-        now = self._clock()
-        self._tokens = min(
-            self.burst, self._tokens + (now - self._last) * self.rate
-        )
-        self._last = now
-        return self._tokens
+        """Tokens currently available. Read-only: mutates no bucket state."""
+        with self._lock:
+            return min(
+                self.burst,
+                self._tokens + (self._clock() - self._last) * self.rate,
+            )
 
 
 class KeyGenRateLimiter:

@@ -1,0 +1,145 @@
+"""Retry policies for the TEDStore wire path.
+
+A failed TCP ``call()`` leaves the connection desynchronized — a late reply
+would be misread as the answer to the *next* request — so every transport
+error forces a reconnect, and idempotent requests are then retried under a
+:class:`RetryPolicy`: capped exponential backoff with jitter, a bounded
+number of attempts, and a per-call deadline. The clock, sleep, and jitter
+RNG are all injectable so tests drive the policy deterministically without
+real time passing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class DeadlineExceeded(TimeoutError):
+    """A call (including its retries) overran its deadline."""
+
+
+class RetriesExhausted(ConnectionError):
+    """A call failed on every permitted attempt."""
+
+
+@dataclass
+class RetryPolicy:
+    """How a failed idempotent call is retried.
+
+    Args:
+        max_attempts: total tries, including the first (1 = no retries).
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: backoff growth factor per retry.
+        max_delay: backoff ceiling, in seconds.
+        jitter: fractional jitter applied to each delay — a delay ``d``
+            becomes uniform in ``[d * (1 - jitter), d * (1 + jitter)]``.
+        deadline: wall-clock budget for the whole call, retries included;
+            ``None`` disables the deadline.
+        clock / sleep / rng: injectable time source, sleeper, and jitter
+            randomness for deterministic tests.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = 30.0
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+    rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    def backoff_delay(self, failures: int) -> float:
+        """Delay before the next attempt after ``failures`` failures (>= 1)."""
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        delay = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (failures - 1),
+        )
+        if self.jitter:
+            r = self.rng.random() if self.rng is not None else random.random()
+            delay *= 1.0 + self.jitter * (2.0 * r - 1.0)
+        return max(0.0, delay)
+
+    def start_call(self) -> "RetryState":
+        """Begin tracking one logical call against this policy."""
+        return RetryState(self)
+
+
+class RetryState:
+    """Per-call retry bookkeeping: attempt count and deadline."""
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.failures = 0
+        self._started = policy.clock()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline, or ``None`` if unbounded."""
+        if self.policy.deadline is None:
+            return None
+        return self.policy.deadline - (self.policy.clock() - self._started)
+
+    def admit_failure(self, exc: BaseException) -> float:
+        """Record a failure; return the backoff delay before the retry.
+
+        Raises:
+            RetriesExhausted: all attempts used.
+            DeadlineExceeded: the backoff would overrun the deadline.
+        """
+        self.failures += 1
+        if self.failures >= self.policy.max_attempts:
+            raise RetriesExhausted(
+                f"call failed after {self.failures} attempts: {exc}"
+            ) from exc
+        delay = self.policy.backoff_delay(self.failures)
+        remaining = self.remaining()
+        if remaining is not None and delay >= remaining:
+            raise DeadlineExceeded(
+                f"deadline of {self.policy.deadline:.3f}s exceeded "
+                f"after {self.failures} attempts: {exc}"
+            ) from exc
+        return delay
+
+    def pause(self, delay: float) -> None:
+        """Sleep through the backoff using the policy's sleeper."""
+        if delay > 0:
+            self.policy.sleep(delay)
+
+
+def retry_call(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    retryable: tuple = (ConnectionError, TimeoutError, OSError),
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+):
+    """Run ``fn`` under ``policy``, retrying on ``retryable`` exceptions.
+
+    ``on_retry(failures, exc, delay)`` fires before each backoff sleep —
+    transports use it to count retries and reconnect.
+    """
+    state = policy.start_call()
+    while True:
+        try:
+            return fn()
+        except retryable as exc:
+            delay = state.admit_failure(exc)
+            if on_retry is not None:
+                on_retry(state.failures, exc, delay)
+            state.pause(delay)

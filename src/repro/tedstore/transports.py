@@ -22,10 +22,19 @@ from repro.tedstore.messages import (
 
 
 class KeyManagerTransport(Protocol):
-    """Client's view of the key manager."""
+    """Client's view of the key manager.
+
+    ``keygen`` must be safe to retry: transports may replay a batch after
+    a transport failure, and a replayed batch only re-updates the sketch
+    (over-estimation is the fail-safe direction — it can only raise ``t``).
+    """
 
     def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
         """Submit a batch of short-hash vectors; receive key seeds."""
+        ...
+
+    def stats(self) -> List[Tuple[str, int]]:
+        """Fetch key-manager counters (plus wire counters over TCP)."""
         ...
 
 

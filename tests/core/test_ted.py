@@ -114,6 +114,36 @@ class TestTuning:
         assert km.stats.batches_tuned == 0
         assert km.t == 1
 
+    def test_batched_soak_keeps_tracked_frequencies_bounded(self):
+        """Regression: ``_freq_by_identity`` must be bounded by the
+        batch's distinct-chunk count, not the stream length — and must be
+        empty right after a batch boundary (stale entries from old
+        batches would otherwise skew every later ``tuning.solve``)."""
+        batch_size = 200
+        distinct_per_batch = 40
+        km = TedKeyManager(
+            secret=b"s",
+            blowup_factor=1.05,
+            batch_size=batch_size,
+            sketch_width=_W,
+            rng=random.Random(3),
+        )
+        peak = 0
+        for batch_idx in range(5):  # 5 duplicate-heavy batches
+            for i in range(batch_size):
+                km.generate_seed(
+                    _hashes(
+                        b"b%d-chunk-%d" % (batch_idx, i % distinct_per_batch)
+                    )
+                )
+                peak = max(peak, len(km._freq_by_identity))
+            # Boundary just passed: the tracked map was consumed.
+            assert len(km._freq_by_identity) == 0
+        assert km.stats.batches_tuned == 5
+        # Bounded by one batch's distinct chunks (1000 requests, 200
+        # distinct identities overall — the old code kept all of them).
+        assert peak <= distinct_per_batch
+
     def test_duplicate_heavy_stream_raises_t(self):
         km = TedKeyManager(
             secret=b"s",

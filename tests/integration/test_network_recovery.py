@@ -1,0 +1,274 @@
+"""Wire-path recovery: reconnects, deadlines, idle timeouts, load shedding.
+
+These tests exercise the robustness layer over real TCP sockets: a client
+must finish an upload across a provider crash/restart, give up promptly on
+a stalled peer, transparently reconnect after an idle-timeout disconnect,
+and back off when the server sheds load.
+"""
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import PutChunks
+from repro.tedstore.network import (
+    RemoteKeyManager,
+    RemoteProvider,
+    _Connection,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.tedstore.provider import ProviderService
+from repro.tedstore.retry import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+)
+from repro.tedstore import messages as m
+from repro.traces.workload import unique_file
+
+_W = 2**14
+
+# Tight backoff so recovery tests run in milliseconds of real time.
+_FAST_RETRY = dict(base_delay=0.01, multiplier=2.0, max_delay=0.1)
+
+
+def _key_manager_service():
+    return KeyManagerService(
+        TedKeyManager(
+            secret=b"recovery-secret",
+            blowup_factor=1.05,
+            batch_size=500,
+            sketch_width=_W,
+            rng=random.Random(5),
+        )
+    )
+
+
+class _KillAndRestartOnce:
+    """Provider wrapper that crashes+restarts the server before one call."""
+
+    def __init__(self, inner: RemoteProvider, restart) -> None:
+        self._inner = inner
+        self._restart = restart
+        self.fired = False
+
+    def put_chunks(self, request):
+        if not self.fired:
+            self.fired = True
+            self._restart()
+        return self._inner.put_chunks(request)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestProviderCrashRecovery:
+    def test_upload_completes_across_provider_restart(self):
+        """Acceptance: kill the provider mid-upload; the client reconnects,
+        retries, and completes — with the recovery visible in counters."""
+        km_service = _key_manager_service()
+        provider_service = ProviderService(in_memory=True)
+        km_handle = serve_key_manager(km_service)
+        prov_handle = serve_provider(provider_service)
+        handles = {"provider": prov_handle}
+
+        def restart_provider():
+            port = handles["provider"].address[1]
+            handles["provider"].kill()  # hard stop: connections die
+            handles["provider"] = serve_provider(
+                provider_service, port=port
+            )
+
+        km = RemoteKeyManager(km_handle.address)
+        raw_provider = RemoteProvider(
+            prov_handle.address,
+            retry_policy=RetryPolicy(max_attempts=6, **_FAST_RETRY),
+        )
+        provider = _KillAndRestartOnce(raw_provider, restart_provider)
+        client = TedStoreClient(
+            km,
+            provider,
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=200,
+        )
+        try:
+            data = unique_file(60_000)
+            result = client.upload("crash-file", data)
+            assert provider.fired  # the crash really happened mid-upload
+            assert result.chunk_count > 0
+            assert client.download("crash-file") == data
+
+            wire = raw_provider.wire_stats()
+            assert wire["client_retries"] >= 1
+            assert wire["client_reconnects"] >= 1
+
+            # The same counters ride the stats message end to end.
+            merged = client.transport_stats()["provider"]
+            assert merged["client_retries"] >= 1
+            assert merged["client_reconnects"] >= 1
+            assert "server_connections" in merged
+        finally:
+            km.close()
+            raw_provider.close()
+            km_handle.stop()
+            handles["provider"].stop()
+
+
+class TestDeadlines:
+    def test_stalled_peer_hits_deadline(self):
+        """A server that accepts but never replies must not hang the
+        client past its per-call deadline."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        held = []
+
+        def hold_connections():
+            try:
+                while True:
+                    conn, _ = listener.accept()
+                    held.append(conn)  # never reply, never close
+            except OSError:
+                return
+
+        thread = threading.Thread(target=hold_connections, daemon=True)
+        thread.start()
+        provider = RemoteProvider(
+            listener.getsockname(),
+            retry_policy=RetryPolicy(
+                max_attempts=3, deadline=0.6, **_FAST_RETRY
+            ),
+        )
+        try:
+            started = time.monotonic()
+            with pytest.raises((DeadlineExceeded, RetriesExhausted)):
+                provider.put_chunks(PutChunks(chunks=[(b"fp", b"x")]))
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0  # bounded, not the 60s socket default
+            assert provider.wire_stats()["client_timeouts"] >= 1
+        finally:
+            provider.close()
+            listener.close()
+            for conn in held:
+                conn.close()
+
+
+class TestIdleTimeout:
+    def test_server_reaps_idle_connection_and_client_reconnects(self):
+        provider_service = ProviderService(in_memory=True)
+        handle = serve_provider(provider_service, idle_timeout=0.2)
+        provider = RemoteProvider(
+            handle.address,
+            retry_policy=RetryPolicy(max_attempts=4, **_FAST_RETRY),
+        )
+        try:
+            provider.put_chunks(PutChunks(chunks=[(b"fp1", b"a")]))
+            time.sleep(0.5)  # idle long enough for the server to reap us
+            # The stub recovers transparently on the next call.
+            provider.put_chunks(PutChunks(chunks=[(b"fp2", b"b")]))
+            assert provider.wire_stats()["client_reconnects"] >= 1
+            assert handle.wire_stats()["server_idle_timeouts"] >= 1
+        finally:
+            provider.close()
+            handle.stop()
+
+
+class _GatedProvider(ProviderService):
+    """Provider whose put_chunks blocks until released (inflight tests)."""
+
+    def __init__(self) -> None:
+        super().__init__(in_memory=True)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def handle_put_chunks(self, request):
+        self.entered.set()
+        assert self.release.wait(10), "test forgot to release the gate"
+        return super().handle_put_chunks(request)
+
+
+class TestMaxInflight:
+    def test_overloaded_server_sheds_and_client_backs_off(self):
+        service = _GatedProvider()
+        handle = serve_provider(service, max_inflight=1)
+        slow = RemoteProvider(handle.address)
+        fast = RemoteProvider(
+            handle.address,
+            retry_policy=RetryPolicy(max_attempts=10, **_FAST_RETRY),
+        )
+        results = {}
+
+        def occupant():
+            results["slow"] = slow.put_chunks(
+                PutChunks(chunks=[(b"fp-slow", b"s")])
+            )
+
+        thread = threading.Thread(target=occupant, daemon=True)
+        try:
+            thread.start()
+            assert service.entered.wait(5)
+            # Release the gate shortly after the shed client starts
+            # retrying, so its backoff has busy replies to absorb.
+            releaser = threading.Timer(0.05, service.release.set)
+            releaser.start()
+            result = fast.put_chunks(PutChunks(chunks=[(b"fp-fast", b"f")]))
+            assert result.stored == 1
+            thread.join(timeout=5)
+            assert results["slow"].stored == 1
+            assert fast.wire_stats()["client_busy"] >= 1
+            assert handle.wire_stats()["server_busy_rejections"] >= 1
+        finally:
+            service.release.set()
+            slow.close()
+            fast.close()
+            handle.stop()
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_request(self):
+        service = _GatedProvider()
+        handle = serve_provider(service)
+        provider = RemoteProvider(handle.address)
+        results = {}
+
+        def uploader():
+            results["reply"] = provider.put_chunks(
+                PutChunks(chunks=[(b"fp", b"v")])
+            )
+
+        thread = threading.Thread(target=uploader, daemon=True)
+        thread.start()
+        assert service.entered.wait(5)
+        # Release mid-drain: stop() must wait for the reply to go out.
+        threading.Timer(0.1, service.release.set).start()
+        handle.stop(drain_timeout=5)
+        thread.join(timeout=5)
+        assert results["reply"].stored == 1
+        provider.close()
+
+
+class TestIdempotencyGuard:
+    def test_non_idempotent_call_does_not_retry(self):
+        provider_service = ProviderService(in_memory=True)
+        handle = serve_provider(provider_service)
+        conn = _Connection(
+            handle.address,
+            retry_policy=RetryPolicy(max_attempts=5, **_FAST_RETRY),
+        )
+        try:
+            handle.kill()
+            with pytest.raises((ConnectionError, OSError)):
+                conn.call(m.MSG_STATS_REQUEST, b"", idempotent=False)
+            assert conn.counters["retries"] == 0
+        finally:
+            conn.close()

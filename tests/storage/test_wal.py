@@ -58,6 +58,52 @@ class TestWal:
         wal.close()
         assert list(WriteAheadLog.replay(wal_path)) == [(OP_PUT, b"k2", b"v2")]
 
+    def test_truncate_fsyncs_file_and_directory(self, wal_path, monkeypatch):
+        """Regression: the close/reopen-"wb" sequence never fsynced, so a
+        crash after a memtable flush could resurrect flushed records on
+        replay and double-apply mutations."""
+        import os as os_module
+
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"flushed", b"v")
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.storage.wal.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        wal.truncate()
+        wal.close()
+        assert len(synced) >= 2  # truncated file + its directory entry
+
+    def test_replay_after_truncate_without_close(self, wal_path):
+        """Crash-simulation replay: records persisted before a truncation
+        must never reappear, even if the process dies right after."""
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"applied-by-flush", b"v1")
+        wal.sync()
+        wal.truncate()
+        # "Crash" here: replay straight from disk, no close().
+        assert list(WriteAheadLog.replay(wal_path)) == []
+        wal.append(OP_PUT, b"post-flush", b"v2")
+        wal.close()
+        assert list(WriteAheadLog.replay(wal_path)) == [
+            (OP_PUT, b"post-flush", b"v2")
+        ]
+
+    def test_replay_into_after_truncate_does_not_double_apply(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(OP_PUT, b"k", b"v")
+        wal.truncate()  # memtable flush persisted k=v elsewhere
+        state = {b"k": b"v"}  # the flushed state
+        count = replay_into(
+            wal_path,
+            lambda k, v: state.__setitem__(k, v),
+            lambda k: state.pop(k, None),
+        )
+        assert count == 0  # nothing re-applied
+        assert state == {b"k": b"v"}
+
     def test_rejects_unknown_op(self, wal_path):
         wal = WriteAheadLog(wal_path)
         with pytest.raises(ValueError):

@@ -1,0 +1,207 @@
+"""Fault injection: deterministic schedules, degraded quorums, recovery."""
+
+import random
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.faults import (
+    FaultPlan,
+    FaultyKeyManager,
+    FaultyProvider,
+    FaultyQuorumServer,
+    InjectedFault,
+)
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import (
+    GetChunks,
+    KeyGenRequest,
+    ProtocolError,
+    PutChunks,
+)
+from repro.tedstore.provider import ProviderService
+from repro.tedstore.quorum import QuorumClient, deal_quorum
+from repro.traces.workload import unique_file
+
+_W = 2**14
+
+
+def _stack():
+    key_manager = KeyManagerService(
+        TedKeyManager(secret=b"fault-secret", t=50, sketch_width=_W)
+    )
+    provider = ProviderService(in_memory=True)
+    return LocalKeyManager(key_manager), LocalProvider(provider)
+
+
+class TestFaultPlan:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_seconds=-1)
+
+    def test_with_seed_changes_only_the_seed(self):
+        plan = FaultPlan(drop_rate=0.5, seed=1)
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.drop_rate == 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run():
+            km, _ = _stack()
+            faulty = FaultyKeyManager(km, FaultPlan(drop_rate=0.4, seed=11))
+            outcomes = []
+            for _ in range(40):
+                try:
+                    faulty.keygen(KeyGenRequest(hash_vectors=[[1, 2, 3, 4]]))
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("drop")
+            return outcomes, faulty.fault_counters
+
+        outcomes_a, counters_a = run()
+        outcomes_b, counters_b = run()
+        assert outcomes_a == outcomes_b
+        assert counters_a == counters_b
+        assert "drop" in outcomes_a and "ok" in outcomes_a
+
+
+class TestFaultModes:
+    def test_drop_raises_injected_fault(self):
+        _, prov = _stack()
+        faulty = FaultyProvider(prov, FaultPlan(drop_rate=1.0, seed=0))
+        with pytest.raises(InjectedFault, match="drop"):
+            faulty.put_chunks(PutChunks(chunks=[(b"fp", b"data")]))
+        assert faulty.fault_counters["drops"] == 1
+
+    def test_close_loses_reply_but_state_changed(self):
+        # The dangerous case: the request was delivered, the reply lost.
+        _, prov = _stack()
+        faulty = FaultyProvider(prov, FaultPlan(close_rate=1.0, seed=0))
+        with pytest.raises(InjectedFault, match="close"):
+            faulty.put_chunks(PutChunks(chunks=[(b"fp", b"data")]))
+        # The chunk really was stored despite the lost reply.
+        assert prov.get_chunks(GetChunks(fingerprints=[b"fp"])).chunks == [
+            b"data"
+        ]
+
+    def test_delay_uses_injected_sleep(self):
+        slept = []
+        _, prov = _stack()
+        faulty = FaultyProvider(
+            prov,
+            FaultPlan(
+                delay_rate=1.0, delay_seconds=3.0, seed=0, sleep=slept.append
+            ),
+        )
+        prov.put_chunks(PutChunks(chunks=[(b"fp", b"data")]))
+        faulty.get_chunks(GetChunks(fingerprints=[b"fp"]))
+        assert slept == [3.0]
+
+    def test_corrupt_surfaces_as_protocol_error_or_garbage(self):
+        _, prov = _stack()
+        prov.put_chunks(PutChunks(chunks=[(b"fp", b"payload-bytes")]))
+        faulty = FaultyProvider(prov, FaultPlan(corrupt_rate=1.0, seed=3))
+        good = prov.get_chunks(GetChunks(fingerprints=[b"fp"])).chunks
+        outcomes = set()
+        for _ in range(30):
+            try:
+                reply = faulty.get_chunks(GetChunks(fingerprints=[b"fp"]))
+                outcomes.add("garbage" if reply.chunks != good else "clean")
+            except ProtocolError:
+                outcomes.add("protocol_error")
+        # Every delivery was corrupted: either the frame failed to decode
+        # or the decoded data differs from the truth.
+        assert "clean" not in outcomes
+        assert outcomes  # at least one corruption observed
+
+
+class TestClientUnderFaults:
+    def test_upload_fails_cleanly_on_unrecovered_fault(self):
+        # Without a retrying transport underneath, an injected drop
+        # surfaces as ConnectionError — never silent data loss.
+        km, prov = _stack()
+        client = TedStoreClient(
+            km,
+            FaultyProvider(prov, FaultPlan(drop_rate=1.0, seed=0)),
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=100,
+        )
+        with pytest.raises(ConnectionError):
+            client.upload("f", unique_file(20_000))
+
+
+class TestQuorumUnderFaults:
+    def test_degraded_quorum_derives_identical_keys(self):
+        servers, _ = deal_quorum(3, 5, rng=random.Random(1))
+        healthy_key = QuorumClient(3, rng=random.Random(2)).derive_key(
+            b"fp", servers
+        )
+        plan = FaultPlan(drop_rate=0.25, seed=7)
+        flaky = [FaultyQuorumServer(s, plan) for s in servers]
+        client = QuorumClient(3, rng=random.Random(3))
+        derived = []
+        unavailable = 0
+        for _ in range(40):
+            try:
+                derived.append(client.derive_key(b"fp", flaky))
+            except ValueError:
+                unavailable += 1  # >2 replicas down for this request
+        assert derived  # quorum survived at least some degraded rounds
+        assert set(derived) == {healthy_key}  # determinism across quorums
+        assert client.stats["replica_failures"] > 0
+        assert client.stats["degraded_derivations"] > 0
+
+    def test_seeded_quorum_fault_run_is_deterministic(self):
+        def run():
+            servers, _ = deal_quorum(3, 5, rng=random.Random(1))
+            plan = FaultPlan(drop_rate=0.3, seed=21)
+            flaky = [FaultyQuorumServer(s, plan) for s in servers]
+            client = QuorumClient(3, rng=random.Random(4))
+            trace = []
+            for i in range(30):
+                try:
+                    trace.append(client.derive_key(b"%d" % (i % 3), flaky))
+                except ValueError:
+                    trace.append(None)
+            return trace, dict(client.stats)
+
+        trace_a, stats_a = run()
+        trace_b, stats_b = run()
+        assert trace_a == trace_b
+        assert stats_a == stats_b
+
+    def test_quorum_exhaustion_raises_value_error(self):
+        servers, _ = deal_quorum(3, 5, rng=random.Random(1))
+        dead = [
+            FaultyQuorumServer(s, FaultPlan(drop_rate=1.0, seed=0))
+            for s in servers
+        ]
+        client = QuorumClient(3)
+        with pytest.raises(ValueError, match="degraded below threshold"):
+            client.derive_key(b"fp", dead)
+        assert client.stats["replica_failures"] == 5
+
+    def test_replicas_get_distinct_schedules(self):
+        servers, _ = deal_quorum(3, 5, rng=random.Random(1))
+        plan = FaultPlan(drop_rate=0.5, seed=5)
+        flaky = [FaultyQuorumServer(s, plan) for s in servers]
+        client = QuorumClient(3, rng=random.Random(6))
+        for _ in range(20):
+            try:
+                client.derive_key(b"fp", flaky)
+            except ValueError:
+                pass
+        drops = [f.fault_counters["drops"] for f in flaky]
+        # A shared schedule would drop on identical request indices and
+        # produce identical counts; distinct seeds must diverge.
+        assert len(set(drops)) > 1

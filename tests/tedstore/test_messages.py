@@ -41,6 +41,26 @@ class TestFraming:
         with pytest.raises(m.ProtocolError):
             m.read_frame(_loop_reader(header))
 
+    def test_rejects_truncated_body(self):
+        # Header promises 10 body bytes; the stream ends after 4.
+        framed = (10).to_bytes(4, "big") + b"\x06abc"
+        with pytest.raises(m.ProtocolError):
+            m.read_frame(_loop_reader(framed))
+
+    def test_busy_frame_roundtrip(self):
+        framed = m.frame(m.MSG_BUSY, m.encode_error("server busy"))
+        message_type, payload = m.read_frame(_loop_reader(framed))
+        assert message_type == m.MSG_BUSY
+        assert m.decode_error(payload) == "server busy"
+
+    def test_message_type_codes_are_unique(self):
+        codes = [
+            value
+            for name, value in vars(m).items()
+            if name.startswith("MSG_")
+        ]
+        assert len(codes) == len(set(codes))
+
 
 class TestKeyGenMessages:
     def test_request_roundtrip(self):

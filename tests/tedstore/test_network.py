@@ -81,6 +81,16 @@ class TestTcpRoundTrip:
         assert km_stats["requests"] > 0
         assert prov_stats["unique_chunks"] > 0
 
+    def test_wire_counters_ride_the_stats_message(self, stack):
+        client = stack()
+        client.upload("f", unique_file(10_000))
+        prov_stats = dict(client.provider.stats())
+        assert prov_stats["client_retries"] == 0  # healthy path
+        assert prov_stats["client_calls"] > 0
+        assert prov_stats["server_connections"] >= 1
+        km_stats = dict(client.key_manager.stats())
+        assert km_stats["client_reconnects"] == 0
+
     def test_remote_error_propagates(self, stack):
         client = stack()
         with pytest.raises(RuntimeError, match="not found"):

@@ -57,6 +57,39 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             bucket.try_consume(-1)
 
+    def test_available_is_non_mutating(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=20, clock=clock)
+        assert bucket.try_consume(20)
+        clock.advance(1.0)  # refill credit: 10 tokens
+        assert bucket.available() == 10
+        assert bucket.available() == 10  # observing must not spend/reset
+        assert bucket.try_consume(10)
+        assert not bucket.try_consume(1)
+
+    def test_concurrent_consumption_does_not_over_admit(self):
+        """Regression: unlocked refill-and-spend raced when a bucket was
+        shared across threads outside KeyGenRateLimiter's dict lock."""
+        import threading
+
+        bucket = TokenBucket(rate=0.001, burst=1000, clock=lambda: 0.0)
+        admitted = []
+
+        def hammer():
+            count = 0
+            for _ in range(500):
+                if bucket.try_consume(1):
+                    count += 1
+            admitted.append(count)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # A frozen clock means zero refill: exactly the burst is admitted.
+        assert sum(admitted) == 1000
+
 
 class TestKeyGenRateLimiter:
     def test_legitimate_batches_pass(self):

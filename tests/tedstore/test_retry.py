@@ -1,0 +1,148 @@
+"""Retry policy: backoff, jitter, deadlines, injectable time."""
+
+import random
+
+import pytest
+
+from repro.tedstore.retry import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    retry_call,
+)
+
+
+class FakeTime:
+    """Deterministic clock + sleep pair: sleeping advances the clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def _policy(**kwargs) -> RetryPolicy:
+    ft = kwargs.pop("fake_time", None) or FakeTime()
+    defaults = dict(
+        max_attempts=4,
+        base_delay=0.1,
+        multiplier=2.0,
+        max_delay=1.0,
+        jitter=0.0,
+        deadline=10.0,
+        clock=ft.clock,
+        sleep=ft.sleep,
+        rng=random.Random(0),
+    )
+    defaults.update(kwargs)
+    policy = RetryPolicy(**defaults)
+    policy._fake_time = ft  # test hook
+    return policy
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+
+    def test_deadline_none_is_unbounded(self):
+        state = _policy(deadline=None).start_call()
+        assert state.remaining() is None
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        policy = _policy()
+        delays = [policy.backoff_delay(n) for n in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0]  # capped at max_delay
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        a = _policy(jitter=0.5, rng=random.Random(42))
+        b = _policy(jitter=0.5, rng=random.Random(42))
+        delays_a = [a.backoff_delay(1) for _ in range(20)]
+        delays_b = [b.backoff_delay(1) for _ in range(20)]
+        assert delays_a == delays_b  # same seed, same schedule
+        assert all(0.05 <= d <= 0.15 for d in delays_a)
+        assert len(set(delays_a)) > 1  # jitter actually varies
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        policy = _policy()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        assert retry_call(flaky, policy) == "ok"
+        assert len(attempts) == 3
+        assert policy._fake_time.sleeps == [0.1, 0.2]
+
+    def test_exhausts_attempts(self):
+        policy = _policy(max_attempts=3)
+
+        def always_fails():
+            raise ConnectionError("down")
+
+        with pytest.raises(RetriesExhausted):
+            retry_call(always_fails, policy)
+        assert len(policy._fake_time.sleeps) == 2  # 3 attempts, 2 backoffs
+
+    def test_deadline_cuts_retries_short(self):
+        # Each attempt burns 3s of fake time; the 10s deadline admits the
+        # first retry but not the second.
+        ft = FakeTime()
+        policy = _policy(
+            fake_time=ft, max_attempts=10, base_delay=1.0, max_delay=1.0
+        )
+
+        def slow_failure():
+            ft.now += 6.0
+            raise ConnectionError("slow death")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(slow_failure, policy)
+        assert len(ft.sleeps) == 1
+
+    def test_non_retryable_exception_propagates(self):
+        policy = _policy()
+
+        def type_error():
+            raise TypeError("logic bug")
+
+        with pytest.raises(TypeError):
+            retry_call(type_error, policy, retryable=(ConnectionError,))
+        assert policy._fake_time.sleeps == []
+
+    def test_on_retry_observes_each_failure(self):
+        policy = _policy()
+        seen = []
+
+        def fails_twice():
+            if len(seen) < 2:
+                raise ConnectionError("x")
+            return "done"
+
+        retry_call(
+            fails_twice,
+            policy,
+            on_retry=lambda n, exc, delay: seen.append((n, delay)),
+        )
+        assert seen == [(1, 0.1), (2, 0.2)]
