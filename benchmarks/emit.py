@@ -1,0 +1,52 @@
+"""Benchmark observability emission: dump results + metrics to JSON.
+
+Benchmarks that want machine-readable output call :func:`emit` after
+printing their human tables. Each call merges one named section into
+``BENCH_obs.json`` (repo root by default, ``REPRO_BENCH_OUT`` overrides),
+pairing the benchmark's own result rows with a snapshot of the metrics
+registry — so the emitted document carries the latency percentiles of the
+``ted_*`` histograms populated during the run (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.obs import metrics as obs_metrics
+
+_DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def emit(
+    section: str,
+    results,
+    registry: Optional[obs_metrics.MetricsRegistry] = None,
+) -> Path:
+    """Merge one benchmark section into the observability dump.
+
+    Args:
+        section: section name, e.g. ``"a1_fsl"`` or ``"b1_microbench"``.
+        results: JSON-serializable benchmark output (table rows, dict...).
+        registry: metrics registry to snapshot (default process-global).
+
+    Returns:
+        The path written.
+    """
+    out = Path(os.environ.get("REPRO_BENCH_OUT", str(_DEFAULT_OUT)))
+    registry = registry or obs_metrics.get_registry()
+    document = {}
+    if out.exists():
+        try:
+            document = json.loads(out.read_text())
+        except ValueError:
+            document = {}  # overwrite a corrupt dump rather than crash
+    document[section] = {
+        "results": results,
+        "metrics": registry.snapshot(),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return out

@@ -11,6 +11,7 @@ on both axes; FTED's actual blowup tracks the configured b.
 """
 
 from conftest import BENCH_SKETCH_WIDTH, print_table
+from emit import emit
 
 from repro.analysis.tradeoff import experiment_a1
 from repro.core.kld import samples_for_success
@@ -43,6 +44,7 @@ def _report(rows, label):
 def test_a1_fsl(benchmark, fsl_dataset):
     rows = benchmark.pedantic(_run, args=(fsl_dataset,), rounds=1, iterations=1)
     _report(rows, "FSL-like")
+    emit("a1_fsl", rows)
     by_name = {r["scheme"]: r for r in rows}
     assert by_name["MLE"]["blowup"] == 1.0
     assert by_name["SKE"]["kld"] < 1e-9
@@ -57,6 +59,7 @@ def test_a1_fsl(benchmark, fsl_dataset):
 def test_a1_ms(benchmark, ms_dataset):
     rows = benchmark.pedantic(_run, args=(ms_dataset,), rounds=1, iterations=1)
     _report(rows, "MS-like")
+    emit("a1_ms", rows)
     by_name = {r["scheme"]: r for r in rows}
     assert by_name["MLE"]["kld"] == max(r["kld"] for r in rows)
     assert by_name["SKE"]["blowup"] == max(r["blowup"] for r in rows)

@@ -16,6 +16,7 @@ closer-to-paper ratio (DESIGN.md §4).
 import pytest
 
 from conftest import print_table
+from emit import emit
 
 from repro.analysis.perf import UPLOAD_STEPS, experiment_b1
 
@@ -52,3 +53,23 @@ def test_b1_profile(benchmark, profile):
                 f"{100 * result.keygen_share:.2f}% "
                 f"(paper: 7.2% fast / 6.1% secure)"
             )
+        emit(
+            "b1_microbench",
+            {
+                "table": rows,
+                "throughput_mb_per_s": {
+                    name: (
+                        _SIZES[name]
+                        / (1 << 20)
+                        / total
+                        if (total := sum(result.step_seconds.values())) > 0
+                        else None
+                    )
+                    for name, result in _results.items()
+                },
+                "keygen_share": {
+                    name: result.keygen_share
+                    for name, result in _results.items()
+                },
+            },
+        )

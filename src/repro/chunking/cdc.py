@@ -18,12 +18,27 @@ Two rolling hashes are available:
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Iterator, List
 
 from repro.chunking.rabin import DEFAULT_WINDOW_SIZE, RabinFingerprint
+from repro.obs import metrics as obs_metrics
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_REGISTRY = obs_metrics.get_registry()
+_CHUNK_BYTES = _REGISTRY.counter(
+    "ted_chunking_bytes_total", "Bytes run through content-defined chunking"
+)
+_CHUNK_COUNT = _REGISTRY.counter(
+    "ted_chunking_chunks_total", "Chunks produced by content-defined chunking"
+)
+_CHUNK_SECONDS = _REGISTRY.histogram(
+    "ted_chunking_call_seconds",
+    "Wall-clock time of one chunk() pass (includes consumer time when the "
+    "iterator is consumed lazily)",
+)
 
 
 def _build_gear_table(seed: int = 0) -> List[int]:
@@ -96,10 +111,23 @@ class ContentDefinedChunker:
 
     def chunk(self, data: bytes) -> Iterator[bytes]:
         """Yield consecutive chunks whose concatenation equals ``data``."""
-        if self.algorithm == "gear":
-            yield from self._chunk_gear(data)
-        else:
-            yield from self._chunk_rabin(data)
+        start = time.perf_counter()
+        produced = 0
+        try:
+            if self.algorithm == "gear":
+                inner = self._chunk_gear(data)
+            else:
+                inner = self._chunk_rabin(data)
+            for piece in inner:
+                produced += 1
+                yield piece
+        finally:
+            # Throughput accounting covers only what was actually consumed
+            # (an abandoned iterator must not claim the whole input).
+            _CHUNK_SECONDS.observe(time.perf_counter() - start)
+            _CHUNK_COUNT.inc(produced)
+            if produced:
+                _CHUNK_BYTES.inc(len(data))
 
     def chunk_sizes(self, data: bytes) -> List[int]:
         """Return only the chunk sizes (cheap path for analysis)."""

@@ -8,6 +8,10 @@ Gives downstream users the paper's workflows without writing Python:
 * ``analyze`` — trade-off analysis (KLD/blowup per scheme) on a trace file.
 * ``tune`` — solve the Eq. 6-8 optimization for a trace and a blowup
   factor, printing the derived balance parameter ``t``.
+* ``stats`` — query running TEDStore servers for their counters and
+  metrics snapshots (table, JSON, or Prometheus output).
+* ``trace`` — run an in-process upload/download demo and print the
+  resulting span tree plus a Prometheus metrics export (DESIGN.md §9).
 
 Examples::
 
@@ -177,6 +181,81 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stats(sections: dict, fmt: str) -> None:
+    if fmt == "json":
+        import json
+
+        print(json.dumps(sections, indent=2, sort_keys=True))
+        return
+    if fmt == "prom":
+        # Remote stats arrive as flat (name, value) pairs, not a registry;
+        # render them as untyped Prometheus samples with an entity label.
+        for entity, pairs in sorted(sections.items()):
+            for name, value in sorted(pairs.items()):
+                clean = "".join(
+                    c if c.isalnum() or c == "_" else "_" for c in name
+                )
+                print(f'ted_remote_{clean}{{entity="{entity}"}} {value}')
+        return
+    for entity, pairs in sorted(sections.items()):
+        print(f"[{entity}]")
+        width = max((len(n) for n in pairs), default=0)
+        for name, value in sorted(pairs.items()):
+            print(f"  {name:<{width}}  {value}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    sections = {}
+    if args.km:
+        km = RemoteKeyManager(_address(args.km))
+        try:
+            sections["key_manager"] = dict(km.stats())
+        finally:
+            km.close()
+    if args.provider:
+        provider = RemoteProvider(_address(args.provider))
+        try:
+            sections["provider"] = dict(provider.stats())
+        finally:
+            provider.close()
+    if not sections:
+        print("nothing to query: pass --km and/or --provider", file=sys.stderr)
+        return 2
+    _print_stats(sections, args.format)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.obs import export, tracing
+    from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+
+    previous = tracing.get_tracer()
+    recorder = tracing.SpanRecorder()
+    tracer = tracing.set_tracer(tracing.Tracer(recorder=recorder))
+    try:
+        client = TedStoreClient(
+            LocalKeyManager(KeyManagerService()),
+            LocalProvider(ProviderService(in_memory=True)),
+            profile=get_profile(args.profile),
+        )
+        rng = random.Random(args.seed)
+        data = rng.randbytes(args.size_kb << 10)
+        with tracer.span("demo.roundtrip"):
+            client.upload("trace-demo", data)
+            restored = client.download("trace-demo")
+    finally:
+        tracing.set_tracer(previous)
+    if restored != data:
+        print("round trip FAILED: downloaded bytes differ", file=sys.stderr)
+        return 1
+    print(export.format_recorder(recorder))
+    print()
+    print(export.prometheus_text())
+    return 0
+
+
 def cmd_tune(args: argparse.Namespace) -> int:
     snapshot = read_snapshot(args.trace)
     solution = solve(snapshot.frequencies(), args.b)
@@ -257,6 +336,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--b", type=float, default=1.05)
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("stats", help="query running servers for metrics")
+    p.add_argument("--km", default=None,
+                   help="key manager address (host:port)")
+    p.add_argument("--provider", default=None,
+                   help="provider address (host:port)")
+    p.add_argument("--format", choices=["table", "json", "prom"],
+                   default="table")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="in-process round-trip demo with span tree"
+    )
+    p.add_argument("--size-kb", type=int, default=256)
+    p.add_argument("--seed", type=int, default=2013)
+    p.add_argument("--profile", default="shactr",
+                   choices=["secure", "fast", "shactr"])
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -21,15 +21,36 @@ vector that the Eq. 6 optimization needs.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import tuning
 from repro.core.keygen import KeySeedGenerator
+from repro.obs import metrics as obs_metrics
 from repro.sketch.countmin import CountMinSketch
 
 DEFAULT_SKETCH_ROWS = 4
 DEFAULT_SKETCH_WIDTH = 2**20
+
+_REGISTRY = obs_metrics.get_registry()
+_KEYGEN_REQUESTS = _REGISTRY.counter(
+    "ted_keymanager_keygen_requests_total",
+    "Key-seed generation requests handled",
+)
+_TUNES = _REGISTRY.counter(
+    "ted_keymanager_tunes_total", "Automated parameter-tuning rounds"
+)
+_TUNE_SECONDS = _REGISTRY.histogram(
+    "ted_keymanager_tune_seconds", "Latency of one Eq. 6 tuning solve"
+)
+_CURRENT_T = _REGISTRY.gauge(
+    "ted_keymanager_t", "Balance parameter t chosen by the last tune"
+)
+_PREDICTED_KLD = _REGISTRY.gauge(
+    "ted_keymanager_kld",
+    "KL divergence predicted by the last tuning solution",
+)
 
 
 @dataclass
@@ -136,6 +157,7 @@ class TedKeyManager:
             self._freq_by_identity[tuple(short_hashes)] = frequency
         seed = self._seeder.select_seed(short_hashes, frequency, self.t)
         self.stats.requests += 1
+        _KEYGEN_REQUESTS.inc()
         if self.batch_size is not None:
             self._requests_in_batch += 1
             if self._requests_in_batch >= self.batch_size:
@@ -165,10 +187,15 @@ class TedKeyManager:
         """
         if not self.is_fted:
             raise RuntimeError("BTED uses a fixed t; tuning is disabled")
+        start = time.perf_counter()
         solution = tuning.solve(frequencies, self.blowup_factor)
         self.t = solution.t
         self.stats.batches_tuned += 1
         self.stats.t_history.append(solution.t)
+        _TUNES.inc()
+        _TUNE_SECONDS.observe(time.perf_counter() - start)
+        _CURRENT_T.set(solution.t)
+        _PREDICTED_KLD.set(solution.predicted_kld)
         return solution.t
 
     def _retune_from_tracked(self) -> None:

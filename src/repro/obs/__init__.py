@@ -1,0 +1,47 @@
+"""Observability layer: metrics registry, tracing, exporters (DESIGN.md §9).
+
+* :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram registry;
+  every subsystem registers ``ted_<subsystem>_<name>`` instruments on the
+  process-global default registry.
+* :mod:`repro.obs.tracing` — spans with a contextvars current-span and a
+  trace context that propagates across the TEDStore wire framing.
+* :mod:`repro.obs.export` — Prometheus text, JSON snapshot, span trees.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+    log_scale_buckets,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    SpanRecorder,
+    Tracer,
+    add_event,
+    decode_context,
+    encode_context,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "MetricError",
+    "MetricsRegistry",
+    "get_registry",
+    "log_scale_buckets",
+    "set_registry",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "Tracer",
+    "add_event",
+    "decode_context",
+    "encode_context",
+    "get_tracer",
+    "set_tracer",
+]

@@ -1,0 +1,131 @@
+"""Exporters: Prometheus text format, JSON snapshots, span-tree rendering.
+
+These turn the in-memory registry/recorder state into the three shapes
+operators actually consume: a Prometheus scrape body, a machine-readable
+JSON document (the benchmark emitter uses this), and an indented span tree
+for the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, _format_labels, get_registry
+from repro.obs.tracing import Span, SpanRecorder
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters/gauges emit one sample per label combination; histograms emit
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for values, child in instrument.children():
+            labels = _format_labels(instrument.labelnames, values)
+            if instrument.kind == "histogram":
+                for bound, cumulative in child.buckets():
+                    pairs = list(zip(instrument.labelnames, values))
+                    pairs.append(("le", _format_value(bound)))
+                    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+                    lines.append(
+                        f"{instrument.name}_bucket{{{inner}}} {cumulative}"
+                    )
+                lines.append(
+                    f"{instrument.name}_sum{labels} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(f"{instrument.name}_count{labels} {child.count}")
+            else:
+                lines.append(
+                    f"{instrument.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """Registry snapshot as a JSON-serializable document.
+
+    Histograms appear flattened (``_count``/``_sum``/``_p50``/``_p95``/
+    ``_p99``), matching what the wire stats message carries.
+    """
+    registry = registry or get_registry()
+    return {"metrics": registry.snapshot()}
+
+
+def json_snapshot_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """:func:`json_snapshot`, serialized with stable key order."""
+    return json.dumps(json_snapshot(registry), indent=2, sort_keys=True)
+
+
+# -- span trees ---------------------------------------------------------------
+
+
+def _render_span(
+    span: Span,
+    children: Dict[Optional[bytes], List[Span]],
+    depth: int,
+    lines: List[str],
+) -> None:
+    duration = span.duration
+    timing = f"{duration * 1000:.2f}ms" if duration is not None else "open"
+    flags = "" if span.status == "ok" else f" !{span.status}: {span.error}"
+    attrs = ""
+    if span.attributes:
+        attrs = " " + ", ".join(
+            f"{k}={v}" for k, v in sorted(span.attributes.items())
+        )
+    lines.append(f"{'  ' * depth}- {span.name} [{timing}]{attrs}{flags}")
+    for stamp, name, attributes in span.events:
+        extra = ""
+        if attributes:
+            extra = " " + ", ".join(
+                f"{k}={v}" for k, v in sorted(attributes.items())
+            )
+        lines.append(f"{'  ' * (depth + 1)}* event {name}{extra}")
+    for child in children.get(span.span_id, []):
+        _render_span(child, children, depth + 1, lines)
+
+
+def format_trace(spans: Sequence[Span]) -> str:
+    """Render one trace's spans as an indented tree.
+
+    Spans whose parent is missing from ``spans`` (e.g. the parent ran in a
+    peer process whose recorder we cannot see) are shown as roots.
+    """
+    if not spans:
+        return "(no spans)"
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[bytes], List[Span]] = {}
+    roots: List[Span] = []
+    for span in sorted(spans, key=lambda s: s.start_time):
+        if span.parent_span_id is not None and span.parent_span_id in by_id:
+            children.setdefault(span.parent_span_id, []).append(span)
+        else:
+            roots.append(span)
+    lines = [f"trace {spans[0].trace_id.hex()}"]
+    for root in roots:
+        _render_span(root, children, 1, lines)
+    return "\n".join(lines)
+
+
+def format_recorder(recorder: SpanRecorder) -> str:
+    """Render every trace in a recorder, oldest trace first."""
+    parts = []
+    for trace_id in recorder.trace_ids():
+        parts.append(format_trace(recorder.for_trace(trace_id)))
+    return "\n\n".join(parts) if parts else "(no traces recorded)"

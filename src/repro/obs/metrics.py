@@ -1,0 +1,416 @@
+"""Thread-safe metrics registry: counters, gauges, and histograms.
+
+This is the measurement substrate for the whole reproduction (DESIGN.md §9).
+Every subsystem registers named instruments on a process-global registry and
+updates them on its hot paths; exporters (:mod:`repro.obs.export`) turn the
+registry into Prometheus text or JSON, and the TEDStore wire ``stats``
+message serves a registry snapshot.
+
+Naming scheme: ``ted_<subsystem>_<name>`` with Prometheus conventions
+(``_total`` suffix on counters, ``_seconds`` on latency histograms).
+Cardinality rule: labels are bounded, enumerable sets (stage names, entity
+roles) — never per-chunk or per-file values.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing value.
+* :class:`Gauge` — value that can go up and down (current ``t``, dedup ratio).
+* :class:`Histogram` — fixed log-scale buckets, built for latencies; exposes
+  bucket counts plus interpolated quantiles.
+
+All instruments are safe to update from multiple threads (TEDStore servers
+handle each connection on its own thread). Creating an instrument that
+already exists returns the existing one, so modules can declare their
+instruments at import time without coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class MetricError(ValueError):
+    """Raised on conflicting registrations or label misuse."""
+
+
+def log_scale_buckets(
+    start: float = 1e-5, factor: float = 2.0, count: int = 22
+) -> Tuple[float, ...]:
+    """Geometric bucket bounds: ``start * factor**i`` for ``i < count``.
+
+    The default spans 10 µs to ~21 s, which covers everything from one
+    sketch update to a full snapshot upload in pure Python.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise MetricError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default bounds for latency histograms (seconds).
+LATENCY_BUCKETS = log_scale_buckets()
+
+
+def _format_labels(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{value}"' for name, value in zip(labelnames, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """One (label-value combination of an) instrument; holds the numbers."""
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+
+
+class CounterChild(_Child):
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self._value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class GaugeChild(_Child):
+    def __init__(self, lock: threading.Lock) -> None:
+        super().__init__(lock)
+        self._value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class HistogramChild(_Child):
+    def __init__(
+        self, lock: threading.Lock, bounds: Tuple[float, ...]
+    ) -> None:
+        super().__init__(lock)
+        self._bounds = bounds
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager observing the elapsed wall-clock seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair uses ``float("inf")`` as its bound.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        Returns 0.0 with no observations. Observations in the overflow
+        bucket clamp to the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError("quantile must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        for i, count in enumerate(counts):
+            if running + count >= rank and count > 0:
+                if i >= len(self._bounds):
+                    return self._bounds[-1]
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                upper = self._bounds[i]
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * fraction
+            running += count
+        return self._bounds[-1]
+
+
+_CHILD_FACTORIES = {
+    "counter": lambda lock, bounds: CounterChild(lock),
+    "gauge": lambda lock, bounds: GaugeChild(lock),
+    "histogram": HistogramChild,
+}
+
+
+class Instrument:
+    """A named metric family; labelled variants are created via ``labels``.
+
+    An instrument declared without label names is its own single child:
+    ``inc``/``set``/``observe`` apply directly. With label names, callers
+    must select a child first (``instrument.labels(stage="chunking")``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        if kind == "histogram":
+            bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
+            if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise MetricError("histogram buckets must be sorted and unique")
+            self.buckets_bounds: Tuple[float, ...] = bounds
+        else:
+            self.buckets_bounds = ()
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+        if not self.labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+
+    def _make_child(self) -> _Child:
+        return _CHILD_FACTORIES[self.kind](self._lock, self.buckets_bounds)
+
+    def labels(self, **labelvalues: str) -> _Child:
+        """Fetch (creating on first use) the child for a label combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], _Child]]:
+        """All (label_values, child) pairs, sorted by label values."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    # -- unlabelled convenience passthroughs -------------------------------
+
+    def _only_child(self) -> _Child:
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self._default
+
+    def inc(self, amount: Number = 1) -> None:
+        self._only_child().inc(amount)  # type: ignore[attr-defined]
+
+    def set(self, value: Number) -> None:
+        self._only_child().set(value)  # type: ignore[attr-defined]
+
+    def dec(self, amount: Number = 1) -> None:
+        self._only_child().dec(amount)  # type: ignore[attr-defined]
+
+    def observe(self, value: Number) -> None:
+        self._only_child().observe(value)  # type: ignore[attr-defined]
+
+    def time(self):
+        return self._only_child().time()  # type: ignore[attr-defined]
+
+    @property
+    def value(self) -> float:
+        return self._only_child().value  # type: ignore[attr-defined]
+
+    def quantile(self, q: float) -> float:
+        return self._only_child().quantile(q)  # type: ignore[attr-defined]
+
+    def reset(self) -> None:
+        """Zero this instrument (drops labelled children)."""
+        with self._lock:
+            self._children.clear()
+            if not self.labelnames:
+                self._default = self._make_child()
+                self._children[()] = self._default
+
+
+class MetricsRegistry:
+    """Process-wide collection of instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: re-registering
+    the same name with the same shape returns the existing instrument;
+    conflicting shapes raise :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            instrument = Instrument(name, kind, help, labelnames, buckets)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Instrument:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Instrument:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Instrument:
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> List[Instrument]:
+        with self._lock:
+            return sorted(self._instruments.values(), key=lambda i: i.name)
+
+    def reset(self) -> None:
+        """Zero every instrument (used by tests and the trace CLI)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flattened name → value map.
+
+        Counters/gauges appear as ``name{labels}``; histograms expand to
+        ``_count``, ``_sum``, and interpolated ``_p50``/``_p95``/``_p99``
+        series — the quantiles are what rides the wire ``stats`` message.
+        """
+        out: Dict[str, Number] = {}
+        for instrument in self.instruments():
+            for values, child in instrument.children():
+                suffix = _format_labels(instrument.labelnames, values)
+                if instrument.kind == "histogram":
+                    out[f"{instrument.name}_count{suffix}"] = child.count
+                    out[f"{instrument.name}_sum{suffix}"] = child.sum
+                    for q, tag in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                        out[f"{instrument.name}_{tag}{suffix}"] = (
+                            child.quantile(q)
+                        )
+                else:
+                    value = child.value
+                    if value == int(value):
+                        value = int(value)
+                    out[f"{instrument.name}{suffix}"] = value
+        return out
+
+    def snapshot_pairs(self) -> List[Tuple[str, Number]]:
+        """The snapshot as ordered pairs (the wire stats payload shape)."""
+        return sorted(self.snapshot().items())
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (embedding hook).
+
+    Must run before instrumented modules are imported — instruments are
+    bound to the registry current at declaration time. Tests should prefer
+    ``get_registry().reset()``.
+    """
+    global _default_registry
+    _default_registry = registry
+    return registry

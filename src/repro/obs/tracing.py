@@ -1,0 +1,254 @@
+"""Tracing: spans, a contextvars-based current span, and wire propagation.
+
+A *span* is one timed operation (an upload, one RPC, one keygen batch); a
+*trace* is the tree of spans sharing a ``trace_id``. The current span lives
+in a :mod:`contextvars` variable, so nesting works across ordinary calls
+and in-process transports without plumbing; crossing the TEDStore wire is
+explicit — the client encodes its current span context into the optional
+trace field of the message framing and the server installs it as the
+remote parent (:mod:`repro.tedstore.messages`).
+
+Wire context format (version-tolerant, 25 bytes)::
+
+    [version u8 = 1][trace_id 16 bytes][span_id 8 bytes]
+
+Decoders return ``None`` for unknown versions or malformed blobs — a peer
+that does not understand the context simply proceeds untraced, it never
+fails the request.
+
+Spans are recorded into a bounded in-memory :class:`SpanRecorder`; the
+``repro trace`` CLI and the trace-propagation tests read trees out of it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+TRACE_CONTEXT_VERSION = 1
+TRACE_ID_BYTES = 16
+SPAN_ID_BYTES = 8
+_CONTEXT_LEN = 1 + TRACE_ID_BYTES + SPAN_ID_BYTES
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a span: which trace, which parent."""
+
+    trace_id: bytes
+    span_id: bytes
+
+    @property
+    def trace_id_hex(self) -> str:
+        return self.trace_id.hex()
+
+    @property
+    def span_id_hex(self) -> str:
+        return self.span_id.hex()
+
+
+def encode_context(context: SpanContext) -> bytes:
+    """Serialize a span context for the wire trace field."""
+    return (
+        bytes([TRACE_CONTEXT_VERSION]) + context.trace_id + context.span_id
+    )
+
+
+def decode_context(data: Optional[bytes]) -> Optional[SpanContext]:
+    """Parse a wire trace field; ``None`` for absent/unknown/malformed.
+
+    Tolerance is the contract: an old or corrupt context must degrade to
+    "untraced", never to a protocol error.
+    """
+    if not data or len(data) != _CONTEXT_LEN:
+        return None
+    if data[0] != TRACE_CONTEXT_VERSION:
+        return None
+    return SpanContext(
+        trace_id=bytes(data[1 : 1 + TRACE_ID_BYTES]),
+        span_id=bytes(data[1 + TRACE_ID_BYTES :]),
+    )
+
+
+@dataclass
+class Span:
+    """One timed operation within a trace."""
+
+    name: str
+    trace_id: bytes
+    span_id: bytes
+    parent_span_id: Optional[bytes] = None
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    events: List[Tuple[float, str, Dict[str, object]]] = field(
+        default_factory=list
+    )
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: object) -> None:
+        """Append a timestamped point event (retries, reconnects, ...)."""
+        self.events.append((time.perf_counter(), name, attributes))
+
+    def event_names(self) -> List[str]:
+        return [name for _, name, _ in self.events]
+
+
+class SpanRecorder:
+    """Bounded, thread-safe store of finished spans (newest kept)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: bytes) -> List[Span]:
+        """All recorded spans of one trace, in completion order."""
+        return [s for s in self.spans() if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[bytes]:
+        """Distinct trace ids, oldest first."""
+        seen: Dict[bytes, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class Tracer:
+    """Creates spans, tracks the current one, records finished ones.
+
+    Args:
+        recorder: destination for finished spans.
+        id_source: ``f(num_bytes) -> bytes`` randomness hook; injectable
+            for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[SpanRecorder] = None,
+        id_source: Callable[[int], bytes] = os.urandom,
+    ) -> None:
+        self.recorder = recorder or SpanRecorder()
+        self._id_source = id_source
+        self._current: contextvars.ContextVar[Optional[Span]] = (
+            contextvars.ContextVar(f"repro-span-{id(self)}", default=None)
+        )
+
+    # -- current-span accessors ---------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        return self._current.get()
+
+    def current_context(self) -> Optional[SpanContext]:
+        span = self._current.get()
+        return span.context if span is not None else None
+
+    def inject(self) -> Optional[bytes]:
+        """The current span context encoded for the wire, if any."""
+        context = self.current_context()
+        return encode_context(context) if context is not None else None
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, object]] = None,
+        remote_parent: Optional[SpanContext] = None,
+    ) -> Iterator[Span]:
+        """Run a block under a new span.
+
+        The parent is ``remote_parent`` when given (the server side of a
+        wire hop), otherwise the current span of this context; with
+        neither, the span starts a new trace.
+        """
+        if remote_parent is not None:
+            trace_id = remote_parent.trace_id
+            parent_id: Optional[bytes] = remote_parent.span_id
+        else:
+            parent = self._current.get()
+            if parent is not None:
+                trace_id = parent.trace_id
+                parent_id = parent.span_id
+            else:
+                trace_id = self._id_source(TRACE_ID_BYTES)
+                parent_id = None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._id_source(SPAN_ID_BYTES),
+            parent_span_id=parent_id,
+            start_time=time.perf_counter(),
+            attributes=dict(attributes or {}),
+        )
+        token = self._current.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._current.reset(token)
+            span.end_time = time.perf_counter()
+            self.recorder.record(span)
+
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global default tracer."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (embedding/test hook)."""
+    global _default_tracer
+    _default_tracer = tracer
+    return tracer
+
+
+def add_event(name: str, **attributes: object) -> None:
+    """Attach an event to the default tracer's current span, if any.
+
+    The no-current-span case is a silent no-op so low-level code (the wire
+    retry loop) can emit events unconditionally.
+    """
+    span = _default_tracer.current_span()
+    if span is not None:
+        span.add_event(name, **attributes)

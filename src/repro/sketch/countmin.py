@@ -24,11 +24,27 @@ that hash internally via MurmurHash3 for standalone use.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.crypto.murmur3 import short_hashes
+from repro.obs import metrics as obs_metrics
+
+_REGISTRY = obs_metrics.get_registry()
+_SKETCH_UPDATES = _REGISTRY.counter(
+    "ted_sketch_updates_total", "Count-Min Sketch update operations"
+)
+_SKETCH_ESTIMATES = _REGISTRY.counter(
+    "ted_sketch_estimates_total", "Count-Min Sketch estimate operations"
+)
+_SKETCH_UPDATE_SECONDS = _REGISTRY.histogram(
+    "ted_sketch_update_seconds", "Latency of one Count-Min Sketch update"
+)
+_SKETCH_ESTIMATE_SECONDS = _REGISTRY.histogram(
+    "ted_sketch_estimate_seconds", "Latency of one Count-Min Sketch estimate"
+)
 
 
 class CountMinSketch:
@@ -83,6 +99,7 @@ class CountMinSketch:
             indices: one counter index per row, each in ``[0, width)``.
         """
         self._check_indices(indices)
+        start = time.perf_counter()
         self.total += 1
         counters = self._counters
         if self.conservative:
@@ -93,21 +110,29 @@ class CountMinSketch:
             for row, idx in enumerate(indices):
                 if counters[row, idx] < new_value:
                     counters[row, idx] = new_value
-            return new_value
-        minimum = None
-        for row, idx in enumerate(indices):
-            value = int(counters[row, idx]) + 1
-            counters[row, idx] = value
-            if minimum is None or value < minimum:
-                minimum = value
-        return int(minimum)
+            result = new_value
+        else:
+            minimum = None
+            for row, idx in enumerate(indices):
+                value = int(counters[row, idx]) + 1
+                counters[row, idx] = value
+                if minimum is None or value < minimum:
+                    minimum = value
+            result = int(minimum)
+        _SKETCH_UPDATES.inc()
+        _SKETCH_UPDATE_SECONDS.observe(time.perf_counter() - start)
+        return result
 
     def estimate(self, indices: Sequence[int]) -> int:
         """Row-wise minimum estimate for the item hashed to ``indices``."""
         self._check_indices(indices)
-        return int(
+        start = time.perf_counter()
+        result = int(
             min(self._counters[row, idx] for row, idx in enumerate(indices))
         )
+        _SKETCH_ESTIMATES.inc()
+        _SKETCH_ESTIMATE_SECONDS.observe(time.perf_counter() - start)
+        return result
 
     # -- convenience API hashing internally -------------------------------
 

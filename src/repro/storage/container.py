@@ -19,7 +19,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
+
 DEFAULT_CONTAINER_BYTES = 8 << 20
+
+_REGISTRY = obs_metrics.get_registry()
+_CONTAINER_EVENTS = _REGISTRY.counter(
+    "ted_container_events_total",
+    "Container store activity (sealed flushes, disk reads, cache hits)",
+    labelnames=("event",),
+)
+_CONTAINER_SEAL_BYTES = _REGISTRY.counter(
+    "ted_container_sealed_bytes_total", "Bytes flushed in sealed containers"
+)
 
 
 @dataclass(frozen=True)
@@ -124,10 +136,13 @@ class ContainerStore:
         if not self._open_buffer:
             return None
         sealed_id = self._open_id
+        sealed_bytes = len(self._open_buffer)
         self._container_path(sealed_id).write_bytes(bytes(self._open_buffer))
         self._open_buffer = bytearray()
         self._open_id += 1
         self.stats["containers_sealed"] += 1
+        _CONTAINER_EVENTS.labels(event="sealed").inc()
+        _CONTAINER_SEAL_BYTES.inc(sealed_bytes)
         return sealed_id
 
     # -- reads ------------------------------------------------------------------
@@ -139,12 +154,14 @@ class ContainerStore:
         if cached is not None:
             self._cache.move_to_end(container_id)
             self.stats["cache_hits"] += 1
+            _CONTAINER_EVENTS.labels(event="cache_hit").inc()
             return cached
         path = self._container_path(container_id)
         if not path.exists():
             raise KeyError(f"container {container_id} does not exist")
         data = path.read_bytes()
         self.stats["container_reads"] += 1
+        _CONTAINER_EVENTS.labels(event="read").inc()
         self._cache[container_id] = data
         while len(self._cache) > self.cache_containers:
             self._cache.popitem(last=False)

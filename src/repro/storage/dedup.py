@@ -16,8 +16,47 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.storage.container import ContainerStore, ChunkLocation
 from repro.storage.kvstore import KVStore
+
+_REGISTRY = obs_metrics.get_registry()
+_DEDUP_LOGICAL_CHUNKS = _REGISTRY.counter(
+    "ted_dedup_logical_chunks_total", "Chunks offered for storage"
+)
+_DEDUP_LOGICAL_BYTES = _REGISTRY.counter(
+    "ted_dedup_logical_bytes_total", "Bytes offered for storage"
+)
+_DEDUP_UNIQUE_CHUNKS = _REGISTRY.counter(
+    "ted_dedup_unique_chunks_total", "Chunks physically written (first copy)"
+)
+_DEDUP_UNIQUE_BYTES = _REGISTRY.counter(
+    "ted_dedup_unique_bytes_total", "Bytes physically written (first copy)"
+)
+_DEDUP_DUPLICATE_CHUNKS = _REGISTRY.counter(
+    "ted_dedup_duplicate_chunks_total", "Chunks removed by deduplication"
+)
+_DEDUP_RATIO = _REGISTRY.gauge(
+    "ted_dedup_ratio", "Logical/physical byte ratio (process-wide)"
+)
+
+
+def record_dedup_store(size: int, unique: bool) -> None:
+    """Record one store decision on the process-wide dedup instruments.
+
+    Shared by :class:`DedupEngine` and the provider's in-memory mode so
+    ``ted_dedup_*`` reflects deduplication regardless of backend.
+    """
+    _DEDUP_LOGICAL_CHUNKS.inc()
+    _DEDUP_LOGICAL_BYTES.inc(size)
+    if unique:
+        _DEDUP_UNIQUE_CHUNKS.inc()
+        _DEDUP_UNIQUE_BYTES.inc(size)
+    else:
+        _DEDUP_DUPLICATE_CHUNKS.inc()
+    physical = _DEDUP_UNIQUE_BYTES.value
+    if physical:
+        _DEDUP_RATIO.set(_DEDUP_LOGICAL_BYTES.value / physical)
 
 
 @dataclass
@@ -79,11 +118,13 @@ class DedupEngine:
         self.stats.logical_chunks += 1
         self.stats.logical_bytes += len(chunk)
         if self.index.get(fingerprint) is not None:
+            record_dedup_store(len(chunk), unique=False)
             return False
         location = self.containers.append(chunk)
         self.index.put(fingerprint, location.to_bytes())
         self.stats.unique_chunks += 1
         self.stats.unique_bytes += len(chunk)
+        record_dedup_store(len(chunk), unique=True)
         return True
 
     def contains(self, fingerprint: bytes) -> bool:

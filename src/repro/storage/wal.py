@@ -17,13 +17,26 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.utils.varint import decode_uvarint, encode_uvarint
 
 _HEADER = struct.Struct("<II")
+
+_REGISTRY = obs_metrics.get_registry()
+_WAL_APPENDS = _REGISTRY.counter(
+    "ted_wal_appends_total", "Records appended to the write-ahead log"
+)
+_WAL_FSYNCS = _REGISTRY.counter(
+    "ted_wal_fsyncs_total", "fsync barriers issued by the write-ahead log"
+)
+_WAL_FSYNC_SECONDS = _REGISTRY.histogram(
+    "ted_wal_fsync_seconds", "Latency of write-ahead-log fsync barriers"
+)
 
 OP_PUT = 0
 OP_DELETE = 1
@@ -51,11 +64,15 @@ class WriteAheadLog:
         record = _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
         self._file.write(record)
         self._file.flush()
+        _WAL_APPENDS.inc()
 
     def sync(self) -> None:
         """fsync the log (durability barrier)."""
         self._file.flush()
+        start = time.perf_counter()
         os.fsync(self._file.fileno())
+        _WAL_FSYNCS.inc()
+        _WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
 
     def close(self) -> None:
         if not self._file.closed:
@@ -70,6 +87,7 @@ class WriteAheadLog:
         double-apply — mutations that the flush already persisted.
         """
         self._file.close()
+        start = time.perf_counter()
         self._file = open(self.path, "wb")
         self._file.flush()
         os.fsync(self._file.fileno())
@@ -81,6 +99,8 @@ class WriteAheadLog:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
+        _WAL_FSYNCS.inc(2)
+        _WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
 
     @staticmethod
     def replay(path: Path) -> Iterator[Tuple[int, bytes, bytes]]:

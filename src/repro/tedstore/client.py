@@ -29,6 +29,7 @@ from repro.core.keygen import derive_key
 from repro.crypto.cipher import SECURE, CipherProfile
 from repro.crypto.hashes import digest
 from repro.crypto.murmur3 import short_hashes
+from repro.obs import metrics as obs_metrics, tracing
 from repro.storage.recipe import FileRecipe, KeyRecipe, seal, unseal
 from repro.tedstore.messages import (
     GetChunks,
@@ -41,6 +42,23 @@ from repro.tedstore.transports import KeyManagerTransport, ProviderTransport
 from repro.utils.timer import StageTimer
 
 DEFAULT_BATCH_SIZE = 48_000
+
+_REGISTRY = obs_metrics.get_registry()
+_CLIENT_OPS = _REGISTRY.counter(
+    "ted_client_operations_total",
+    "Completed client file operations",
+    labelnames=("op",),
+)
+_CLIENT_BYTES = _REGISTRY.counter(
+    "ted_client_bytes_total",
+    "Logical bytes moved by the client",
+    labelnames=("op",),
+)
+_CLIENT_CHUNKS = _REGISTRY.counter(
+    "ted_client_chunks_total",
+    "Chunks moved by the client",
+    labelnames=("op",),
+)
 
 
 @dataclass
@@ -116,6 +134,19 @@ class TedStoreClient:
         return self._upload_chunks(file_name, chunks)
 
     def _upload_chunks(
+        self, file_name: str, chunks: Sequence[bytes]
+    ) -> UploadResult:
+        with tracing.get_tracer().span(
+            "client.upload",
+            attributes={"file": file_name, "chunks": len(chunks)},
+        ):
+            result = self._upload_chunks_inner(file_name, chunks)
+        _CLIENT_OPS.labels(op="upload").inc()
+        _CLIENT_BYTES.labels(op="upload").inc(result.logical_bytes)
+        _CLIENT_CHUNKS.labels(op="upload").inc(result.chunk_count)
+        return result
+
+    def _upload_chunks_inner(
         self, file_name: str, chunks: Sequence[bytes]
     ) -> UploadResult:
         algorithm = self.profile.hash_algorithm
@@ -228,6 +259,11 @@ class TedStoreClient:
         ``client_retries`` / ``client_reconnects`` / ``client_timeouts``
         and the server-side ``server_*`` guards — so tests and operators
         can see recoveries that the request/response API papers over.
+
+        Transports without their own ``stats()`` (e.g. in-process local
+        transports) fall back to a snapshot of the process-global metrics
+        registry, tagged with the transport class name — never a silent
+        empty dict, so misconfigured wiring stays visible.
         """
         stats = {}
         for name, transport in (
@@ -235,7 +271,12 @@ class TedStoreClient:
             ("provider", self.provider),
         ):
             getter = getattr(transport, "stats", None)
-            stats[name] = dict(getter()) if getter is not None else {}
+            if getter is not None:
+                entry = dict(getter())
+            else:
+                entry = dict(_REGISTRY.snapshot_pairs())
+            entry["transport"] = type(transport).__name__
+            stats[name] = entry
         return stats
 
     # -- download ----------------------------------------------------------------
@@ -247,6 +288,15 @@ class TedStoreClient:
             ValueError: recipe authentication failure (wrong master key or
                 tampering), or a chunk that decrypts to the wrong size.
         """
+        with tracing.get_tracer().span(
+            "client.download", attributes={"file": file_name}
+        ):
+            data = self._download_inner(file_name)
+        _CLIENT_OPS.labels(op="download").inc()
+        _CLIENT_BYTES.labels(op="download").inc(len(data))
+        return data
+
+    def _download_inner(self, file_name: str) -> bytes:
         with self.timer.stage("recipe fetch"):
             recipes = self.provider.get_recipes(
                 GetRecipes(file_name=file_name)
@@ -287,6 +337,7 @@ class TedStoreClient:
                         fingerprints=[fp for fp, _ in batch_entries]
                     )
                 ).chunks
+            _CLIENT_CHUNKS.labels(op="download").inc(len(chunks))
             with self.timer.stage("decryption"):
                 for (fp, size), key, ciphertext in zip(
                     batch_entries, batch_keys, chunks

@@ -13,8 +13,20 @@ import threading
 from typing import Optional
 
 from repro.core.ted import TedKeyManager
+from repro.obs import metrics as obs_metrics, tracing
 from repro.tedstore.messages import KeyGenRequest, KeyGenResponse
 from repro.tedstore.ratelimit import KeyGenRateLimiter
+
+_REGISTRY = obs_metrics.get_registry()
+_BATCH_SIZE = _REGISTRY.histogram(
+    "ted_keymanager_batch_size",
+    "Hash vectors per key-generation batch request",
+    buckets=(1, 8, 64, 512, 4096, 48000, 1 << 20),
+)
+_BATCH_SECONDS = _REGISTRY.histogram(
+    "ted_keymanager_batch_seconds",
+    "Latency of one key-generation batch (lock held)",
+)
 
 
 class KeyManagerService:
@@ -51,7 +63,11 @@ class KeyManagerService:
         """
         if self.rate_limiter is not None:
             self.rate_limiter.check(client_id, len(request.hash_vectors))
-        with self._lock:
+        batch = len(request.hash_vectors)
+        _BATCH_SIZE.observe(batch)
+        with tracing.get_tracer().span(
+            "keymanager.keygen", attributes={"batch": batch}
+        ), _BATCH_SECONDS.time(), self._lock:
             seeds = self.key_manager.generate_seeds(request.hash_vectors)
             return KeyGenResponse(seeds=seeds, current_t=self.key_manager.t)
 

@@ -8,17 +8,31 @@ protocol is compact, deterministic, and safe to parse from untrusted peers.
 The protocol batches aggressively (key-generation requests, chunk uploads,
 chunk downloads), matching TEDStore's optimization of combining small data
 units into single transmissions (paper §4).
+
+**Trace context (DESIGN.md §9).** A frame may carry an optional trace
+context so one client operation can be followed across the key manager and
+the provider. Presence is signalled by the high bit of the type byte
+(:data:`MSG_FLAG_TRACE`); a flagged frame reads as::
+
+    [length u32 BE][type u8 | 0x80][ctx_len uvarint][ctx bytes][payload]
+
+The context bytes are opaque here (see :mod:`repro.obs.tracing` for their
+format). Version tolerance: new readers accept unflagged frames from old
+peers unchanged, and a new client talking to an old peer — which rejects
+the flagged type byte with ``MSG_ERROR "unexpected message"`` — downgrades
+to untraced frames on that connection (:mod:`repro.tedstore.network`).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.utils.varint import decode_uvarint, encode_uvarint
 
 _LEN = struct.Struct(">I")
+_F64 = struct.Struct(">d")
 
 MSG_KEYGEN_REQUEST = 1
 MSG_KEYGEN_RESPONSE = 2
@@ -39,6 +53,30 @@ MSG_STATS_RESPONSE = 13
 # dispatched, so no state changed.
 MSG_BUSY = 14
 
+#: Human-readable message-type names (span labels, error messages).
+MESSAGE_NAMES = {
+    MSG_KEYGEN_REQUEST: "keygen",
+    MSG_KEYGEN_RESPONSE: "keygen_response",
+    MSG_PUT_CHUNKS: "put_chunks",
+    MSG_PUT_CHUNKS_RESPONSE: "put_chunks_response",
+    MSG_PUT_RECIPES: "put_recipes",
+    MSG_OK: "ok",
+    MSG_GET_RECIPES: "get_recipes",
+    MSG_RECIPES: "recipes",
+    MSG_GET_CHUNKS: "get_chunks",
+    MSG_CHUNKS: "chunks",
+    MSG_ERROR: "error",
+    MSG_STATS_REQUEST: "stats_request",
+    MSG_STATS_RESPONSE: "stats_response",
+    MSG_BUSY: "busy",
+}
+
+#: High bit of the type byte: the frame carries a trace-context section.
+MSG_FLAG_TRACE = 0x80
+
+#: Trace contexts are small (tens of bytes); bound them defensively.
+MAX_TRACE_CONTEXT_BYTES = 256
+
 MAX_MESSAGE_BYTES = 256 << 20  # guard against absurd/corrupt frames
 
 
@@ -46,19 +84,45 @@ class ProtocolError(Exception):
     """Raised on malformed frames or payloads."""
 
 
-def frame(message_type: int, payload: bytes) -> bytes:
-    """Wrap a payload in the wire framing."""
-    body = bytes([message_type]) + payload
+def message_name(message_type: int) -> str:
+    """Name of a message type (flag bits stripped), for spans and logs."""
+    return MESSAGE_NAMES.get(message_type & ~MSG_FLAG_TRACE, f"type{message_type}")
+
+
+def frame(
+    message_type: int,
+    payload: bytes,
+    trace_context: Optional[bytes] = None,
+) -> bytes:
+    """Wrap a payload in the wire framing.
+
+    Args:
+        trace_context: opaque trace-context bytes to piggyback on the
+            frame; sets :data:`MSG_FLAG_TRACE` on the type byte.
+    """
+    if trace_context:
+        if len(trace_context) > MAX_TRACE_CONTEXT_BYTES:
+            raise ProtocolError("trace context too large")
+        body = (
+            bytes([message_type | MSG_FLAG_TRACE])
+            + encode_uvarint(len(trace_context))
+            + trace_context
+            + payload
+        )
+    else:
+        body = bytes([message_type]) + payload
     if len(body) > MAX_MESSAGE_BYTES:
         raise ProtocolError("message exceeds the frame size limit")
     return _LEN.pack(len(body)) + body
 
 
-def read_frame(recv_exact) -> Tuple[int, bytes]:
+def read_frame_ex(recv_exact) -> Tuple[int, bytes, Optional[bytes]]:
     """Read one frame via a ``recv_exact(n) -> bytes`` callable.
 
     Returns:
-        ``(message_type, payload)``.
+        ``(message_type, payload, trace_context)`` — the flag bit is
+        stripped from the type and ``trace_context`` is ``None`` on
+        unflagged (old-format) frames.
 
     Raises:
         ProtocolError: on oversized or truncated frames.
@@ -68,7 +132,23 @@ def read_frame(recv_exact) -> Tuple[int, bytes]:
     if length == 0 or length > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"invalid frame length {length}")
     body = recv_exact(length)
-    return body[0], body[1:]
+    message_type = body[0]
+    if not message_type & MSG_FLAG_TRACE:
+        return message_type, body[1:], None
+    try:
+        ctx_len, offset = decode_uvarint(body, 1)
+    except (ValueError, IndexError) as exc:
+        raise ProtocolError("malformed trace-context length") from exc
+    if ctx_len > MAX_TRACE_CONTEXT_BYTES or offset + ctx_len > len(body):
+        raise ProtocolError("truncated trace context")
+    context = bytes(body[offset : offset + ctx_len])
+    return message_type & ~MSG_FLAG_TRACE, body[offset + ctx_len :], context
+
+
+def read_frame(recv_exact) -> Tuple[int, bytes]:
+    """Back-compat reader: :func:`read_frame_ex` minus the trace context."""
+    message_type, payload, _ = read_frame_ex(recv_exact)
+    return message_type, payload
 
 
 class _Writer:
@@ -83,6 +163,11 @@ class _Writer:
 
     def blob(self, data: bytes) -> "_Writer":
         self._out.extend(encode_uvarint(len(data)))
+        self._out.extend(data)
+        return self
+
+    def raw(self, data: bytes) -> "_Writer":
+        """Append bytes with no length prefix (fixed-width fields)."""
         self._out.extend(data)
         return self
 
@@ -101,7 +186,10 @@ class _Reader:
         self._pos = 0
 
     def varint(self) -> int:
-        value, self._pos = decode_uvarint(self._data, self._pos)
+        try:
+            value, self._pos = decode_uvarint(self._data, self._pos)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
         return value
 
     def blob(self) -> bytes:
@@ -109,6 +197,15 @@ class _Reader:
         end = self._pos + length
         if end > len(self._data):
             raise ProtocolError("truncated payload blob")
+        value = self._data[self._pos : end]
+        self._pos = end
+        return value
+
+    def take(self, length: int) -> bytes:
+        """Read exactly ``length`` raw bytes (fixed-width fields)."""
+        end = self._pos + length
+        if end > len(self._data):
+            raise ProtocolError("truncated fixed-width field")
         value = self._data[self._pos : end]
         self._pos = end
         return value
@@ -322,18 +419,50 @@ def decode_error(payload: bytes) -> str:
     return message
 
 
-def encode_stats(pairs: Sequence[Tuple[str, int]]) -> bytes:
-    """Payload for MSG_STATS_RESPONSE: ordered (name, value) counters."""
+_STATS_INT = 0
+_STATS_FLOAT = 1
+
+
+def encode_stats(
+    pairs: Sequence[Tuple[str, Union[int, float]]]
+) -> bytes:
+    """Payload for MSG_STATS_RESPONSE: ordered (name, value) metrics.
+
+    Each value is tagged: non-negative integers travel as varints, and
+    everything else (histogram quantiles, ratios, negative values) as an
+    IEEE-754 double — so registry snapshots round-trip exactly.
+    """
     w = _Writer().varint(len(pairs))
     for name, value in pairs:
-        w.text(name).varint(value)
+        w.text(name)
+        if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+            w.varint(_STATS_INT).varint(value)
+        else:
+            w.varint(_STATS_FLOAT)
+            w.raw(_F64.pack(float(value)))
     return w.done()
 
 
-def decode_stats(payload: bytes) -> List[Tuple[str, int]]:
-    """Inverse of :func:`encode_stats`."""
+def decode_stats(payload: bytes) -> List[Tuple[str, Union[int, float]]]:
+    """Inverse of :func:`encode_stats`.
+
+    Integer-tagged values decode as ``int``, float-tagged as ``float``.
+
+    Raises:
+        ProtocolError: on truncated payloads or unknown value tags.
+    """
     r = _Reader(payload)
     count = r.varint()
-    pairs = [(r.text(), r.varint()) for _ in range(count)]
+    pairs: List[Tuple[str, Union[int, float]]] = []
+    for _ in range(count):
+        name = r.text()
+        tag = r.varint()
+        if tag == _STATS_INT:
+            pairs.append((name, r.varint()))
+        elif tag == _STATS_FLOAT:
+            (value,) = _F64.unpack(r.take(_F64.size))
+            pairs.append((name, value))
+        else:
+            raise ProtocolError(f"unknown stats value tag {tag}")
     r.expect_end()
     return pairs

@@ -18,8 +18,13 @@ Robustness (DESIGN.md §8):
   by stalled peers, a max-inflight guard sheds load with ``MSG_BUSY``
   instead of queueing unboundedly, and shutdown drains in-flight requests
   before closing connections.
-* **Observability** — both sides count retries, reconnects, timeouts, and
-  busy rejections; the counters ride the existing stats message.
+* **Observability** (DESIGN.md §9) — both sides count retries, reconnects,
+  timeouts, and busy rejections on the metrics registry; the wire ``stats``
+  message serves the legacy counter names plus a full registry snapshot.
+  Requests carry an optional trace context (high bit of the type byte), so
+  a client upload is one coherent trace across the key manager and the
+  provider; connections to old peers that reject the flagged type byte
+  downgrade to untraced frames transparently.
 """
 
 from __future__ import annotations
@@ -29,12 +34,40 @@ import socketserver
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.tedstore import messages as m
 from repro.tedstore.keymanager import KeyManagerService
 from repro.tedstore.provider import ProviderService
 from repro.tedstore.retry import RetryPolicy
 
 DEFAULT_IDLE_TIMEOUT = 300.0
+
+_REGISTRY = obs_metrics.get_registry()
+# Legacy wire-counter names map 1:1 onto these registry instruments; the
+# per-server/per-connection dicts remain the source for the legacy stats
+# keys, while the registry aggregates across all connections of a process.
+_SERVER_WIRE = _REGISTRY.counter(
+    "ted_wire_server_events_total",
+    "Server-side wire events (connections, timeouts, rejections)",
+    labelnames=("entity", "event"),
+)
+_SERVER_REQUEST_SECONDS = _REGISTRY.histogram(
+    "ted_wire_server_request_seconds",
+    "Server-side request dispatch latency",
+    labelnames=("entity",),
+)
+_CLIENT_WIRE = _REGISTRY.counter(
+    "ted_wire_client_events_total",
+    "Client-side wire events (calls, retries, reconnects, timeouts, busy, "
+    "trace downgrades)",
+    labelnames=("entity", "event"),
+)
+_CLIENT_CALL_SECONDS = _REGISTRY.histogram(
+    "ted_wire_client_call_seconds",
+    "Client-side request/response latency including retries",
+    labelnames=("entity",),
+)
 
 
 class ServerBusy(ConnectionError):
@@ -64,12 +97,14 @@ class _Server(socketserver.ThreadingTCPServer):
         handler_class,
         idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
         max_inflight: Optional[int] = None,
+        entity: str = "server",
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         super().__init__(server_address, handler_class)
         self.idle_timeout = idle_timeout
         self.max_inflight = max_inflight
+        self.entity = entity
         self.draining = False
         self._inflight = 0
         self._state = threading.Condition()
@@ -81,12 +116,17 @@ class _Server(socketserver.ThreadingTCPServer):
             "forced_disconnects": 0,
         }
 
+    def _mirror(self, name: str, amount: int = 1) -> None:
+        """Registry copy of a wire-counter increment."""
+        _SERVER_WIRE.labels(entity=self.entity, event=name).inc(amount)
+
     # -- connection / request accounting --------------------------------------
 
     def register_connection(self, sock: socket.socket) -> None:
         with self._state:
             self._active_sockets.add(sock)
             self.wire_counters["connections"] += 1
+        self._mirror("connections")
 
     def unregister_connection(self, sock: socket.socket) -> None:
         with self._state:
@@ -95,6 +135,7 @@ class _Server(socketserver.ThreadingTCPServer):
     def count(self, name: str) -> None:
         with self._state:
             self.wire_counters[name] += 1
+        self._mirror(name)
 
     def try_begin_request(self) -> bool:
         """Claim an in-flight slot; False means reply ``MSG_BUSY``."""
@@ -106,6 +147,7 @@ class _Server(socketserver.ThreadingTCPServer):
                 and self._inflight >= self.max_inflight
             ):
                 self.wire_counters["busy_rejections"] += 1
+                self._mirror("busy_rejections")
                 return False
             self._inflight += 1
             return True
@@ -128,6 +170,8 @@ class _Server(socketserver.ThreadingTCPServer):
             victims = list(self._active_sockets)
             self._active_sockets.clear()
             self.wire_counters["forced_disconnects"] += len(victims)
+        if victims:
+            self._mirror("forced_disconnects", len(victims))
         for sock in victims:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -162,10 +206,11 @@ class _ServiceHandler(socketserver.BaseRequestHandler):
         # brute-forcing client must not reset its budget by reconnecting.
         peer = str(self.client_address[0])
         server.register_connection(sock)
+        tracer = tracing.get_tracer()
         try:
             while True:
                 try:
-                    message_type, payload = m.read_frame(
+                    message_type, payload, trace_ctx = m.read_frame_ex(
                         lambda n: _recv_exact(sock, n)
                     )
                 except socket.timeout:
@@ -178,8 +223,19 @@ class _ServiceHandler(socketserver.BaseRequestHandler):
                         m.MSG_BUSY, m.encode_error("server busy")
                     )
                 else:
+                    # A trace context from the peer makes this dispatch a
+                    # child of the client's RPC span; a missing or
+                    # unparseable context degrades to a fresh local trace.
+                    remote_parent = tracing.decode_context(trace_ctx)
                     try:
-                        reply = dispatch(message_type, payload, peer)
+                        with tracer.span(
+                            f"server.{m.message_name(message_type)}",
+                            attributes={"entity": server.entity, "peer": peer},
+                            remote_parent=remote_parent,
+                        ), _SERVER_REQUEST_SECONDS.labels(
+                            entity=server.entity
+                        ).time():
+                            reply = dispatch(message_type, payload, peer)
                     except KeyError as exc:
                         reply = m.frame(
                             m.MSG_ERROR, m.encode_error(f"not found: {exc}")
@@ -264,6 +320,7 @@ def serve_key_manager(
         _ServiceHandler,
         idle_timeout=idle_timeout,
         max_inflight=max_inflight,
+        entity="keymanager",
     )
 
     def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
@@ -275,7 +332,11 @@ def serve_key_manager(
         if message_type == m.MSG_STATS_REQUEST:
             return m.frame(
                 m.MSG_STATS_RESPONSE,
-                m.encode_stats(service.stats() + server.stats_pairs()),
+                m.encode_stats(
+                    service.stats()
+                    + server.stats_pairs()
+                    + _REGISTRY.snapshot_pairs()
+                ),
             )
         return m.frame(
             m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
@@ -299,6 +360,7 @@ def serve_provider(
         _ServiceHandler,
         idle_timeout=idle_timeout,
         max_inflight=max_inflight,
+        entity="provider",
     )
 
     def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
@@ -317,7 +379,11 @@ def serve_provider(
         if message_type == m.MSG_STATS_REQUEST:
             return m.frame(
                 m.MSG_STATS_RESPONSE,
-                m.encode_stats(service.stats() + server.stats_pairs()),
+                m.encode_stats(
+                    service.stats()
+                    + server.stats_pairs()
+                    + _REGISTRY.snapshot_pairs()
+                ),
             )
         return m.frame(
             m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
@@ -344,11 +410,14 @@ class _Connection:
         retry_policy: Optional[RetryPolicy] = None,
         connect_timeout: float = 10.0,
         io_timeout: float = 60.0,
+        entity: str = "peer",
+        propagate_trace: bool = True,
     ) -> None:
         self._address = address
         self._policy = retry_policy or RetryPolicy()
         self._connect_timeout = connect_timeout
         self._io_timeout = io_timeout
+        self._entity = entity
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
         self.counters: Dict[str, int] = {
@@ -357,8 +426,18 @@ class _Connection:
             "reconnects": 0,
             "timeouts": 0,
             "busy": 0,
+            "trace_downgrades": 0,
         }
+        # Trace propagation is on by default and latches off for the life
+        # of the connection if the peer rejects the flagged type byte (an
+        # old-format peer) — interop beats telemetry.
+        self._trace_peer = propagate_trace
         self._connect()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a wire counter (caller holds ``self._lock``)."""
+        self.counters[name] += amount
+        _CLIENT_WIRE.labels(entity=self._entity, event=name).inc(amount)
 
     # -- socket lifecycle ------------------------------------------------------
 
@@ -382,7 +461,8 @@ class _Connection:
             # The constructor connects eagerly, so any connect here is a
             # reconnect after a dropped socket.
             self._connect()
-            self.counters["reconnects"] += 1
+            self._count("reconnects")
+            tracing.add_event("wire.reconnect", entity=self._entity)
         return self._sock  # type: ignore[return-value]
 
     # -- request/response ------------------------------------------------------
@@ -394,32 +474,62 @@ class _Connection:
 
         Non-idempotent calls never retry after the request may have been
         delivered: the socket is dropped and the error propagates.
+
+        Each call runs under an ``rpc.<message>`` span whose context rides
+        the request frame; retries, reconnects, and busy backoffs surface
+        as span events.
         """
-        request = m.frame(message_type, payload)
-        with self._lock:
-            self.counters["calls"] += 1
+        tracer = tracing.get_tracer()
+        with tracer.span(
+            f"rpc.{m.message_name(message_type)}",
+            attributes={"entity": self._entity},
+        ) as span, self._lock, _CLIENT_CALL_SECONDS.labels(
+            entity=self._entity
+        ).time():
+            self._count("calls")
             state = self._policy.start_call()
             while True:
+                traced = self._trace_peer
+                request = m.frame(
+                    message_type,
+                    payload,
+                    trace_context=tracer.inject() if traced else None,
+                )
                 try:
                     reply_type, reply = self._exchange(request, state)
                 except ServerBusy as exc:
                     # Frame was well-formed and answered: the stream is
                     # still in sync, so retry without reconnecting.
-                    self.counters["busy"] += 1
+                    self._count("busy")
+                    span.add_event("wire.busy", error=str(exc))
                     state.pause(state.admit_failure(exc))
-                    self.counters["retries"] += 1
+                    self._count("retries")
                     continue
                 except self._WIRE_ERRORS + (m.ProtocolError,) as exc:
                     # A corrupt frame desynchronizes the stream exactly
                     # like a dropped connection: reconnect before retrying.
                     if isinstance(exc, socket.timeout):
-                        self.counters["timeouts"] += 1
+                        self._count("timeouts")
                     self._drop_socket()
                     if not idempotent:
                         raise
+                    span.add_event(
+                        "wire.retry", error=f"{type(exc).__name__}: {exc}"
+                    )
                     state.pause(state.admit_failure(exc))
-                    self.counters["retries"] += 1
+                    self._count("retries")
                     continue
+                if traced and reply_type == m.MSG_ERROR:
+                    # An old-format peer rejects the flagged type byte
+                    # before dispatching anything, so resending the same
+                    # request untraced is always safe. Latch traces off for
+                    # this connection and make the downgrade visible.
+                    error = m.decode_error(reply)
+                    if error.startswith("unexpected message"):
+                        self._trace_peer = False
+                        self._count("trace_downgrades")
+                        span.add_event("wire.trace_downgrade", error=error)
+                        continue
                 break
         if reply_type == m.MSG_ERROR:
             raise RuntimeError(f"remote error: {m.decode_error(reply)}")
@@ -462,8 +572,14 @@ class RemoteKeyManager:
         self,
         address: Tuple[str, int],
         retry_policy: Optional[RetryPolicy] = None,
+        propagate_trace: bool = True,
     ) -> None:
-        self._conn = _Connection(address, retry_policy=retry_policy)
+        self._conn = _Connection(
+            address,
+            retry_policy=retry_policy,
+            entity="key_manager",
+            propagate_trace=propagate_trace,
+        )
 
     def keygen(self, request: m.KeyGenRequest) -> m.KeyGenResponse:
         # Retried as idempotent: a duplicate batch re-updates the sketch,
@@ -491,8 +607,14 @@ class RemoteProvider:
         self,
         address: Tuple[str, int],
         retry_policy: Optional[RetryPolicy] = None,
+        propagate_trace: bool = True,
     ) -> None:
-        self._conn = _Connection(address, retry_policy=retry_policy)
+        self._conn = _Connection(
+            address,
+            retry_policy=retry_policy,
+            entity="provider",
+            propagate_trace=propagate_trace,
+        )
 
     def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
         # Idempotent: the provider deduplicates by fingerprint, so a

@@ -16,7 +16,8 @@ import threading
 from pathlib import Path
 from typing import Optional
 
-from repro.storage.dedup import DedupEngine
+from repro.obs import tracing
+from repro.storage.dedup import DedupEngine, record_dedup_store
 from repro.tedstore.messages import (
     Chunks,
     GetChunks,
@@ -74,16 +75,20 @@ class ProviderService:
         """Store a batch of ciphertext chunks with inline deduplication."""
         stored = 0
         duplicates = 0
-        with self._lock:
+        with tracing.get_tracer().span(
+            "provider.put_chunks", attributes={"chunks": len(request.chunks)}
+        ), self._lock:
             if self.in_memory:
                 for fingerprint, data in request.chunks:
                     self._logical_chunks += 1
                     if fingerprint in self._memory_chunks:
                         duplicates += 1
                         self._duplicate_chunks += 1
+                        record_dedup_store(len(data), unique=False)
                     else:
                         self._memory_chunks[fingerprint] = data
                         stored += 1
+                        record_dedup_store(len(data), unique=True)
             else:
                 for fingerprint, data in request.chunks:
                     if self.engine.store(fingerprint, data):
@@ -98,7 +103,10 @@ class ProviderService:
         Raises:
             KeyError: if any fingerprint is unknown.
         """
-        with self._lock:
+        with tracing.get_tracer().span(
+            "provider.get_chunks",
+            attributes={"chunks": len(request.fingerprints)},
+        ), self._lock:
             if self.in_memory:
                 return Chunks(
                     chunks=[

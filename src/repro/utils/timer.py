@@ -4,6 +4,11 @@ The paper reports per-step compute-time breakdowns (Tables 1 and 2). The
 ``StageTimer`` accumulates wall-clock time per named stage so the TEDStore
 client and key manager can attribute time to chunking, fingerprinting,
 hashing, key seeding, key derivation, encryption, and write steps.
+
+Every stage exit is also observed on the ``ted_stage_seconds`` histogram
+of the metrics registry (labelled by stage name — a small, bounded set),
+so the per-step latency *distribution* is available alongside the paper's
+per-step totals (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -11,6 +16,14 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
+
+from repro.obs import metrics as obs_metrics
+
+_STAGE_SECONDS = obs_metrics.get_registry().histogram(
+    "ted_stage_seconds",
+    "Per-stage latency of pipeline stage executions",
+    labelnames=("stage",),
+)
 
 
 class Stopwatch:
@@ -51,6 +64,7 @@ class StageTimer:
         finally:
             elapsed = time.perf_counter() - start
             self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            _STAGE_SECONDS.labels(stage=name).observe(elapsed)
 
     def add(self, name: str, seconds: float) -> None:
         """Manually add elapsed seconds to a stage."""

@@ -1,0 +1,109 @@
+"""Exporters: Prometheus text format, JSON snapshot, span trees."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    format_recorder,
+    format_trace,
+    json_snapshot_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanRecorder, Tracer
+
+
+def _ids():
+    state = {"n": 0}
+
+    def source(n: int) -> bytes:
+        state["n"] += 1
+        return state["n"].to_bytes(n, "big")
+
+    return source
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("ted_x_total", "things").inc(3)
+        registry.gauge("ted_g", "level").set(1.5)
+        text = prometheus_text(registry)
+        assert "# HELP ted_x_total things" in text
+        assert "# TYPE ted_x_total counter" in text
+        assert "ted_x_total 3" in text
+        assert "ted_g 1.5" in text
+
+    def test_labelled_samples(self):
+        registry = MetricsRegistry()
+        c = registry.counter("ted_ops_total", labelnames=("op",))
+        c.labels(op="upload").inc(2)
+        assert 'ted_ops_total{op="upload"} 2' in prometheus_text(registry)
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("ted_h_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        text = prometheus_text(registry)
+        assert 'ted_h_seconds_bucket{le="1"} 1' in text
+        assert 'ted_h_seconds_bucket{le="2"} 2' in text
+        assert 'ted_h_seconds_bucket{le="+Inf"} 3' in text
+        assert "ted_h_seconds_count 3" in text
+        assert "ted_h_seconds_sum 11" in text
+
+    def test_scrape_body_ends_with_newline(self):
+        assert prometheus_text(MetricsRegistry()).endswith("\n")
+
+
+class TestJsonSnapshot:
+    def test_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("ted_x_total").inc()
+        registry.histogram("ted_h_seconds").observe(0.02)
+        doc = json.loads(json_snapshot_text(registry))
+        assert doc["metrics"]["ted_x_total"] == 1
+        assert doc["metrics"]["ted_h_seconds_count"] == 1
+        assert isinstance(doc["metrics"]["ted_h_seconds_p95"], float)
+
+
+class TestSpanTrees:
+    def test_tree_indents_children_and_events(self):
+        tracer = Tracer(recorder=SpanRecorder(), id_source=_ids())
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                child.add_event("wire.retry", attempt=2)
+        spans = tracer.recorder.for_trace(root.trace_id)
+        text = format_trace(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert any(line.startswith("  - root") for line in lines)
+        assert any(line.startswith("    - child") for line in lines)
+        assert any("* event wire.retry attempt=2" in line for line in lines)
+
+    def test_missing_parent_becomes_root(self):
+        tracer = Tracer(recorder=SpanRecorder(), id_source=_ids())
+        remote = None
+        with tracer.span("invisible-parent") as parent:
+            remote = parent.context
+        other = Tracer(recorder=SpanRecorder(), id_source=_ids())
+        with other.span("server-side", remote_parent=remote):
+            pass
+        spans = other.recorder.spans()
+        text = format_trace(spans)
+        assert "- server-side" in text
+
+    def test_empty_recorder(self):
+        assert format_recorder(SpanRecorder()) == "(no traces recorded)"
+
+    def test_error_span_flagged(self):
+        tracer = Tracer(recorder=SpanRecorder(), id_source=_ids())
+        try:
+            with tracer.span("bad"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        text = format_recorder(tracer.recorder)
+        assert "!error: ValueError: nope" in text

@@ -1,0 +1,182 @@
+"""Metrics registry: instruments, labels, histograms, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+    log_scale_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestBuckets:
+    def test_default_span_covers_micro_to_tens_of_seconds(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert LATENCY_BUCKETS[-1] > 10.0
+        assert len(LATENCY_BUCKETS) == 22
+
+    def test_geometric_progression(self):
+        buckets = log_scale_buckets(start=1.0, factor=2.0, count=5)
+        assert buckets == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(MetricError):
+            log_scale_buckets(start=0.0)
+        with pytest.raises(MetricError):
+            log_scale_buckets(factor=1.0)
+        with pytest.raises(MetricError):
+            log_scale_buckets(count=0)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("c_total")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("c_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        c = registry.counter("ops_total", labelnames=("op",))
+        c.labels(op="upload").inc(3)
+        c.labels(op="download").inc(1)
+        assert c.labels(op="upload").value == 3
+        assert c.labels(op="download").value == 1
+
+    def test_unlabelled_use_of_labelled_instrument_fails(self, registry):
+        c = registry.counter("ops_total", labelnames=("op",))
+        with pytest.raises(MetricError):
+            c.inc()
+
+    def test_wrong_label_names_fail(self, registry):
+        c = registry.counter("ops_total", labelnames=("op",))
+        with pytest.raises(MetricError):
+            c.labels(stage="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self, registry):
+        h = registry.histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        buckets = dict(h._only_child().buckets())
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 2
+        assert buckets[4.0] == 3
+        assert buckets[float("inf")] == 4
+        snap = registry.snapshot()
+        assert snap["h_seconds_count"] == 4
+        assert snap["h_seconds_sum"] == pytest.approx(105.0)
+
+    def test_quantiles_interpolate(self, registry):
+        h = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for _ in range(100):
+            h.observe(0.5)
+        # All observations in the first bucket: p50 interpolates inside it.
+        assert 0.0 < h.quantile(0.5) <= 1.0
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) <= 1.0
+
+    def test_quantile_empty_is_zero(self, registry):
+        h = registry.histogram("h_seconds")
+        assert h.quantile(0.95) == 0.0
+
+    def test_overflow_clamps_to_largest_bound(self, registry):
+        h = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_time_context_manager(self, registry):
+        h = registry.histogram("h_seconds")
+        with h.time():
+            pass
+        assert h._only_child().count == 1
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("x", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x", labelnames=("b",))
+
+    def test_snapshot_flattens_labels_and_histograms(self, registry):
+        registry.counter("c_total", labelnames=("op",)).labels(op="u").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert snap['c_total{op="u"}'] == 2
+        assert snap["g"] == 1.5
+        for tag in ("count", "sum", "p50", "p95", "p99"):
+            assert f"h_seconds_{tag}" in snap
+
+    def test_snapshot_pairs_sorted(self, registry):
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        names = [name for name, _ in registry.snapshot_pairs()]
+        assert names == sorted(names)
+
+    def test_reset_zeroes_everything(self, registry):
+        c = registry.counter("c_total", labelnames=("op",))
+        c.labels(op="u").inc(5)
+        registry.histogram("h_seconds").observe(1.0)
+        registry.reset()
+        assert registry.snapshot()["h_seconds_count"] == 0
+        # Labelled children dropped entirely.
+        assert 'c_total{op="u"}' not in registry.snapshot()
+
+    def test_thread_safety_under_contention(self, registry):
+        c = registry.counter("c_total")
+        h = registry.histogram("h_seconds")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+        assert h._only_child().count == 8000
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()

@@ -1,0 +1,142 @@
+"""Tracing: span lifecycle, context propagation, wire codec tolerance."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    SPAN_ID_BYTES,
+    TRACE_CONTEXT_VERSION,
+    TRACE_ID_BYTES,
+    SpanContext,
+    SpanRecorder,
+    Tracer,
+    decode_context,
+    encode_context,
+)
+
+
+def deterministic_ids():
+    counter = itertools.count(1)
+
+    def source(n: int) -> bytes:
+        return next(counter).to_bytes(n, "big")
+
+    return source
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(recorder=SpanRecorder(), id_source=deterministic_ids())
+
+
+class TestContextCodec:
+    def test_round_trip(self):
+        ctx = SpanContext(
+            trace_id=b"\xaa" * TRACE_ID_BYTES, span_id=b"\xbb" * SPAN_ID_BYTES
+        )
+        assert decode_context(encode_context(ctx)) == ctx
+
+    def test_encoded_length(self):
+        ctx = SpanContext(
+            trace_id=b"\x00" * TRACE_ID_BYTES, span_id=b"\x00" * SPAN_ID_BYTES
+        )
+        assert len(encode_context(ctx)) == 1 + TRACE_ID_BYTES + SPAN_ID_BYTES
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            None,
+            b"",
+            b"\x01",
+            b"\x01" + b"\x00" * 10,  # too short
+            bytes([TRACE_CONTEXT_VERSION]) + b"\x00" * 30,  # too long
+            b"\x7f" + b"\x00" * (TRACE_ID_BYTES + SPAN_ID_BYTES),  # unknown ver
+        ],
+    )
+    def test_malformed_decodes_to_none(self, blob):
+        assert decode_context(blob) is None
+
+
+class TestSpanLifecycle:
+    def test_root_span_starts_new_trace(self, tracer):
+        with tracer.span("root") as span:
+            assert span.parent_span_id is None
+            assert tracer.current_span() is span
+        assert tracer.current_span() is None
+        recorded = tracer.recorder.spans()
+        assert [s.name for s in recorded] == ["root"]
+        assert recorded[0].duration is not None
+
+    def test_nesting_links_parent_and_shares_trace(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_span_id == parent.span_id
+            # Parent restored after the child exits.
+            assert tracer.current_span() is parent
+
+    def test_remote_parent_overrides_local(self, tracer):
+        remote = SpanContext(
+            trace_id=b"\x11" * TRACE_ID_BYTES, span_id=b"\x22" * SPAN_ID_BYTES
+        )
+        with tracer.span("local-root"):
+            with tracer.span("server", remote_parent=remote) as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_span_id == remote.span_id
+
+    def test_exception_marks_error_and_still_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        span = tracer.recorder.spans()[-1]
+        assert span.status == "error"
+        assert "kaput" in span.error
+        assert span.end_time is not None
+
+    def test_events_are_ordered_and_named(self, tracer):
+        with tracer.span("s") as span:
+            span.add_event("wire.retry", attempt=1)
+            span.add_event("wire.reconnect")
+        assert span.event_names() == ["wire.retry", "wire.reconnect"]
+        assert span.events[0][2] == {"attempt": 1}
+
+    def test_inject_requires_active_span(self, tracer):
+        assert tracer.inject() is None
+        with tracer.span("s") as span:
+            ctx = decode_context(tracer.inject())
+            assert ctx == span.context
+
+    def test_threads_do_not_inherit_foreign_current_span(self, tracer):
+        seen = {}
+
+        def worker():
+            seen["span"] = tracer.current_span()
+
+        with tracer.span("main-thread"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["span"] is None
+
+
+class TestRecorder:
+    def test_bounded_capacity_keeps_newest(self):
+        recorder = SpanRecorder(capacity=2)
+        tracer = Tracer(recorder=recorder, id_source=deterministic_ids())
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in recorder.spans()] == ["b", "c"]
+
+    def test_for_trace_filters(self, tracer):
+        with tracer.span("t1"):
+            pass
+        with tracer.span("t2"):
+            pass
+        ids = tracer.recorder.trace_ids()
+        assert len(ids) == 2
+        assert [s.name for s in tracer.recorder.for_trace(ids[0])] == ["t1"]

@@ -155,3 +155,54 @@ class TestMiscMessages:
 
     def test_stats_empty(self):
         assert m.decode_stats(m.encode_stats([])) == []
+
+    def test_stats_floats_roundtrip_exactly(self):
+        pairs = [
+            ("ted_h_seconds_p95", 0.0012345678901234567),
+            ("ted_dedup_ratio", 1.9999999999999998),
+            ("tiny", 5e-324),
+        ]
+        assert m.decode_stats(m.encode_stats(pairs)) == pairs
+
+    def test_stats_mixed_int_and_float_payload(self):
+        pairs = [
+            ("requests", 100),
+            ("ted_h_seconds_p50", 0.25),
+            ("current_t", 7),
+            ("negative", -3),  # negative ints ride the float encoding
+            ("zero", 0),
+        ]
+        decoded = dict(m.decode_stats(m.encode_stats(pairs)))
+        assert decoded["requests"] == 100
+        assert isinstance(decoded["requests"], int)
+        assert decoded["ted_h_seconds_p50"] == 0.25
+        assert decoded["current_t"] == 7
+        assert decoded["negative"] == -3.0
+        assert decoded["zero"] == 0
+        assert isinstance(decoded["zero"], int)
+
+    def test_stats_truncated_payloads_raise_protocol_error(self):
+        payload = m.encode_stats(
+            [("requests", 100), ("ted_h_seconds_p95", 0.125)]
+        )
+        for cut in range(1, len(payload)):
+            truncated = payload[:cut]
+            try:
+                m.decode_stats(truncated)
+            except m.ProtocolError:
+                continue
+            # Prefixes that happen to parse must decode to a strict prefix
+            # of the pairs, never garbage — but most cuts must raise.
+            assert cut < len(payload)
+
+    def test_stats_unknown_value_tag_rejected(self):
+        # A single pair whose value tag is neither int (0) nor float (1).
+        from repro.utils.varint import encode_uvarint
+
+        payload = (
+            encode_uvarint(1)            # one pair
+            + encode_uvarint(3) + b"abc"  # name
+            + encode_uvarint(9)           # bogus tag
+        )
+        with pytest.raises(m.ProtocolError):
+            m.decode_stats(payload)

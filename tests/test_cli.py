@@ -20,6 +20,8 @@ class TestParser:
             ["tune", "trace.trc", "--b", "1.2"],
             ["upload", "file.bin"],
             ["download", "name", "--out", "o.bin"],
+            ["stats", "--km", "127.0.0.1:9401", "--format", "prom"],
+            ["trace", "--size-kb", "64"],
         ],
     )
     def test_subcommands_parse(self, argv):
@@ -112,4 +114,34 @@ class TestNetworkedCommands:
             assert main(
                 ["download", *common, "f", "--out", str(restored)]
             ) == 0
+
+            capsys.readouterr()
+            assert main(
+                ["stats", "--km", km_addr, "--provider", pr_addr]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "[key_manager]" in out
+            assert "[provider]" in out
+            assert "requests" in out
+
+            assert main(
+                ["stats", "--km", km_addr, "--format", "prom"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert 'entity="key_manager"' in out
         assert restored.read_bytes() == source.read_bytes()
+
+    def test_stats_requires_a_target(self, capsys):
+        assert main(["stats"]) == 2
+
+
+class TestTraceCommand:
+    def test_trace_prints_span_tree_and_prometheus(self, capsys):
+        assert main(["trace", "--size-kb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "client.upload" in out
+        assert "client.download" in out
+        assert "keymanager.keygen" in out
+        assert "provider.put_chunks" in out
+        assert "# TYPE ted_chunking_bytes_total counter" in out
