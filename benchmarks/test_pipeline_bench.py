@@ -1,0 +1,131 @@
+"""Pipeline throughput: serial vs pipelined client upload (BENCH_pipeline).
+
+Replays the A1 synthetic workload (FSL-like snapshot series) through two
+in-process deployments — the serial baseline and the pipelined client
+(4 encrypt workers + fingerprint cache, DESIGN.md §10) — and reports
+upload throughput in MB/s. The pipelined path must never be slower than
+serial; on this duplicate-heavy workload the fingerprint cache resolves
+the bulk of repeat chunks client-side, which is where the speedup comes
+from on a single-core runner (threads alone add no CPU parallelism under
+the GIL).
+
+Emits the ``pipeline`` section (CI routes it to ``BENCH_pipeline.json``)
+with both throughputs, the speedup, and cache statistics, and fails if
+pipelined throughput drops below serial — the CI regression gate.
+"""
+
+import random
+import time
+
+from conftest import print_table
+from emit import emit
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import get_profile
+from repro.storage.dedup import FingerprintCache
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.provider import ProviderService
+from repro.traces.model import materialize_chunk
+
+_W = 2**16
+_BATCH = 4096
+
+
+def _make_client(workers: int, cache_capacity: int) -> TedStoreClient:
+    service = KeyManagerService(
+        TedKeyManager(
+            secret=b"pipeline-bench",
+            blowup_factor=1.05,
+            batch_size=_BATCH,
+            sketch_width=_W,
+            rng=random.Random(7),
+        )
+    )
+    provider = ProviderService(in_memory=True)
+    cache = (
+        FingerprintCache(capacity=cache_capacity)
+        if cache_capacity
+        else None
+    )
+    return TedStoreClient(
+        LocalKeyManager(service),
+        LocalProvider(provider),
+        profile=get_profile("shactr"),
+        sketch_width=_W,
+        batch_size=_BATCH,
+        workers=workers,
+        pipeline_depth=4,
+        fingerprint_cache=cache,
+    )
+
+
+def _replay(client: TedStoreClient, dataset) -> dict:
+    """Upload every snapshot; time only the upload calls."""
+    upload_seconds = 0.0
+    logical = 0
+    chunk_count = 0
+    stored = 0
+    cache_hits = 0
+    for snapshot in dataset.snapshots:
+        # Materialize outside the timed region: chunk synthesis is test
+        # scaffolding, not part of the client path being measured.
+        chunks = [
+            materialize_chunk(fp, size) for fp, size in snapshot.records
+        ]
+        started = time.perf_counter()
+        result = client.upload_chunks(snapshot.snapshot_id, chunks)
+        upload_seconds += time.perf_counter() - started
+        logical += result.logical_bytes
+        chunk_count += result.chunk_count
+        stored += result.stored_chunks
+        cache_hits += result.cache_hits
+    mb = logical / (1 << 20)
+    return {
+        "upload_seconds": round(upload_seconds, 3),
+        "logical_mb": round(mb, 1),
+        "chunks": chunk_count,
+        "stored_chunks": stored,
+        "cache_hits": cache_hits,
+        "mb_per_s": round(mb / upload_seconds, 2) if upload_seconds else 0.0,
+    }
+
+
+def test_pipeline_vs_serial_throughput(fsl_dataset):
+    serial_client = _make_client(workers=1, cache_capacity=0)
+    piped_client = _make_client(workers=4, cache_capacity=1 << 16)
+    serial = _replay(serial_client, fsl_dataset)
+    piped = _replay(piped_client, fsl_dataset)
+
+    rows = [
+        {"path": "serial", **serial},
+        {"path": "pipelined (4 workers + fp-cache)", **piped},
+    ]
+    speedup = (
+        piped["mb_per_s"] / serial["mb_per_s"] if serial["mb_per_s"] else 0.0
+    )
+    print_table("Pipeline upload throughput (A1 FSL-like workload)", rows)
+    print(f"pipelined speedup: {speedup:.2f}x (target: >= 1.5x with cache)")
+    emit(
+        "pipeline",
+        {
+            "serial": serial,
+            "pipelined": piped,
+            "speedup": round(speedup, 3),
+            "workers": 4,
+            "cache": piped_client.fingerprint_cache.stats(),
+        },
+    )
+
+    # Equivalence spot-check: both paths must agree on what was stored.
+    assert piped["chunks"] == serial["chunks"]
+    assert piped["stored_chunks"] == serial["stored_chunks"]
+    assert piped["logical_mb"] == serial["logical_mb"]
+    # The duplicate-heavy workload must actually exercise the cache.
+    assert piped["cache_hits"] > 0
+    # Regression gate: the pipelined path may never be slower than serial.
+    assert piped["mb_per_s"] >= serial["mb_per_s"], (
+        f"pipelined path regressed below serial: "
+        f"{piped['mb_per_s']} < {serial['mb_per_s']} MB/s"
+    )

@@ -64,14 +64,30 @@ def _master_key(path: Optional[str]) -> bytes:
 
 
 def _make_client(args: argparse.Namespace) -> TedStoreClient:
+    workers = getattr(args, "workers", 1)
+    cache = None
+    if getattr(args, "fp_cache", 0) > 0:
+        from repro.storage.dedup import FingerprintCache
+
+        cache = FingerprintCache(capacity=args.fp_cache)
+    pipelined = workers > 1 or cache is not None
     return TedStoreClient(
         RemoteKeyManager(_address(args.km)),
-        RemoteProvider(_address(args.provider)),
+        RemoteProvider(
+            _address(args.provider),
+            # Pipelined uploads push data frames over dedicated
+            # connections so PUT traffic never queues behind control
+            # round trips (DESIGN.md §10).
+            data_connections=2 if pipelined else 0,
+        ),
         master_key=_master_key(args.master_key),
         profile=get_profile(args.profile),
         sketch_width=args.sketch_width,
         batch_size=args.batch_size,
         metadata_dedup=getattr(args, "metadedup", False),
+        workers=workers,
+        pipeline_depth=getattr(args, "pipeline_depth", 4),
+        fingerprint_cache=cache,
     )
 
 
@@ -124,10 +140,16 @@ def cmd_upload(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     result = client.upload(args.name or Path(args.file).name, data)
     elapsed = time.perf_counter() - start
+    cache_note = (
+        f", {result.cache_hits} resolved client-side"
+        if result.cache_hits
+        else ""
+    )
     print(
         f"uploaded {result.logical_bytes} bytes as {result.chunk_count} "
         f"chunks ({result.stored_chunks} stored, "
-        f"{result.duplicate_chunks} deduplicated) in {elapsed:.2f}s"
+        f"{result.duplicate_chunks} deduplicated{cache_note}) "
+        f"in {elapsed:.2f}s"
     )
     return 0
 
@@ -281,6 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["secure", "fast", "shactr"])
         p.add_argument("--sketch-width", type=int, default=2**21)
         p.add_argument("--batch-size", type=int, default=48_000)
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="encrypt worker threads; >1 enables the pipelined "
+                 "upload path (DESIGN.md §10)",
+        )
+        p.add_argument(
+            "--pipeline-depth", type=int, default=4,
+            help="bounded-queue depth between pipeline stages",
+        )
+        p.add_argument(
+            "--fp-cache", type=int, default=0, metavar="ENTRIES",
+            help="client fingerprint-cache capacity; >0 enables "
+                 "client-side duplicate short-circuiting (implies the "
+                 "pipelined path)",
+        )
 
     p = sub.add_parser("serve-keymanager", help="run a TED key manager")
     p.add_argument("--host", default="127.0.0.1")

@@ -107,6 +107,20 @@ class GaugeChild(_Child):
         with self._lock:
             self._value -= amount
 
+    @contextmanager
+    def track(self, amount: Number = 1) -> Iterator[None]:
+        """Count something in flight: ``inc`` on entry, ``dec`` on exit.
+
+        Wrapping a queue's residency (enter on enqueue context, exit when
+        the item is consumed) or a worker's busy section keeps the gauge
+        equal to the current depth/occupancy without manual pairing.
+        """
+        self.inc(amount)
+        try:
+            yield
+        finally:
+            self.dec(amount)
+
     @property
     def value(self) -> float:
         with self._lock:
@@ -280,6 +294,9 @@ class Instrument:
 
     def time(self):
         return self._only_child().time()  # type: ignore[attr-defined]
+
+    def track(self, amount: Number = 1):
+        return self._only_child().track(amount)  # type: ignore[attr-defined]
 
     @property
     def value(self) -> float:

@@ -12,11 +12,14 @@ ratio, storage saving, actual storage blowup inputs).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.obs import metrics as obs_metrics
+from repro.storage.bloom import BloomFilter
 from repro.storage.container import ContainerStore, ChunkLocation
 from repro.storage.kvstore import KVStore
 
@@ -57,6 +60,117 @@ def record_dedup_store(size: int, unique: bool) -> None:
     physical = _DEDUP_UNIQUE_BYTES.value
     if physical:
         _DEDUP_RATIO.set(_DEDUP_LOGICAL_BYTES.value / physical)
+
+
+_CACHE_EVENTS = _REGISTRY.counter(
+    "ted_client_fp_cache_events_total",
+    "Client fingerprint-cache events",
+    labelnames=("event",),
+)
+
+
+class FingerprintCache:
+    """Client-side duplicate short-circuit: bloom-gated LRU over uploads.
+
+    Maps a *(plaintext fingerprint, key seed)* pair to the ciphertext
+    fingerprint the pair produced when it was last uploaded and
+    acknowledged by the provider. The mapping is exact — identical
+    (fingerprint, seed) means identical derived key, hence identical
+    deterministic ciphertext — so a hit proves the ciphertext chunk is
+    already stored at the provider and the client can skip both the
+    encryption and the PUT round trip (PM-Dedup-style local duplicate
+    detection, PAPERS.md) without changing a single stored byte.
+
+    Entries MUST only be inserted after the provider acknowledged the
+    chunk's PUT (the cache-coherence rule of DESIGN.md §10): the cache
+    asserts presence-at-provider, not presence-in-flight. The provider
+    never deletes chunks during a client session (GC is offline), so a
+    hit can never go stale mid-upload.
+
+    A Bloom filter over every key ever inserted fronts the LRU: most
+    lookups are misses (unique chunks), and the filter turns those into
+    one hash + bit probes instead of a lock + dict lookup. The filter
+    saturates as the LRU evicts — false positives then fall through to
+    the authoritative LRU, never the other way around.
+
+    Thread-safe: lookups and inserts may come from any pipeline stage.
+    """
+
+    def __init__(
+        self, capacity: int = 1 << 16, bloom_fp_rate: float = 0.01
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._lru: "OrderedDict[bytes, bytes]" = OrderedDict()
+        # Size the bloom for several LRU generations so it stays useful
+        # after evictions begin without growing unbounded state.
+        self._bloom = BloomFilter.with_capacity(
+            capacity * 4, false_positive_rate=bloom_fp_rate
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(fingerprint: bytes, seed: bytes) -> bytes:
+        """The cache key for one (plaintext fingerprint, seed) pair."""
+        return fingerprint + b"\x00" + seed
+
+    def lookup(self, fingerprint: bytes, seed: bytes) -> Optional[bytes]:
+        """Ciphertext fingerprint if this exact pair was uploaded before."""
+        key = self.key(fingerprint, seed)
+        if not self._bloom.may_contain(key):
+            # Definite miss: never inserted. Skip the lock entirely.
+            with self._lock:
+                self.misses += 1
+            _CACHE_EVENTS.labels(event="miss").inc()
+            return None
+        with self._lock:
+            cipher_fp = self._lru.get(key)
+            if cipher_fp is None:
+                self.misses += 1
+            else:
+                self._lru.move_to_end(key)
+                self.hits += 1
+        _CACHE_EVENTS.labels(event="hit" if cipher_fp else "miss").inc()
+        return cipher_fp
+
+    def insert(
+        self, fingerprint: bytes, seed: bytes, cipher_fp: bytes
+    ) -> None:
+        """Record a provider-acknowledged upload of this pair."""
+        key = self.key(fingerprint, seed)
+        evicted = 0
+        with self._lock:
+            self._lru[key] = cipher_fp
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        # Bloom insertion outside the LRU lock: BloomFilter.add only sets
+        # bits, so a racing lookup can at worst see a fresh key as a
+        # definite miss — the safe direction.
+        self._bloom.add(key)
+        _CACHE_EVENTS.labels(event="insert").inc()
+        if evicted:
+            _CACHE_EVENTS.labels(event="evict").inc(evicted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._lru),
+            }
 
 
 @dataclass

@@ -30,6 +30,7 @@ from repro.crypto.cipher import SECURE, CipherProfile
 from repro.crypto.hashes import digest
 from repro.crypto.murmur3 import short_hashes
 from repro.obs import metrics as obs_metrics, tracing
+from repro.storage.dedup import FingerprintCache
 from repro.storage.recipe import FileRecipe, KeyRecipe, seal, unseal
 from repro.tedstore.messages import (
     GetChunks,
@@ -63,13 +64,22 @@ _CLIENT_CHUNKS = _REGISTRY.counter(
 
 @dataclass
 class UploadResult:
-    """Outcome of one file upload."""
+    """Outcome of one file upload.
+
+    ``duplicate_chunks`` counts every chunk that did not create new
+    physical storage, whether the provider detected the duplicate or the
+    client's fingerprint cache short-circuited the upload entirely;
+    ``cache_hits`` is the subset resolved client-side, so
+    ``stored_chunks + duplicate_chunks == chunk_count`` holds on every
+    path (serial, pipelined, cached).
+    """
 
     file_name: str
     logical_bytes: int
     chunk_count: int
     stored_chunks: int
     duplicate_chunks: int
+    cache_hits: int = 0
 
 
 class TedStoreClient:
@@ -85,6 +95,15 @@ class TedStoreClient:
         batch_size: chunks per key-generation round trip (§3.5).
         chunker: content-defined chunker (paper defaults 4/8/16 KB).
         timer: optional stage timer; a fresh one is created if omitted.
+        workers: encrypt worker threads. With ``workers > 1`` (or a
+            fingerprint cache) uploads run through the pipelined path
+            (:mod:`repro.tedstore.pipeline`), which is bit-identical to
+            the serial path by construction (DESIGN.md §10).
+        pipeline_depth: bounded-queue depth between pipeline stages —
+            the backpressure knob capping in-flight sub-batches.
+        fingerprint_cache: optional client-side
+            :class:`~repro.storage.dedup.FingerprintCache`; hits skip
+            encryption and upload for chunks already at the provider.
     """
 
     def __init__(
@@ -100,9 +119,16 @@ class TedStoreClient:
         timer: Optional[StageTimer] = None,
         metadata_dedup: bool = False,
         metadata_entries_per_chunk: int = 128,
+        workers: int = 1,
+        pipeline_depth: int = 4,
+        fingerprint_cache: Optional["FingerprintCache"] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
         self.key_manager = key_manager
         self.provider = provider
         self.master_key = master_key
@@ -118,14 +144,40 @@ class TedStoreClient:
         # recipe stays sealed per file.
         self.metadata_dedup = metadata_dedup
         self.metadata_entries_per_chunk = metadata_entries_per_chunk
+        self.workers = workers
+        self.pipeline_depth = pipeline_depth
+        self.fingerprint_cache = fingerprint_cache
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether uploads take the pipelined path (DESIGN.md §10)."""
+        return self.workers > 1 or self.fingerprint_cache is not None
 
     # -- upload ---------------------------------------------------------------
 
     def upload(self, file_name: str, data: bytes) -> UploadResult:
-        """Chunk and upload a file's raw bytes."""
+        """Chunk and upload a file's raw bytes.
+
+        On the pipelined path the chunker output streams straight into
+        the pipeline's feed stage, so chunking overlaps keygen, encrypt,
+        and upload instead of completing before they start.
+        """
+        if self.pipelined:
+            return self._upload_chunks(file_name, self._chunk_stream(data))
         with self.timer.stage("chunking"):
             chunks = list(self.chunker.chunk(data))
         return self._upload_chunks(file_name, chunks)
+
+    def _chunk_stream(self, data: bytes) -> Iterable[bytes]:
+        """Chunk lazily, attributing time to the chunking stage."""
+        iterator = iter(self.chunker.chunk(data))
+        while True:
+            with self.timer.stage("chunking"):
+                try:
+                    chunk = next(iterator)
+                except StopIteration:
+                    return
+            yield chunk
 
     def upload_chunks(
         self, file_name: str, chunks: Sequence[bytes]
@@ -134,17 +186,44 @@ class TedStoreClient:
         return self._upload_chunks(file_name, chunks)
 
     def _upload_chunks(
-        self, file_name: str, chunks: Sequence[bytes]
+        self, file_name: str, chunks: Iterable[bytes]
     ) -> UploadResult:
+        try:
+            count = len(chunks)  # type: ignore[arg-type]
+        except TypeError:
+            count = -1  # streaming feed: total unknown until chunked
         with tracing.get_tracer().span(
             "client.upload",
-            attributes={"file": file_name, "chunks": len(chunks)},
+            attributes={"file": file_name, "chunks": count},
         ):
-            result = self._upload_chunks_inner(file_name, chunks)
+            if self.pipelined:
+                result = self._upload_chunks_pipelined(file_name, chunks)
+            else:
+                result = self._upload_chunks_inner(file_name, chunks)
         _CLIENT_OPS.labels(op="upload").inc()
         _CLIENT_BYTES.labels(op="upload").inc(result.logical_bytes)
         _CLIENT_CHUNKS.labels(op="upload").inc(result.chunk_count)
         return result
+
+    def _upload_chunks_pipelined(
+        self, file_name: str, chunks: Iterable[bytes]
+    ) -> UploadResult:
+        from repro.tedstore.pipeline import PipelinedUploader
+
+        uploader = PipelinedUploader(self)
+        uploader.run(file_name, chunks)
+        with self.timer.stage("write"):
+            self._put_recipes(
+                file_name, uploader.file_recipe, uploader.key_recipe
+            )
+        return UploadResult(
+            file_name=file_name,
+            logical_bytes=uploader.logical_bytes,
+            chunk_count=uploader.chunk_count,
+            stored_chunks=uploader.stored,
+            duplicate_chunks=uploader.duplicates,
+            cache_hits=uploader.cache_hits,
+        )
 
     def _upload_chunks_inner(
         self, file_name: str, chunks: Sequence[bytes]
@@ -211,37 +290,7 @@ class TedStoreClient:
                 logical += len(chunk)
 
         with self.timer.stage("write"):
-            if self.metadata_dedup:
-                from repro.storage.metadedup import pack_metadata_chunks
-
-                meta_chunks, meta_plain = pack_metadata_chunks(
-                    file_recipe,
-                    key_recipe,
-                    self.metadata_entries_per_chunk,
-                )
-                if meta_chunks:
-                    self.provider.put_chunks(PutChunks(chunks=meta_chunks))
-                # An empty sealed key recipe marks the metadata-dedup
-                # layout; the file slot carries the sealed meta recipe.
-                self.provider.put_recipes(
-                    PutRecipes(
-                        file_name=file_name,
-                        sealed_file_recipe=seal(self.master_key, meta_plain),
-                        sealed_key_recipe=b"",
-                    )
-                )
-            else:
-                self.provider.put_recipes(
-                    PutRecipes(
-                        file_name=file_name,
-                        sealed_file_recipe=seal(
-                            self.master_key, file_recipe.serialize()
-                        ),
-                        sealed_key_recipe=seal(
-                            self.master_key, key_recipe.serialize()
-                        ),
-                    )
-                )
+            self._put_recipes(file_name, file_recipe, key_recipe)
         return UploadResult(
             file_name=file_name,
             logical_bytes=logical,
@@ -249,6 +298,45 @@ class TedStoreClient:
             stored_chunks=stored,
             duplicate_chunks=duplicates,
         )
+
+    def _put_recipes(
+        self,
+        file_name: str,
+        file_recipe: FileRecipe,
+        key_recipe: KeyRecipe,
+    ) -> None:
+        """Seal and upload recipes (shared by serial and pipelined paths)."""
+        if self.metadata_dedup:
+            from repro.storage.metadedup import pack_metadata_chunks
+
+            meta_chunks, meta_plain = pack_metadata_chunks(
+                file_recipe,
+                key_recipe,
+                self.metadata_entries_per_chunk,
+            )
+            if meta_chunks:
+                self.provider.put_chunks(PutChunks(chunks=meta_chunks))
+            # An empty sealed key recipe marks the metadata-dedup
+            # layout; the file slot carries the sealed meta recipe.
+            self.provider.put_recipes(
+                PutRecipes(
+                    file_name=file_name,
+                    sealed_file_recipe=seal(self.master_key, meta_plain),
+                    sealed_key_recipe=b"",
+                )
+            )
+        else:
+            self.provider.put_recipes(
+                PutRecipes(
+                    file_name=file_name,
+                    sealed_file_recipe=seal(
+                        self.master_key, file_recipe.serialize()
+                    ),
+                    sealed_key_recipe=seal(
+                        self.master_key, key_recipe.serialize()
+                    ),
+                )
+            )
 
     # -- observability ----------------------------------------------------------
 

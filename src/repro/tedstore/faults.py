@@ -20,6 +20,7 @@ never flaky.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
@@ -62,11 +63,20 @@ class FaultPlan:
 
 
 class _Injector:
-    """Seeded fault scheduler shared by the transport wrappers."""
+    """Seeded fault scheduler shared by the transport wrappers.
+
+    Thread-safe: the pipelined client calls one transport from several
+    worker threads concurrently, so RNG draws and counter updates are
+    serialized under a lock (the delay sleep happens outside it). Under
+    concurrency the *assignment* of faults to calls depends on thread
+    scheduling, but the fault schedule itself — which call numbers fault
+    — stays the seeded, reproducible sequence.
+    """
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "drops": 0,
             "closes": 0,
@@ -77,12 +87,23 @@ class _Injector:
 
     def before(self, op: str) -> None:
         """Fault point before the request reaches the inner stub."""
-        if self.plan.delay_rate and self._rng.random() < self.plan.delay_rate:
-            self.counters["delays"] += 1
+        delay = False
+        with self._lock:
+            if (
+                self.plan.delay_rate
+                and self._rng.random() < self.plan.delay_rate
+            ):
+                self.counters["delays"] += 1
+                delay = True
+        if delay:
             self.plan.sleep(self.plan.delay_seconds)
-        if self.plan.drop_rate and self._rng.random() < self.plan.drop_rate:
-            self.counters["drops"] += 1
-            raise InjectedFault(f"injected drop before {op}")
+        with self._lock:
+            if (
+                self.plan.drop_rate
+                and self._rng.random() < self.plan.drop_rate
+            ):
+                self.counters["drops"] += 1
+                raise InjectedFault(f"injected drop before {op}")
 
     def after(self, op: str, response, codec=None):
         """Fault point after the inner stub produced a response.
@@ -91,25 +112,33 @@ class _Injector:
         one byte of the encoded payload and re-decode it; a decode failure
         surfaces as :class:`~repro.tedstore.messages.ProtocolError`.
         """
-        if self.plan.close_rate and self._rng.random() < self.plan.close_rate:
-            self.counters["closes"] += 1
-            raise InjectedFault(f"injected close after {op} (reply lost)")
-        if (
-            codec is not None
-            and self.plan.corrupt_rate
-            and self._rng.random() < self.plan.corrupt_rate
-        ):
-            payload = bytearray(response.encode())
-            if payload:
-                self.counters["corruptions"] += 1
-                payload[self._rng.randrange(len(payload))] ^= 0xFF
-                try:
-                    response = codec.decode(bytes(payload))
-                except Exception as exc:
-                    raise m.ProtocolError(
-                        f"injected corrupt frame in {op}: {exc}"
-                    ) from exc
-        self.counters["deliveries"] += 1
+        with self._lock:
+            if (
+                self.plan.close_rate
+                and self._rng.random() < self.plan.close_rate
+            ):
+                self.counters["closes"] += 1
+                raise InjectedFault(f"injected close after {op} (reply lost)")
+            corrupt = (
+                codec is not None
+                and self.plan.corrupt_rate
+                and self._rng.random() < self.plan.corrupt_rate
+            )
+            if corrupt:
+                payload = bytearray(response.encode())
+                if payload:
+                    self.counters["corruptions"] += 1
+                    payload[self._rng.randrange(len(payload))] ^= 0xFF
+                else:
+                    corrupt = False
+            self.counters["deliveries"] += 1
+        if corrupt:
+            try:
+                response = codec.decode(bytes(payload))
+            except Exception as exc:
+                raise m.ProtocolError(
+                    f"injected corrupt frame in {op}: {exc}"
+                ) from exc
         return response
 
 
@@ -128,6 +157,15 @@ class FaultyKeyManager:
         self._injector.before("keygen")
         response = self._inner.keygen(request)
         return self._injector.after("keygen", response, codec=m.KeyGenResponse)
+
+    def keygen_batched(
+        self, request: m.BatchedKeyGenRequest
+    ) -> m.BatchedKeyGenResponse:
+        self._injector.before("keygen_batched")
+        response = self._inner.keygen_batched(request)
+        return self._injector.after(
+            "keygen_batched", response, codec=m.BatchedKeyGenResponse
+        )
 
     def stats(self) -> List[Tuple[str, int]]:
         self._injector.before("stats")

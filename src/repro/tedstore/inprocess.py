@@ -7,10 +7,13 @@ transport is the zero-network-cost limit of that setup).
 
 from __future__ import annotations
 
+import threading
 from typing import List, Tuple
 
 from repro.tedstore.keymanager import KeyManagerService
 from repro.tedstore.messages import (
+    BatchedKeyGenRequest,
+    BatchedKeyGenResponse,
     Chunks,
     GetChunks,
     GetRecipes,
@@ -24,13 +27,42 @@ from repro.tedstore.provider import ProviderService
 
 
 class LocalKeyManager:
-    """Direct-call key-manager transport."""
+    """Direct-call key-manager transport.
 
-    def __init__(self, service: KeyManagerService) -> None:
+    Honors the same batching contract as one TCP connection (DESIGN.md
+    §10): a per-transport lock admits one keygen call at a time, so
+    batches submitted through this instance reach the key manager in
+    submission order. Without it, concurrent callers sharing a transport
+    could interleave at the service in an order the network path can
+    never produce — which is exactly the in-process/wire divergence the
+    cross-transport parity test pins down.
+
+    Args:
+        service: the key-manager service to call into.
+        client_id: stream identity for rate limiting and the sequenced
+            batching contract (the wire path uses the peer host here).
+    """
+
+    def __init__(
+        self, service: KeyManagerService, client_id: str = "local"
+    ) -> None:
         self.service = service
+        self.client_id = client_id
+        self._lock = threading.Lock()
 
     def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
-        return self.service.handle_keygen(request)
+        with self._lock:
+            return self.service.handle_keygen(
+                request, client_id=self.client_id
+            )
+
+    def keygen_batched(
+        self, request: BatchedKeyGenRequest
+    ) -> BatchedKeyGenResponse:
+        with self._lock:
+            return self.service.handle_keygen_batched(
+                request, client_id=self.client_id
+            )
 
     def stats(self) -> List[Tuple[str, int]]:
         return self.service.stats()

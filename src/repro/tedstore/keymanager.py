@@ -10,11 +10,16 @@ what makes TED's frequencies *global* across the organization's users.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.ted import TedKeyManager
 from repro.obs import metrics as obs_metrics, tracing
-from repro.tedstore.messages import KeyGenRequest, KeyGenResponse
+from repro.tedstore.messages import (
+    BatchedKeyGenRequest,
+    BatchedKeyGenResponse,
+    KeyGenRequest,
+    KeyGenResponse,
+)
 from repro.tedstore.ratelimit import KeyGenRateLimiter
 
 _REGISTRY = obs_metrics.get_registry()
@@ -51,6 +56,8 @@ class KeyManagerService:
         )
         self.rate_limiter = rate_limiter
         self._lock = threading.Lock()
+        # Last sequence number served per client stream (DESIGN.md §10).
+        self._last_sequence: Dict[str, int] = {}
 
     def handle_keygen(
         self, request: KeyGenRequest, client_id: str = "local"
@@ -70,6 +77,45 @@ class KeyManagerService:
         ), _BATCH_SECONDS.time(), self._lock:
             seeds = self.key_manager.generate_seeds(request.hash_vectors)
             return KeyGenResponse(seeds=seeds, current_t=self.key_manager.t)
+
+    def handle_keygen_batched(
+        self, request: BatchedKeyGenRequest, client_id: str = "local"
+    ) -> BatchedKeyGenResponse:
+        """Serve one *sequenced* keygen batch (pipelined client path).
+
+        Enforces the batching contract of DESIGN.md §10: batches of one
+        client stream must arrive in non-decreasing sequence order,
+        because the sketch's frequency state accumulates in arrival
+        order. A retry of the last-served sequence is accepted (replay
+        re-updates the sketch — the fail-safe, over-estimating
+        direction); sequence 0 starts a new stream.
+
+        Raises:
+            ValueError: on a sequence regression (a batch overtaken by a
+                later one — the stream was reordered in transit).
+            RateLimitExceeded: per :meth:`handle_keygen`.
+        """
+        with self._lock:
+            last = self._last_sequence.get(client_id)
+            if (
+                request.sequence != 0
+                and last is not None
+                and request.sequence < last
+            ):
+                raise ValueError(
+                    f"stale keygen batch: sequence {request.sequence} after "
+                    f"{last} (stream reordered)"
+                )
+            self._last_sequence[client_id] = request.sequence
+        inner = self.handle_keygen(
+            KeyGenRequest(hash_vectors=request.hash_vectors),
+            client_id=client_id,
+        )
+        return BatchedKeyGenResponse(
+            sequence=request.sequence,
+            seeds=inner.seeds,
+            current_t=inner.current_t,
+        )
 
     def stats(self):
         """Counters for the evaluation harness."""

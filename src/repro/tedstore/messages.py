@@ -52,6 +52,12 @@ MSG_STATS_RESPONSE = 13
 # Unlike MSG_ERROR it is always safe to retry: the request was never
 # dispatched, so no state changed.
 MSG_BUSY = 14
+# Sequenced keygen batch (pipelined client path, DESIGN.md §10): same
+# payload as MSG_KEYGEN_REQUEST/RESPONSE plus a stream sequence number so
+# the key manager can enforce in-order batch delivery — the frequency
+# state the sketch accumulates is order-sensitive across batches.
+MSG_KEYGEN_BATCH_REQUEST = 15
+MSG_KEYGEN_BATCH_RESPONSE = 16
 
 #: Human-readable message-type names (span labels, error messages).
 MESSAGE_NAMES = {
@@ -69,6 +75,8 @@ MESSAGE_NAMES = {
     MSG_STATS_REQUEST: "stats_request",
     MSG_STATS_RESPONSE: "stats_response",
     MSG_BUSY: "busy",
+    MSG_KEYGEN_BATCH_REQUEST: "keygen_batch",
+    MSG_KEYGEN_BATCH_RESPONSE: "keygen_batch_response",
 }
 
 #: High bit of the type byte: the frame carries a trace-context section.
@@ -269,6 +277,74 @@ class KeyGenResponse:
         t = r.varint()
         r.expect_end()
         return cls(seeds=seeds, current_t=t)
+
+
+@dataclass
+class BatchedKeyGenRequest:
+    """A sequenced keygen batch from the pipelined client path.
+
+    The ``sequence`` number identifies this batch's position in the
+    client's keygen stream (0, 1, 2, ... per upload). The key manager
+    rejects regressions — a batch arriving after a later one has already
+    been served — because sketch frequencies accumulate in arrival order;
+    retries of the *same* sequence are accepted (replay only re-updates
+    the sketch, the fail-safe direction). Sequence 0 starts a new stream.
+    """
+
+    sequence: int = 0
+    hash_vectors: List[List[int]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(self.sequence)
+        w.varint(len(self.hash_vectors))
+        for vector in self.hash_vectors:
+            w.varint(len(vector))
+            for h in vector:
+                w.varint(h)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "BatchedKeyGenRequest":
+        r = _Reader(payload)
+        sequence = r.varint()
+        count = r.varint()
+        vectors = []
+        for _ in range(count):
+            rows = r.varint()
+            vectors.append([r.varint() for _ in range(rows)])
+        r.expect_end()
+        return cls(sequence=sequence, hash_vectors=vectors)
+
+
+@dataclass
+class BatchedKeyGenResponse:
+    """Seeds for a sequenced batch; echoes the request's sequence number.
+
+    The echoed sequence lets the client detect a desynchronized stream
+    (a reply paired with the wrong request) as a :class:`ProtocolError`
+    instead of silently deriving keys from the wrong seeds.
+    """
+
+    sequence: int = 0
+    seeds: List[bytes] = field(default_factory=list)
+    current_t: int = 1
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(self.sequence).varint(len(self.seeds))
+        for seed in self.seeds:
+            w.blob(seed)
+        w.varint(self.current_t)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "BatchedKeyGenResponse":
+        r = _Reader(payload)
+        sequence = r.varint()
+        count = r.varint()
+        seeds = [r.blob() for _ in range(count)]
+        t = r.varint()
+        r.expect_end()
+        return cls(sequence=sequence, seeds=seeds, current_t=t)
 
 
 # -- chunk upload/download ---------------------------------------------------

@@ -329,6 +329,11 @@ def serve_key_manager(
                 m.KeyGenRequest.decode(payload), client_id=peer
             )
             return m.frame(m.MSG_KEYGEN_RESPONSE, response.encode())
+        if message_type == m.MSG_KEYGEN_BATCH_REQUEST:
+            response = service.handle_keygen_batched(
+                m.BatchedKeyGenRequest.decode(payload), client_id=peer
+            )
+            return m.frame(m.MSG_KEYGEN_BATCH_RESPONSE, response.encode())
         if message_type == m.MSG_STATS_REQUEST:
             return m.frame(
                 m.MSG_STATS_RESPONSE,
@@ -588,6 +593,24 @@ class RemoteKeyManager:
         _, payload = self._conn.call(m.MSG_KEYGEN_REQUEST, request.encode())
         return m.KeyGenResponse.decode(payload)
 
+    def keygen_batched(
+        self, request: m.BatchedKeyGenRequest
+    ) -> m.BatchedKeyGenResponse:
+        # Idempotent like keygen: a retry replays the same sequence
+        # number, which the server's batching contract accepts.
+        _, payload = self._conn.call(
+            m.MSG_KEYGEN_BATCH_REQUEST, request.encode()
+        )
+        response = m.BatchedKeyGenResponse.decode(payload)
+        if response.sequence != request.sequence:
+            # A mispaired reply means the stream is desynchronized;
+            # deriving keys from it would corrupt every chunk after it.
+            raise m.ProtocolError(
+                f"keygen batch reply out of sequence: sent "
+                f"{request.sequence}, got {response.sequence}"
+            )
+        return response
+
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
         return m.decode_stats(payload) + self._conn.stats_pairs()
@@ -601,25 +624,61 @@ class RemoteKeyManager:
 
 
 class RemoteProvider:
-    """TCP provider transport (client stub)."""
+    """TCP provider transport (client stub).
+
+    Args:
+        data_connections: extra connections dedicated to chunk-data
+            frames (``put_chunks``). With the default 0, all traffic
+            shares one connection. The pipelined client sets this so
+            bulk PUT frames never queue behind (or ahead of) recipe and
+            control traffic, and so PUT round-trips overlap with keygen
+            traffic on the other entity's socket. ``put_chunks`` calls
+            round-robin over the data pool; each individual call still
+            runs request/response, so a single uploader thread keeps
+            strict PUT ordering even across pool members.
+    """
 
     def __init__(
         self,
         address: Tuple[str, int],
         retry_policy: Optional[RetryPolicy] = None,
         propagate_trace: bool = True,
+        data_connections: int = 0,
     ) -> None:
+        if data_connections < 0:
+            raise ValueError("data_connections cannot be negative")
         self._conn = _Connection(
             address,
             retry_policy=retry_policy,
             entity="provider",
             propagate_trace=propagate_trace,
         )
+        self._data_conns = [
+            _Connection(
+                address,
+                retry_policy=retry_policy,
+                entity="provider",
+                propagate_trace=propagate_trace,
+            )
+            for _ in range(data_connections)
+        ]
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+
+    def _data_conn(self) -> _Connection:
+        if not self._data_conns:
+            return self._conn
+        with self._rr_lock:
+            conn = self._data_conns[self._rr_next % len(self._data_conns)]
+            self._rr_next += 1
+        return conn
 
     def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
         # Idempotent: the provider deduplicates by fingerprint, so a
         # replayed batch stores nothing new.
-        _, payload = self._conn.call(m.MSG_PUT_CHUNKS, request.encode())
+        _, payload = self._data_conn().call(
+            m.MSG_PUT_CHUNKS, request.encode()
+        )
         return m.PutChunksResponse.decode(payload)
 
     def get_chunks(self, request: m.GetChunks) -> m.Chunks:
@@ -636,11 +695,21 @@ class RemoteProvider:
 
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
-        return m.decode_stats(payload) + self._conn.stats_pairs()
+        return m.decode_stats(payload) + self.wire_stats_pairs()
 
     def wire_stats(self) -> Dict[str, int]:
         """Client-side retry/reconnect/timeout counters."""
-        return dict(self._conn.stats_pairs())
+        return dict(self.wire_stats_pairs())
+
+    def wire_stats_pairs(self) -> List[Tuple[str, int]]:
+        """Wire counters summed over the control + data connections."""
+        totals: Dict[str, int] = {}
+        for conn in [self._conn, *self._data_conns]:
+            for name, value in conn.stats_pairs():
+                totals[name] = totals.get(name, 0) + value
+        return list(totals.items())
 
     def close(self) -> None:
         self._conn.close()
+        for conn in self._data_conns:
+            conn.close()

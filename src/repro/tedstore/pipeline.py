@@ -1,0 +1,543 @@
+"""Pipelined, multi-worker client upload path (DESIGN.md §10).
+
+The serial client runs chunk → fingerprint → keygen → encrypt → PUT
+strictly in sequence, so the wire sits idle while the CPU encrypts and the
+CPU sits idle during every round trip. This module overlaps the stages
+with a bounded-queue pipeline:
+
+* **feed** — the caller's thread chunks the input (or walks pre-chunked
+  data) and pushes fixed-size sub-batches into a depth-bounded queue; the
+  bound is the pipeline's backpressure, so memory stays proportional to
+  ``pipeline_depth``, never file size.
+* **keygen dispatcher** — a single thread fingerprints and short-hashes
+  each sub-batch, coalesces whatever is queued (up to the client's
+  ``batch_size`` fingerprints) into one sequenced KEYGEN round trip, and
+  derives the per-chunk keys. Keygen stays *strictly ordered and single
+  in flight*: sketch frequencies and probabilistic seed selection depend
+  on the order chunks reach the key manager, and keeping that order is
+  what makes the pipelined path bit-identical to the serial one (the
+  differential harness proves it, ``tests/harness/differential.py``).
+* **fingerprint cache** — with a :class:`~repro.storage.dedup.FingerprintCache`
+  configured, each (plaintext fingerprint, seed) pair is checked after
+  keygen; a hit proves the exact ciphertext is already stored at the
+  provider, so the chunk skips encryption *and* upload entirely — the
+  dominant cost on duplicate-heavy workloads. Repeats of a pair already
+  dispatched earlier in the same run are suppressed too (in-flight
+  aliases): the uploader copies the first occurrence's ciphertext
+  fingerprint at resequencing time.
+* **encrypt workers** — ``workers`` threads encrypt cache misses and
+  fingerprint the ciphertexts.
+* **uploader** — a single thread re-sequences encrypted chunks into
+  original order, cuts PUT batches at the same ``batch_size`` boundaries
+  as the serial path, sends them one at a time (ordering is what keeps
+  container layout byte-identical), inserts acknowledged chunks into the
+  cache, and builds the file/key recipes in chunk order.
+
+Failure in any stage latches a shared failure box; every stage unwinds
+promptly (all queue waits poll it) and the caller re-raises the first
+error, so a dead worker can never deadlock the pipeline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.keygen import derive_key
+from repro.crypto.hashes import digest
+from repro.crypto.murmur3 import short_hashes
+from repro.obs import metrics as obs_metrics, tracing
+from repro.storage.dedup import FingerprintCache
+from repro.storage.recipe import FileRecipe, KeyRecipe
+from repro.tedstore.messages import BatchedKeyGenRequest, PutChunks
+from repro.utils.timer import StageTimer
+
+_REGISTRY = obs_metrics.get_registry()
+_QUEUE_DEPTH = _REGISTRY.gauge(
+    "ted_pipeline_queue_depth",
+    "Sub-batches currently queued between pipeline stages",
+    labelnames=("stage",),
+)
+_WORKERS_BUSY = _REGISTRY.gauge(
+    "ted_pipeline_workers_busy",
+    "Encrypt workers currently processing a job",
+)
+_STAGE_SECONDS = _REGISTRY.histogram(
+    "ted_pipeline_stage_seconds",
+    "Latency of one pipeline stage execution (per batch/job)",
+    labelnames=("stage",),
+)
+_PIPELINE_CHUNKS = _REGISTRY.counter(
+    "ted_pipeline_chunks_total",
+    "Chunks leaving the pipeline, by path taken",
+    labelnames=("path",),
+)
+
+#: Queue poll interval; every blocking wait checks the failure box at
+#: this cadence so a dead stage unwinds the whole pipeline promptly.
+_POLL_SECONDS = 0.05
+
+
+class PipelineError(RuntimeError):
+    """A pipeline stage failed; the original error is the ``__cause__``."""
+
+
+class _Failure:
+    """First-error latch shared by all stages."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self.exc: Optional[BaseException] = None
+
+    def set(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.exc is None:
+                self.exc = exc
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+
+class _Aborted(Exception):
+    """Internal unwind signal raised inside stages after a failure."""
+
+
+class _MeteredQueue:
+    """Bounded queue whose depth is mirrored onto a gauge and whose
+    blocking operations poll the shared failure box."""
+
+    def __init__(self, stage: str, maxsize: int, failure: _Failure) -> None:
+        self._q: "queue.Queue" = queue.Queue(maxsize=maxsize)
+        self._gauge = _QUEUE_DEPTH.labels(stage=stage)
+        self._failure = failure
+
+    def put(self, item) -> None:
+        while True:
+            if self._failure.is_set():
+                raise _Aborted()
+            try:
+                self._q.put(item, timeout=_POLL_SECONDS)
+                self._gauge.set(self._q.qsize())
+                return
+            except queue.Full:
+                continue
+
+    def get(self):
+        while True:
+            if self._failure.is_set():
+                raise _Aborted()
+            try:
+                item = self._q.get(timeout=_POLL_SECONDS)
+                self._gauge.set(self._q.qsize())
+                return item
+            except queue.Empty:
+                continue
+
+    def get_nowait(self):
+        item = self._q.get_nowait()  # raises queue.Empty
+        self._gauge.set(self._q.qsize())
+        return item
+
+    def try_get(self):
+        """One bounded wait; raises queue.Empty on timeout.
+
+        For consumers whose exit condition can become true while the
+        queue stays empty forever (the uploader once every chunk is
+        emitted): poll, re-check, poll again — never block open-ended.
+        """
+        if self._failure.is_set():
+            raise _Aborted()
+        item = self._q.get(timeout=_POLL_SECONDS)
+        self._gauge.set(self._q.qsize())
+        return item
+
+
+@dataclass
+class _Resolved:
+    """One chunk's outcome, keyed by its position in the file.
+
+    ``cipher_fp is None`` marks an in-flight alias: the same
+    (fingerprint, seed) pair was dispatched earlier in this run, so the
+    ciphertext fingerprint is copied from that first occurrence when the
+    uploader re-sequences — the first occurrence always precedes the
+    alias in emission order. ``ciphertext is None`` (with a cipher_fp)
+    marks a fingerprint-cache hit: nothing to upload at all.
+    """
+
+    index: int
+    size: int
+    key: bytes
+    cipher_fp: Optional[bytes]
+    ciphertext: Optional[bytes]
+    fingerprint: bytes
+    seed: bytes
+
+
+_FEED_END = object()
+
+
+class PipelinedUploader:
+    """One pipelined upload execution (single use).
+
+    Args:
+        client: the owning :class:`~repro.tedstore.client.TedStoreClient`
+            — supplies transports, profile, sketch geometry, batch size,
+            worker count, depth, and the optional fingerprint cache.
+    """
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self.workers = max(1, client.workers)
+        depth = max(1, client.pipeline_depth)
+        self.failure = _Failure()
+        self.feed_q = _MeteredQueue("feed", depth, self.failure)
+        self.encrypt_q = _MeteredQueue(
+            "encrypt", depth * self.workers, self.failure
+        )
+        self.result_q = _MeteredQueue("results", 0, self.failure)
+        # Chunks per feed sub-batch: small enough that several are in
+        # flight across stages, large enough that queue overhead stays
+        # negligible against hashing/encryption work.
+        self.feed_batch = max(16, client.batch_size // max(2, self.workers))
+        self._total_chunks: Optional[int] = None  # set when feed ends
+        self._total_lock = threading.Lock()
+        self._sequence = 0
+        # Outputs (owned by the uploader thread until join).
+        self.file_recipe: Optional[FileRecipe] = None
+        self.key_recipe = KeyRecipe()
+        self.stored = 0
+        self.duplicates = 0
+        self.cache_hits = 0
+        self.logical_bytes = 0
+        self.chunk_count = 0
+
+    # -- stage bodies ---------------------------------------------------------
+
+    def _run_guarded(self, body) -> None:
+        try:
+            body()
+        except _Aborted:
+            pass
+        except BaseException as exc:  # latch the first real failure
+            self.failure.set(exc)
+
+    def _feed(self, chunks: Iterable[bytes]) -> None:
+        """Caller-thread stage: push chunk sub-batches into the pipeline."""
+        total = 0
+        batch: List[bytes] = []
+        for chunk in chunks:
+            batch.append(chunk)
+            total += 1
+            if len(batch) >= self.feed_batch:
+                self.feed_q.put(batch)
+                batch = []
+        if batch:
+            self.feed_q.put(batch)
+        with self._total_lock:
+            self._total_chunks = total
+        self.feed_q.put(_FEED_END)
+
+    def _expected_total(self) -> Optional[int]:
+        with self._total_lock:
+            return self._total_chunks
+
+    def _dispatch(self) -> None:
+        """Fingerprint, coalesce, keygen (ordered), derive, fan out."""
+        client = self.client
+        algorithm = client.profile.hash_algorithm
+        timer = client.timer
+        cache = client.fingerprint_cache
+        # In-flight duplicate suppression (cache-enabled runs only): once
+        # a (fingerprint, seed) pair has been dispatched this run, later
+        # repeats skip encryption and upload as *aliases* — the uploader
+        # copies the ciphertext fingerprint from the first occurrence at
+        # resequencing time (the first occurrence always precedes the
+        # alias in emission order). Tied to the cache because, like a
+        # cache hit, an alias relaxes the provider's offered-chunk
+        # counters; the strict cache-off guarantee stays untouched.
+        first_seen: set = set()
+        base_index = 0
+        done = False
+        while not done:
+            item = self.feed_q.get()
+            if item is _FEED_END:
+                break
+            # Coalesce everything already queued, up to one full keygen
+            # batch — more sub-batches may have piled up while the
+            # previous round trip was in flight.
+            pending: List[bytes] = list(item)
+            while len(pending) < client.batch_size:
+                try:
+                    extra = self.feed_q.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _FEED_END:
+                    done = True
+                    break
+                pending.extend(extra)
+            with timer.stage("fingerprinting"):
+                fingerprints = [digest(c, algorithm) for c in pending]
+            with timer.stage("hashing"):
+                hash_vectors = [
+                    short_hashes(fp, client.sketch_rows, client.sketch_width)
+                    for fp in fingerprints
+                ]
+            with timer.stage("key seeding"), _STAGE_SECONDS.labels(
+                stage="keygen_rtt"
+            ).time():
+                seeds = self._keygen(hash_vectors)
+            if len(seeds) != len(pending):
+                raise RuntimeError(
+                    "key manager returned a mismatched seed batch"
+                )
+            with timer.stage("key derivation"):
+                keys = [
+                    derive_key(seed, fp, algorithm)
+                    for seed, fp in zip(seeds, fingerprints)
+                ]
+            misses: List[Tuple[int, bytes, bytes, bytes, bytes]] = []
+            resolved_here: List[_Resolved] = []
+            cache_hit_count = 0
+            alias_count = 0
+            for offset, (chunk, fp, seed, key) in enumerate(
+                zip(pending, fingerprints, seeds, keys)
+            ):
+                index = base_index + offset
+                cached = (
+                    cache.lookup(fp, seed) if cache is not None else None
+                )
+                if cached is not None:
+                    cache_hit_count += 1
+                    resolved_here.append(
+                        _Resolved(
+                            index=index,
+                            size=len(chunk),
+                            key=key,
+                            cipher_fp=cached,
+                            ciphertext=None,
+                            fingerprint=fp,
+                            seed=seed,
+                        )
+                    )
+                    continue
+                if cache is not None:
+                    pair = FingerprintCache.key(fp, seed)
+                    if pair in first_seen:
+                        alias_count += 1
+                        resolved_here.append(
+                            _Resolved(
+                                index=index,
+                                size=len(chunk),
+                                key=key,
+                                cipher_fp=None,
+                                ciphertext=None,
+                                fingerprint=fp,
+                                seed=seed,
+                            )
+                        )
+                        continue
+                    first_seen.add(pair)
+                misses.append((index, chunk, fp, seed, key))
+            base_index += len(pending)
+            if resolved_here:
+                if cache_hit_count:
+                    _PIPELINE_CHUNKS.labels(path="cache_hit").inc(
+                        cache_hit_count
+                    )
+                if alias_count:
+                    _PIPELINE_CHUNKS.labels(path="inflight_dup").inc(
+                        alias_count
+                    )
+                self.result_q.put(resolved_here)
+            # Fan misses out to the encrypt workers in contiguous slices;
+            # the resequencer restores global order downstream.
+            if misses:
+                job_size = max(32, -(-len(misses) // self.workers))
+                for start in range(0, len(misses), job_size):
+                    self.encrypt_q.put(misses[start : start + job_size])
+        for _ in range(self.workers):
+            self.encrypt_q.put(_FEED_END)
+
+    def _keygen(self, hash_vectors: List[List[int]]) -> List[bytes]:
+        """One sequenced keygen round trip (falls back for old stubs)."""
+        transport = self.client.key_manager
+        batched = getattr(transport, "keygen_batched", None)
+        if batched is None:
+            from repro.tedstore.messages import KeyGenRequest
+
+            return transport.keygen(
+                KeyGenRequest(hash_vectors=hash_vectors)
+            ).seeds
+        request = BatchedKeyGenRequest(
+            sequence=self._sequence, hash_vectors=hash_vectors
+        )
+        self._sequence += 1
+        return batched(request).seeds
+
+    def _encrypt_worker(self, timer: StageTimer) -> None:
+        """Encrypt cache misses; fingerprint the ciphertexts."""
+        profile = self.client.profile
+        algorithm = profile.hash_algorithm
+        while True:
+            job = self.encrypt_q.get()
+            if job is _FEED_END:
+                return
+            resolved: List[_Resolved] = []
+            with timer.stage("encryption"), _WORKERS_BUSY.track(), \
+                    _STAGE_SECONDS.labels(stage="encrypt_job").time():
+                for index, chunk, fp, seed, key in job:
+                    ciphertext = profile.encrypt(key, chunk)
+                    resolved.append(
+                        _Resolved(
+                            index=index,
+                            size=len(chunk),
+                            key=key,
+                            cipher_fp=digest(ciphertext, algorithm),
+                            ciphertext=ciphertext,
+                            fingerprint=fp,
+                            seed=seed,
+                        )
+                    )
+            _PIPELINE_CHUNKS.labels(path="encrypted").inc(len(resolved))
+            self.result_q.put(resolved)
+
+    def _upload(self, file_name: str) -> None:
+        """Re-sequence, batch at serial boundaries, PUT in order."""
+        client = self.client
+        cache = client.fingerprint_cache
+        timer = client.timer
+        self.file_recipe = FileRecipe(file_name=file_name)
+        buffered = {}
+        next_index = 0
+        batch: List[_Resolved] = []
+        # Ciphertext fingerprint of every sequenced (fingerprint, seed)
+        # pair, for resolving in-flight aliases (``cipher_fp is None``).
+        # Sequencing is in chunk order, so a pair's first occurrence is
+        # always recorded before any alias of it is drained.
+        resolved_fp: Dict[bytes, bytes] = {}
+
+        def flush() -> None:
+            to_send = [
+                (e.cipher_fp, e.ciphertext)
+                for e in batch
+                if e.ciphertext is not None
+            ]
+            if to_send:
+                with timer.stage("write"), _STAGE_SECONDS.labels(
+                    stage="upload_batch"
+                ).time():
+                    response = client.provider.put_chunks(
+                        PutChunks(chunks=to_send)
+                    )
+                self.stored += response.stored
+                self.duplicates += response.duplicates
+            if cache is not None:
+                for e in batch:
+                    if e.ciphertext is not None:
+                        # Coherence rule: insert only after the provider
+                        # acknowledged the batch (DESIGN.md §10).
+                        cache.insert(e.fingerprint, e.seed, e.cipher_fp)
+            batch.clear()
+
+        while True:
+            expected = self._expected_total()
+            if expected is not None and next_index >= expected:
+                break
+            try:
+                entries = self.result_q.try_get()
+            except queue.Empty:
+                # Nothing in flight right now; the total may have just
+                # been published — loop to re-check the exit condition.
+                continue
+            for entry in entries:
+                buffered[entry.index] = entry
+            while next_index in buffered:
+                entry = buffered.pop(next_index)
+                next_index += 1
+                if entry.cipher_fp is None:
+                    # In-flight alias: a duplicate of a pair dispatched
+                    # earlier this run. The provider would have deduped
+                    # it anyway; count it as a duplicate (not a cache
+                    # hit — the cache never saw it).
+                    entry.cipher_fp = resolved_fp[
+                        FingerprintCache.key(entry.fingerprint, entry.seed)
+                    ]
+                    self.duplicates += 1
+                else:
+                    if cache is not None:
+                        resolved_fp[
+                            FingerprintCache.key(
+                                entry.fingerprint, entry.seed
+                            )
+                        ] = entry.cipher_fp
+                    if entry.ciphertext is None:
+                        self.cache_hits += 1
+                        self.duplicates += 1
+                self.file_recipe.add(entry.cipher_fp, entry.size)
+                self.key_recipe.add(entry.key)
+                self.logical_bytes += entry.size
+                batch.append(entry)
+                if len(batch) >= client.batch_size:
+                    flush()
+        if buffered:
+            raise RuntimeError(
+                f"pipeline lost chunks: {len(buffered)} left unsequenced"
+            )
+        flush()
+        self.chunk_count = next_index
+
+    # -- orchestration --------------------------------------------------------
+
+    def run(self, file_name: str, chunks: Iterable[bytes]) -> None:
+        """Run the full pipeline to completion (or first failure).
+
+        The caller's thread acts as the feed stage. On return, recipes
+        and counters are populated; on failure every thread has exited
+        and a :class:`PipelineError` wraps the first stage error.
+        """
+        worker_timers = [StageTimer() for _ in range(self.workers)]
+        threads = [
+            threading.Thread(
+                target=self._run_guarded,
+                args=(self._dispatch,),
+                name="ted-pipeline-dispatch",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._run_guarded,
+                args=(lambda: self._upload(file_name),),
+                name="ted-pipeline-upload",
+                daemon=True,
+            ),
+        ]
+        threads.extend(
+            threading.Thread(
+                target=self._run_guarded,
+                args=(lambda t=timer: self._encrypt_worker(t),),
+                name=f"ted-pipeline-encrypt-{i}",
+                daemon=True,
+            )
+            for i, timer in enumerate(worker_timers)
+        )
+        with tracing.get_tracer().span(
+            "client.pipeline",
+            attributes={"workers": self.workers, "file": file_name},
+        ):
+            for thread in threads:
+                thread.start()
+            try:
+                self._run_guarded(lambda: self._feed(chunks))
+            finally:
+                for thread in threads:
+                    thread.join()
+        for timer in worker_timers:
+            self.client.timer.merge(timer)
+        if self.failure.exc is not None:
+            raise PipelineError(
+                f"pipelined upload of {file_name!r} failed: "
+                f"{self.failure.exc}"
+            ) from self.failure.exc

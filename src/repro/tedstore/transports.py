@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import List, Protocol, Tuple
 
 from repro.tedstore.messages import (
+    BatchedKeyGenRequest,
+    BatchedKeyGenResponse,
     Chunks,
     GetChunks,
     GetRecipes,
@@ -27,10 +29,24 @@ class KeyManagerTransport(Protocol):
     ``keygen`` must be safe to retry: transports may replay a batch after
     a transport failure, and a replayed batch only re-updates the sketch
     (over-estimation is the fail-safe direction — it can only raise ``t``).
+
+    **Ordering contract (DESIGN.md §10).** Batches submitted through one
+    transport instance reach the key manager in submission order, one in
+    flight at a time — over TCP the per-connection request/response loop
+    enforces this; the in-process transport holds an equivalent
+    per-transport lock. The pipelined client relies on this: sketch
+    frequency state and probabilistic seed selection are both sensitive
+    to the order in which chunks arrive at the key manager.
     """
 
     def keygen(self, request: KeyGenRequest) -> KeyGenResponse:
         """Submit a batch of short-hash vectors; receive key seeds."""
+        ...
+
+    def keygen_batched(
+        self, request: BatchedKeyGenRequest
+    ) -> BatchedKeyGenResponse:
+        """Submit a *sequenced* batch; the reply echoes the sequence."""
         ...
 
     def stats(self) -> List[Tuple[str, int]]:

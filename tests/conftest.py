@@ -8,8 +8,17 @@ assertions rely on.
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import pytest
+
+# Make `tests.harness` importable no matter which test subdirectory is
+# collected (subdirectories are not packages, so pytest only puts their
+# own basedir on sys.path).
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 from repro.traces.synthetic import (
     TraceConfig,

@@ -1,0 +1,1 @@
+"""Reusable test harnesses (not collected as tests)."""

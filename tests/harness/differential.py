@@ -1,0 +1,330 @@
+"""Differential harness: serial vs pipelined client equivalence.
+
+The pipelined upload path (DESIGN.md §10) promises *bit-identical* stored
+state to the serial baseline. This harness makes that claim executable:
+build two isolated deployments (own key manager, own on-disk provider),
+run the same workload through each — one serial, one pipelined — and
+assert that everything durable is equal:
+
+* every byte under the provider's storage directory (containers, chunk
+  index) — compared file by file;
+* the sealed file/key recipes for every uploaded file;
+* the provider's logical/physical dedup accounting (hence the dedup
+  ratio);
+* the key manager's Count-Min sketch counters, total, current ``t``,
+  tracked frequency vector, and request count.
+
+With a client fingerprint cache enabled, duplicate chunks never reach
+the provider, so the *offered* chunk counters legitimately shrink; the
+``ignore_offered_counters`` flag relaxes exactly those counters and
+nothing else — physical state, recipes, and sketch must still match,
+with the dedup ratio reconciled from client-side accounting instead.
+
+Configurations cover the paper's three operating points: MLE (every
+copy, one key), BTED (fixed ``t``), and FTED (blowup factor ``b``,
+``t`` auto-tuned server-side every ``km_batch_size`` chunks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import get_profile
+from repro.storage.dedup import FingerprintCache
+from repro.tedstore.client import TedStoreClient, UploadResult
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import GetRecipes
+from repro.tedstore.provider import ProviderService
+
+#: The paper's three operating points, smallest-knobs-first for tests.
+MODES = ("mle", "bted", "fted")
+
+_SKETCH_WIDTH = 2**16
+
+
+@dataclass
+class Deployment:
+    """One isolated client/key-manager/provider trio."""
+
+    mode: str
+    directory: Path
+    ted: TedKeyManager
+    key_service: KeyManagerService
+    provider_service: ProviderService
+    client: TedStoreClient
+
+    def close(self) -> None:
+        self.provider_service.flush()
+
+
+def make_key_manager(
+    mode: str, *, rng_seed: int = 7, km_batch_size: int = 1024
+) -> TedKeyManager:
+    """A TED key manager at one of the paper's operating points."""
+    if mode == "mle":
+        # One key per content: an (effectively) infinite threshold keeps
+        # the seed index at 0 for every frequency, i.e. plain MLE.
+        return TedKeyManager(
+            secret=b"harness", t=10**9, probabilistic=False
+        )
+    if mode == "bted":
+        return TedKeyManager(
+            secret=b"harness",
+            t=5,
+            sketch_width=_SKETCH_WIDTH,
+            rng=random.Random(rng_seed),
+        )
+    if mode == "fted":
+        return TedKeyManager(
+            secret=b"harness",
+            blowup_factor=1.05,
+            batch_size=km_batch_size,
+            sketch_width=_SKETCH_WIDTH,
+            rng=random.Random(rng_seed),
+        )
+    raise ValueError(f"unknown mode: {mode!r}")
+
+
+def make_deployment(
+    mode: str,
+    directory,
+    *,
+    workers: int = 1,
+    pipeline_depth: int = 3,
+    cache_capacity: int = 0,
+    client_batch_size: int = 500,
+    km_batch_size: int = 1024,
+    rng_seed: int = 7,
+    metadata_dedup: bool = False,
+    key_manager_wrap=None,
+    provider_wrap=None,
+) -> Deployment:
+    """Build one deployment rooted at ``directory``.
+
+    ``key_manager_wrap`` / ``provider_wrap`` optionally wrap the local
+    transports (fault injectors, tracing shims) before the client sees
+    them — the stored-state contract must hold through them too.
+    """
+    directory = Path(directory)
+    ted = make_key_manager(
+        mode, rng_seed=rng_seed, km_batch_size=km_batch_size
+    )
+    key_service = KeyManagerService(ted)
+    provider_service = ProviderService(directory=directory)
+    key_transport = LocalKeyManager(key_service)
+    provider_transport = LocalProvider(provider_service)
+    if key_manager_wrap is not None:
+        key_transport = key_manager_wrap(key_transport)
+    if provider_wrap is not None:
+        provider_transport = provider_wrap(provider_transport)
+    cache = (
+        FingerprintCache(capacity=cache_capacity)
+        if cache_capacity > 0
+        else None
+    )
+    client = TedStoreClient(
+        key_transport,
+        provider_transport,
+        profile=get_profile("shactr"),
+        sketch_width=_SKETCH_WIDTH,
+        batch_size=client_batch_size,
+        workers=workers,
+        pipeline_depth=pipeline_depth,
+        fingerprint_cache=cache,
+        metadata_dedup=metadata_dedup,
+    )
+    return Deployment(
+        mode=mode,
+        directory=directory,
+        ted=ted,
+        key_service=key_service,
+        provider_service=provider_service,
+        client=client,
+    )
+
+
+def run_workload(
+    deployment: Deployment, files: Sequence[Tuple[str, Sequence[bytes]]]
+) -> List[UploadResult]:
+    """Upload every (name, chunks) file in order."""
+    return [
+        deployment.client.upload_chunks(name, list(chunks))
+        for name, chunks in files
+    ]
+
+
+def make_workload(
+    *,
+    files: int = 2,
+    chunks_per_file: int = 1200,
+    distinct_blocks: int = 40,
+    block_bytes: int = 3000,
+    seed: int = 1,
+) -> List[Tuple[str, List[bytes]]]:
+    """A deterministic duplicate-heavy workload (chunks repeat heavily)."""
+    rng = random.Random(seed)
+    blocks = [rng.randbytes(block_bytes) for _ in range(distinct_blocks)]
+    return [
+        (
+            f"file-{index}",
+            [
+                blocks[rng.randrange(distinct_blocks)]
+                for _ in range(chunks_per_file)
+            ],
+        )
+        for index in range(files)
+    ]
+
+
+# -- state snapshots ----------------------------------------------------------
+
+
+def provider_state(deployment: Deployment) -> Dict[str, object]:
+    """Everything durable at the provider, hashed file by file."""
+    deployment.provider_service.flush()
+    file_hashes = {}
+    for path in sorted(deployment.directory.rglob("*")):
+        if path.is_file():
+            relative = str(path.relative_to(deployment.directory))
+            file_hashes[relative] = hashlib.sha256(
+                path.read_bytes()
+            ).hexdigest()
+    return {
+        "files": file_hashes,
+        "counters": dict(deployment.provider_service.stats()),
+    }
+
+
+def recipes_state(
+    deployment: Deployment, file_names: Sequence[str]
+) -> Dict[str, Tuple[str, str]]:
+    """Recipe *plaintext* digests per file.
+
+    Sealing uses a random nonce, so the sealed bytes are never
+    comparable across runs; the confidentiality-irrelevant plaintext
+    (ciphertext fingerprints, sizes, per-chunk keys) is what equivalence
+    is defined over. The empty sealed key recipe of the metadata-dedup
+    layout hashes as the empty string on both sides.
+    """
+    from repro.storage.recipe import unseal
+
+    master_key = deployment.client.master_key
+    state = {}
+    for name in file_names:
+        recipes = deployment.provider_service.handle_get_recipes(
+            GetRecipes(file_name=name)
+        )
+        file_plain = unseal(master_key, recipes.sealed_file_recipe)
+        key_plain = (
+            unseal(master_key, recipes.sealed_key_recipe)
+            if recipes.sealed_key_recipe
+            else b""
+        )
+        state[name] = (
+            hashlib.sha256(file_plain).hexdigest(),
+            hashlib.sha256(key_plain).hexdigest(),
+        )
+    return state
+
+
+def sketch_state(deployment: Deployment) -> Dict[str, object]:
+    """The key manager's complete tunable-dedup state."""
+    ted = deployment.ted
+    # .tobytes() captures every counter exactly; repr() of a large numpy
+    # array elides values and would compare truncated summaries.
+    counters = hashlib.sha256(
+        ted.sketch._counters.tobytes()
+    ).hexdigest()
+    frequencies = hashlib.sha256(
+        repr(sorted(ted._freq_by_identity.items())).encode()
+    ).hexdigest()
+    return {
+        "sketch_counters": counters,
+        "sketch_total": ted.sketch.total,
+        "t": ted.t,
+        "tracked_frequencies": frequencies,
+        "requests": ted.stats.requests,
+    }
+
+
+# -- equivalence assertion ----------------------------------------------------
+
+#: Provider counters that legitimately shrink when the client-side
+#: fingerprint cache short-circuits duplicate uploads.
+_OFFERED_COUNTERS = ("logical_chunks", "logical_bytes", "duplicate_chunks")
+
+
+def assert_equivalent(
+    baseline: Deployment,
+    candidate: Deployment,
+    file_names: Sequence[str],
+    baseline_results: Optional[Sequence[UploadResult]] = None,
+    candidate_results: Optional[Sequence[UploadResult]] = None,
+    *,
+    ignore_offered_counters: bool = False,
+) -> None:
+    """Assert the two deployments hold bit-identical durable state.
+
+    With ``ignore_offered_counters`` (cache-enabled candidate), offered
+    chunk counters may differ at the provider; the dedup ratio is then
+    reconciled from client-side accounting, which must match the
+    baseline's exactly.
+    """
+    base_provider = provider_state(baseline)
+    cand_provider = provider_state(candidate)
+    assert base_provider["files"] == cand_provider["files"], (
+        "provider on-disk state diverged "
+        f"({baseline.mode}): {_diff_keys(base_provider['files'], cand_provider['files'])}"
+    )
+    base_counters = dict(base_provider["counters"])
+    cand_counters = dict(cand_provider["counters"])
+    if ignore_offered_counters:
+        for key in _OFFERED_COUNTERS:
+            base_counters.pop(key, None)
+            cand_counters.pop(key, None)
+    assert base_counters == cand_counters, (
+        f"provider counters diverged ({baseline.mode}): "
+        f"{base_counters} != {cand_counters}"
+    )
+    assert recipes_state(baseline, file_names) == recipes_state(
+        candidate, file_names
+    ), f"sealed recipes diverged ({baseline.mode})"
+    assert sketch_state(baseline) == sketch_state(candidate), (
+        f"key-manager sketch state diverged ({baseline.mode}): "
+        f"{sketch_state(baseline)} != {sketch_state(candidate)}"
+    )
+    if baseline_results is not None and candidate_results is not None:
+        base_acct = [
+            (r.chunk_count, r.logical_bytes, r.stored_chunks,
+             r.stored_chunks + r.duplicate_chunks)
+            for r in baseline_results
+        ]
+        cand_acct = [
+            (r.chunk_count, r.logical_bytes, r.stored_chunks,
+             r.stored_chunks + r.duplicate_chunks)
+            for r in candidate_results
+        ]
+        assert base_acct == cand_acct, (
+            f"client-side accounting diverged ({baseline.mode}): "
+            f"{base_acct} != {cand_acct}"
+        )
+        for result in candidate_results:
+            assert (
+                result.stored_chunks + result.duplicate_chunks
+                == result.chunk_count
+            ), f"accounting invariant broken: {result}"
+
+
+def _diff_keys(a: Dict[str, str], b: Dict[str, str]) -> str:
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    changed = sorted(k for k in set(a) & set(b) if a[k] != b[k])
+    return (
+        f"only-baseline={only_a} only-candidate={only_b} changed={changed}"
+    )

@@ -1,0 +1,272 @@
+"""Pipelined upload path under faults and concurrency stress.
+
+The pipeline's consistency contract (DESIGN.md §10) must hold when the
+world misbehaves: a provider crash mid-upload, injected transport delays
+jittering thread interleavings, and injected hard faults that must
+surface promptly as a :class:`~repro.tedstore.pipeline.PipelineError`
+instead of deadlocking the stage queues.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.obs import tracing
+from repro.storage.dedup import FingerprintCache
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.faults import (
+    FaultPlan,
+    FaultyKeyManager,
+    FaultyProvider,
+    InjectedFault,
+)
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.network import (
+    RemoteKeyManager,
+    RemoteProvider,
+    serve_key_manager,
+    serve_provider,
+)
+from repro.tedstore.pipeline import PipelineError
+from repro.tedstore.provider import ProviderService
+from repro.tedstore.retry import RetryPolicy
+from repro.traces.workload import unique_file
+
+from tests.harness.differential import (
+    assert_equivalent,
+    make_deployment,
+    make_workload,
+    run_workload,
+)
+
+_W = 2**14
+_FAST_RETRY = dict(base_delay=0.01, multiplier=2.0, max_delay=0.1)
+
+WORKLOAD = make_workload(files=2, chunks_per_file=800, seed=23)
+FILE_NAMES = [name for name, _ in WORKLOAD]
+
+
+@pytest.fixture
+def recorder():
+    """Install a fresh tracer + recorder, restore the old one afterwards."""
+    previous = tracing.get_tracer()
+    recorder = tracing.SpanRecorder()
+    tracing.set_tracer(tracing.Tracer(recorder=recorder))
+    yield recorder
+    tracing.set_tracer(previous)
+
+
+def _key_manager_service():
+    return KeyManagerService(
+        TedKeyManager(
+            secret=b"pipeline-faults",
+            blowup_factor=1.05,
+            batch_size=500,
+            sketch_width=_W,
+            rng=random.Random(5),
+        )
+    )
+
+
+class _KillAndRestartOnce:
+    """Provider wrapper that crashes+restarts the server before one call."""
+
+    def __init__(self, inner, restart, after_calls: int = 2) -> None:
+        self._inner = inner
+        self._restart = restart
+        self._calls = 0
+        self._after = after_calls
+        self.fired = False
+
+    def put_chunks(self, request):
+        self._calls += 1
+        if not self.fired and self._calls > self._after:
+            self.fired = True
+            self._restart()
+        return self._inner.put_chunks(request)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestProviderCrashMidPipeline:
+    def test_pipelined_upload_survives_provider_restart(self, recorder):
+        """Kill the provider while the pipeline has stages in flight; the
+        uploader thread's retries must recover without losing or
+        duplicating a single chunk — and be visible as span events."""
+        km_service = _key_manager_service()
+        provider_service = ProviderService(in_memory=True)
+        km_handle = serve_key_manager(km_service)
+        prov_handle = serve_provider(provider_service)
+        handles = {"provider": prov_handle}
+
+        def restart_provider():
+            port = handles["provider"].address[1]
+            handles["provider"].kill()  # hard stop: connections die
+            handles["provider"] = serve_provider(
+                provider_service, port=port
+            )
+
+        km = RemoteKeyManager(km_handle.address)
+        raw_provider = RemoteProvider(
+            prov_handle.address,
+            retry_policy=RetryPolicy(max_attempts=6, **_FAST_RETRY),
+            data_connections=2,
+        )
+        provider = _KillAndRestartOnce(raw_provider, restart_provider)
+        client = TedStoreClient(
+            km,
+            provider,
+            profile=SHACTR,
+            sketch_width=_W,
+            batch_size=8,  # many small PUT batches → crash lands mid-stream
+            workers=3,
+            pipeline_depth=2,
+            fingerprint_cache=FingerprintCache(capacity=4096),
+        )
+        try:
+            data = unique_file(400_000)
+            result = client.upload("crash-file", data)
+            assert provider.fired  # the crash really happened mid-upload
+            assert result.chunk_count > 0
+            assert (
+                result.stored_chunks + result.duplicate_chunks
+                == result.chunk_count
+            )
+            assert client.download("crash-file") == data
+
+            wire = raw_provider.wire_stats()
+            assert wire["client_retries"] >= 1
+            assert wire["client_reconnects"] >= 1
+
+            # The recovery is visible in the trace: some rpc span under
+            # this upload carries a wire.retry event.
+            events = [
+                name
+                for span in recorder.spans()
+                for name in span.event_names()
+            ]
+            assert "wire.retry" in events
+            span_names = {span.name for span in recorder.spans()}
+            assert "client.pipeline" in span_names
+        finally:
+            km.close()
+            raw_provider.close()
+            km_handle.stop()
+            handles["provider"].stop()
+
+
+class TestInjectedFaults:
+    def test_delay_faults_jitter_interleavings_not_state(self, tmp_path):
+        """Injected delays reorder thread wakeups, never stored bytes:
+        the delayed pipelined run must stay bit-identical to a clean
+        serial run."""
+        delay_plan = FaultPlan(
+            delay_rate=0.3, delay_seconds=0.002, seed=42
+        )
+        serial = make_deployment("fted", tmp_path / "serial", workers=1)
+        jittered = make_deployment(
+            "fted",
+            tmp_path / "jittered",
+            workers=4,
+            pipeline_depth=2,
+            client_batch_size=200,
+            key_manager_wrap=lambda t: FaultyKeyManager(t, delay_plan),
+            provider_wrap=lambda t: FaultyProvider(t, delay_plan),
+        )
+        serial_results = run_workload(serial, WORKLOAD)
+        jitter_results = run_workload(jittered, WORKLOAD)
+        serial.close()
+        jittered.close()
+        assert_equivalent(
+            serial, jittered, FILE_NAMES, serial_results, jitter_results
+        )
+        counters = jittered.client.provider.fault_counters
+        assert counters["delays"] > 0  # the faults really fired
+
+    def test_hard_fault_fails_fast_without_deadlock(self, tmp_path):
+        """A drop fault anywhere in the pipeline must surface as a
+        PipelineError promptly — bounded queues and a dead stage must
+        never leave the caller blocked."""
+        drop_plan = FaultPlan(drop_rate=1.0, seed=1)
+        deployment = make_deployment(
+            "fted",
+            tmp_path,
+            workers=3,
+            pipeline_depth=2,
+            client_batch_size=100,
+            provider_wrap=lambda t: FaultyProvider(t, drop_plan),
+        )
+        started = time.monotonic()
+        with pytest.raises(PipelineError) as excinfo:
+            deployment.client.upload_chunks("doomed", WORKLOAD[0][1])
+        assert time.monotonic() - started < 30.0
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        # All pipeline threads unwound with the failure.
+        lingering = [
+            t
+            for t in threading.enumerate()
+            if t.name.startswith("ted-pipeline")
+        ]
+        for thread in lingering:
+            thread.join(timeout=5.0)
+        assert not any(
+            t.is_alive()
+            for t in threading.enumerate()
+            if t.name.startswith("ted-pipeline")
+        )
+
+    def test_keygen_fault_fails_fast(self, tmp_path):
+        """Same, when the key-manager stage dies instead of the uploader."""
+        drop_plan = FaultPlan(drop_rate=1.0, seed=2)
+        deployment = make_deployment(
+            "fted",
+            tmp_path,
+            workers=2,
+            key_manager_wrap=lambda t: FaultyKeyManager(t, drop_plan),
+        )
+        with pytest.raises(PipelineError) as excinfo:
+            deployment.client.upload_chunks("doomed", WORKLOAD[0][1])
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+
+    def test_failed_upload_leaves_client_reusable(self, tmp_path):
+        """After a pipeline failure the same client must complete the
+        next upload (fresh uploader instance, no poisoned state)."""
+        plans = iter(
+            [FaultPlan(drop_rate=1.0, seed=3), FaultPlan(seed=3)]
+        )
+
+        class _SwappableFaults:
+            def __init__(self, inner):
+                self.wrapped = FaultyProvider(inner, next(plans))
+                self._inner = inner
+
+            def rearm(self):
+                self.wrapped = FaultyProvider(self._inner, next(plans))
+
+            def __getattr__(self, name):
+                return getattr(self.wrapped, name)
+
+        holder = {}
+
+        def wrap(t):
+            holder["provider"] = _SwappableFaults(t)
+            return holder["provider"]
+
+        deployment = make_deployment(
+            "fted", tmp_path, workers=3, provider_wrap=wrap
+        )
+        name, chunks = WORKLOAD[0]
+        with pytest.raises(PipelineError):
+            deployment.client.upload_chunks(name, chunks)
+        holder["provider"].rearm()  # same client, faults healed
+        result = deployment.client.upload_chunks(name, chunks)
+        assert (
+            result.stored_chunks + result.duplicate_chunks
+            == result.chunk_count
+        )
+        assert deployment.client.download(name) == b"".join(chunks)

@@ -1,0 +1,171 @@
+"""Property-based round-trip tests for the wire codecs.
+
+Randomized (but seeded, hence reproducible) generators drive two
+properties over the batched-keygen messages and the varint primitive
+underneath every payload:
+
+* **encode/decode identity** — ``decode(encode(x)) == x`` for arbitrary
+  well-formed values, including boundary shapes (empty batches, empty
+  seeds, huge sequence numbers, varint byte-width edges);
+* **truncation safety** — every strict prefix of a valid encoding raises
+  :class:`~repro.tedstore.messages.ProtocolError` (``ValueError`` for the
+  raw varint), never returns garbage and never crashes with anything
+  else. Trailing junk is likewise rejected.
+
+Plain ``random`` keeps the suite dependency-free; each case count is
+small enough to stay fast while covering all encoder branch widths.
+"""
+
+import random
+
+import pytest
+
+from repro.tedstore.messages import (
+    BatchedKeyGenRequest,
+    BatchedKeyGenResponse,
+    ProtocolError,
+)
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+CASES = 60
+
+#: Values that exercise every varint byte width plus both u64 edges.
+_VARINT_EDGES = [
+    0, 1, 127, 128, 16_383, 16_384, 2_097_151, 2_097_152,
+    2**32 - 1, 2**32, 2**63, 2**64 - 1,
+]
+
+
+def _random_int(rng: random.Random) -> int:
+    if rng.random() < 0.3:
+        return rng.choice(_VARINT_EDGES)
+    return rng.randrange(0, 1 << rng.randrange(1, 63))
+
+
+def _random_request(rng: random.Random) -> BatchedKeyGenRequest:
+    vectors = [
+        [_random_int(rng) for _ in range(rng.randrange(0, 8))]
+        for _ in range(rng.randrange(0, 12))
+    ]
+    return BatchedKeyGenRequest(
+        sequence=_random_int(rng), hash_vectors=vectors
+    )
+
+
+def _random_response(rng: random.Random) -> BatchedKeyGenResponse:
+    seeds = [
+        rng.randbytes(rng.randrange(0, 48))
+        for _ in range(rng.randrange(0, 12))
+    ]
+    return BatchedKeyGenResponse(
+        sequence=_random_int(rng),
+        seeds=seeds,
+        current_t=max(1, _random_int(rng)),
+    )
+
+
+class TestBatchedKeygenRoundTrip:
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_request_round_trips(self, seed):
+        message = _random_request(random.Random(seed))
+        assert (
+            BatchedKeyGenRequest.decode(message.encode()) == message
+        )
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_response_round_trips(self, seed):
+        message = _random_response(random.Random(1000 + seed))
+        assert (
+            BatchedKeyGenResponse.decode(message.encode()) == message
+        )
+
+    def test_boundary_shapes_round_trip(self):
+        for message in (
+            BatchedKeyGenRequest(),
+            BatchedKeyGenRequest(sequence=2**64 - 1, hash_vectors=[[]]),
+            BatchedKeyGenRequest(hash_vectors=[[0], [2**64 - 1]]),
+            BatchedKeyGenResponse(),
+            BatchedKeyGenResponse(seeds=[b""], current_t=1),
+            BatchedKeyGenResponse(
+                sequence=2**63, seeds=[b"\x00" * 32], current_t=2**32
+            ),
+        ):
+            assert type(message).decode(message.encode()) == message
+
+
+class TestTruncationSafety:
+    @pytest.mark.parametrize("seed", range(CASES // 3))
+    def test_every_request_prefix_raises(self, seed):
+        rng = random.Random(2000 + seed)
+        message = _random_request(rng)
+        encoded = message.encode()
+        for cut in range(len(encoded)):
+            with pytest.raises(ProtocolError):
+                BatchedKeyGenRequest.decode(encoded[:cut])
+
+    @pytest.mark.parametrize("seed", range(CASES // 3))
+    def test_every_response_prefix_raises(self, seed):
+        rng = random.Random(3000 + seed)
+        message = _random_response(rng)
+        encoded = message.encode()
+        for cut in range(len(encoded)):
+            with pytest.raises(ProtocolError):
+                BatchedKeyGenResponse.decode(encoded[:cut])
+
+    @pytest.mark.parametrize("seed", range(CASES // 3))
+    def test_trailing_junk_rejected(self, seed):
+        rng = random.Random(4000 + seed)
+        encoded = _random_request(rng).encode()
+        with pytest.raises(ProtocolError):
+            BatchedKeyGenRequest.decode(encoded + b"\x00")
+
+
+class TestVarintRoundTrip:
+    @pytest.mark.parametrize("value", _VARINT_EDGES)
+    def test_edges_round_trip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, consumed = decode_uvarint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_random_values_round_trip(self, seed):
+        rng = random.Random(5000 + seed)
+        value = _random_int(rng)
+        encoded = encode_uvarint(value)
+        decoded, consumed = decode_uvarint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_concatenated_stream_round_trips(self, seed):
+        """Varints decode back-to-back from one buffer, offset-exact."""
+        rng = random.Random(6000 + seed)
+        values = [_random_int(rng) for _ in range(rng.randrange(1, 10))]
+        buffer = b"".join(encode_uvarint(v) for v in values)
+        offset = 0
+        decoded = []
+        while offset < len(buffer):
+            value, offset = decode_uvarint(buffer, offset)
+            decoded.append(value)
+        assert decoded == values
+
+    @pytest.mark.parametrize("value", _VARINT_EDGES)
+    def test_every_truncation_raises_value_error(self, value):
+        encoded = encode_uvarint(value)
+        for cut in range(len(encoded)):
+            with pytest.raises(ValueError):
+                decode_uvarint(encoded[:cut])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_overlong_varint_rejected(self):
+        # 11 continuation bytes push shift past 63 bits: corrupt input.
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80" * 11 + b"\x01")
+
+    def test_single_byte_values_are_single_bytes(self):
+        for value in range(128):
+            assert encode_uvarint(value) == bytes([value])

@@ -1,0 +1,261 @@
+"""Unit tests for the pipelined upload path and the fingerprint cache.
+
+Integration-level equivalence lives in
+``tests/integration/test_pipeline_differential.py``; here the pipeline's
+local contracts are pinned down: ordering, accounting invariants, error
+propagation, graceful fallback, and the cache's thread-safety under a
+barrier-synchronized race.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import SHACTR
+from repro.storage.dedup import FingerprintCache
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.messages import KeyGenRequest
+from repro.tedstore.pipeline import PipelineError, PipelinedUploader
+from repro.tedstore.provider import ProviderService
+
+_W = 2**14
+
+
+def _client(**kwargs):
+    service = KeyManagerService(
+        TedKeyManager(
+            secret=b"pipe-unit",
+            blowup_factor=1.05,
+            batch_size=500,
+            sketch_width=_W,
+            rng=random.Random(3),
+        )
+    )
+    provider = ProviderService(in_memory=True)
+    kwargs.setdefault("profile", SHACTR)
+    kwargs.setdefault("sketch_width", _W)
+    kwargs.setdefault("batch_size", 200)
+    return TedStoreClient(
+        LocalKeyManager(service), LocalProvider(provider), **kwargs
+    )
+
+
+def _chunks(count=600, distinct=30, seed=9):
+    rng = random.Random(seed)
+    blocks = [rng.randbytes(2000) for _ in range(distinct)]
+    return [blocks[rng.randrange(distinct)] for _ in range(count)]
+
+
+class TestOrderingAndAccounting:
+    def test_chunk_order_is_preserved(self):
+        """Workers finish out of order; the resequencer must not."""
+        client = _client(workers=4, pipeline_depth=2)
+        chunks = _chunks()
+        client.upload_chunks("ordered", chunks)
+        assert client.download("ordered") == b"".join(chunks)
+
+    def test_accounting_invariant_holds(self):
+        client = _client(workers=3)
+        chunks = _chunks()
+        result = client.upload_chunks("acct", chunks)
+        assert result.chunk_count == len(chunks)
+        assert result.logical_bytes == sum(len(c) for c in chunks)
+        assert (
+            result.stored_chunks + result.duplicate_chunks
+            == result.chunk_count
+        )
+
+    def test_cache_hits_are_counted_and_consistent(self):
+        cache = FingerprintCache(capacity=4096)
+        client = _client(workers=3, fingerprint_cache=cache)
+        chunks = _chunks()
+        first = client.upload_chunks("first", chunks)
+        second = client.upload_chunks("second", chunks)
+        # The workload repeats blocks, so the second pass must resolve
+        # chunks client-side — and every hit still counts as a duplicate.
+        assert second.cache_hits > 0
+        assert second.duplicate_chunks >= second.cache_hits
+        assert (
+            second.stored_chunks + second.duplicate_chunks
+            == second.chunk_count
+        )
+        assert cache.hits == first.cache_hits + second.cache_hits
+        assert client.download("second") == b"".join(chunks)
+
+    def test_empty_upload_completes(self):
+        client = _client(workers=3)
+        result = client.upload_chunks("empty", [])
+        assert result.chunk_count == 0
+        assert result.stored_chunks == 0
+        assert client.download("empty") == b""
+
+    def test_single_chunk_upload(self):
+        client = _client(workers=4, pipeline_depth=1)
+        result = client.upload_chunks("one", [b"x" * 100])
+        assert result.chunk_count == 1
+        assert client.download("one") == b"x" * 100
+
+
+class TestRoutingAndValidation:
+    def test_serial_client_is_not_pipelined(self):
+        assert not _client().pipelined
+
+    def test_workers_enable_pipeline(self):
+        assert _client(workers=2).pipelined
+
+    def test_cache_enables_pipeline_even_with_one_worker(self):
+        client = _client(
+            workers=1, fingerprint_cache=FingerprintCache(capacity=16)
+        )
+        assert client.pipelined
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            _client(workers=0)
+
+    def test_invalid_pipeline_depth_rejected(self):
+        with pytest.raises(ValueError):
+            _client(workers=2, pipeline_depth=0)
+
+
+class _KeygenOnly:
+    """A key-manager transport predating the batched-keygen message."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def keygen(self, request: KeyGenRequest):
+        return self._inner.keygen(request)
+
+
+class TestFallbackAndErrors:
+    def test_falls_back_to_plain_keygen_transport(self):
+        client = _client(workers=3)
+        client.key_manager = _KeygenOnly(client.key_manager)
+        chunks = _chunks(count=300)
+        result = client.upload_chunks("fallback", chunks)
+        assert result.chunk_count == len(chunks)
+        client.key_manager = client.key_manager._inner  # downloads unaffected
+        assert client.download("fallback") == b"".join(chunks)
+
+    def test_provider_error_propagates_with_cause(self):
+        client = _client(workers=3, batch_size=50)
+        boom = RuntimeError("disk on fire")
+
+        class _Exploding:
+            def __init__(self, inner):
+                self._inner = inner
+                self.calls = 0
+
+            def put_chunks(self, request):
+                self.calls += 1
+                if self.calls >= 2:
+                    raise boom
+                return self._inner.put_chunks(request)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        client.provider = _Exploding(client.provider)
+        with pytest.raises(PipelineError) as excinfo:
+            client.upload_chunks("explodes", _chunks())
+        assert excinfo.value.__cause__ is boom
+
+    def test_uploader_is_single_use(self):
+        client = _client(workers=2)
+        uploader = PipelinedUploader(client)
+        uploader.run("once", [b"a" * 10, b"b" * 10])
+        assert uploader.chunk_count == 2
+
+    def test_no_pipeline_threads_survive_an_upload(self):
+        client = _client(workers=4)
+        client.upload_chunks("clean", _chunks(count=200))
+        lingering = [
+            t
+            for t in threading.enumerate()
+            if t.name.startswith("ted-pipeline")
+        ]
+        for thread in lingering:
+            thread.join(timeout=5.0)
+        assert not any(
+            t.is_alive()
+            for t in threading.enumerate()
+            if t.name.startswith("ted-pipeline")
+        )
+
+
+class TestFingerprintCacheRace:
+    def test_barrier_synchronized_readers_and_writers(self):
+        """Hammer one cache from many threads released simultaneously by
+        a barrier; the cache must stay internally consistent and never
+        return a value that was not inserted for that exact key."""
+        cache = FingerprintCache(capacity=256)
+        threads = 8
+        rounds = 60
+        keys = [(b"fp-%03d" % i, b"seed-%03d" % (i % 7)) for i in range(64)]
+        expected = {
+            FingerprintCache.key(fp, seed): b"cfp|" + fp + b"|" + seed
+            for fp, seed in keys
+        }
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(worker_id)
+            try:
+                for round_no in range(rounds):
+                    barrier.wait()  # all threads hit the cache together
+                    fp, seed = keys[rng.randrange(len(keys))]
+                    if (worker_id + round_no) % 2:
+                        cache.insert(
+                            fp, seed, expected[FingerprintCache.key(fp, seed)]
+                        )
+                    else:
+                        value = cache.lookup(fp, seed)
+                        if value is not None:
+                            assert (
+                                value
+                                == expected[FingerprintCache.key(fp, seed)]
+                            )
+            except BaseException as exc:  # surfaced to the main thread
+                errors.append(exc)
+                barrier.abort()
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert not errors, errors
+        stats = cache.stats()
+        assert stats["entries"] <= 256
+        assert stats["hits"] + stats["misses"] > 0
+        assert len(cache) == stats["entries"]
+
+    def test_lru_eviction_under_pressure(self):
+        cache = FingerprintCache(capacity=4)
+        for i in range(10):
+            cache.insert(b"fp-%d" % i, b"s", b"c-%d" % i)
+        assert len(cache) == 4
+        assert cache.stats()["evictions"] == 6
+        # Oldest entries are gone, newest survive.
+        assert cache.lookup(b"fp-0", b"s") is None
+        assert cache.lookup(b"fp-9", b"s") == b"c-9"
+
+    def test_seed_is_part_of_the_key(self):
+        """Same plaintext under a different seed is a different ciphertext
+        — the cache must never conflate them."""
+        cache = FingerprintCache(capacity=16)
+        cache.insert(b"fp", b"seed-a", b"cipher-a")
+        assert cache.lookup(b"fp", b"seed-b") is None
+        assert cache.lookup(b"fp", b"seed-a") == b"cipher-a"
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintCache(capacity=0)
