@@ -121,7 +121,9 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
 
 def cmd_serve_provider(args: argparse.Namespace) -> int:
     service = ProviderService(
-        directory=args.storage, container_bytes=args.container_mb << 20
+        directory=args.storage,
+        container_bytes=args.container_mb << 20,
+        lookahead_window=args.lookahead_window or None,
     )
     handle = serve_provider(service, host=args.host, port=args.port)
     print(f"provider listening on {handle.address}, storage={args.storage}")
@@ -305,8 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch-size", type=int, default=48_000)
         p.add_argument(
             "--workers", type=int, default=1,
-            help="encrypt worker threads; >1 enables the pipelined "
-                 "upload path (DESIGN.md §10)",
+            help="encrypt/decrypt worker threads; >1 enables the "
+                 "pipelined upload and download paths "
+                 "(DESIGN.md §§10-11)",
         )
         p.add_argument(
             "--pipeline-depth", type=int, default=4,
@@ -337,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=9402)
     p.add_argument("--storage", required=True)
     p.add_argument("--container-mb", type=int, default=8)
+    p.add_argument(
+        "--lookahead-window", type=int, default=0, metavar="CHUNKS",
+        help="serve GetChunks with look-ahead container scheduling and "
+             "an LRU container cache (0 = naive per-chunk reads, the "
+             "paper's Figure 9 baseline)",
+    )
     p.set_defaults(func=cmd_serve_provider)
 
     p = sub.add_parser("upload", help="upload a file")

@@ -147,6 +147,27 @@ class ContainerStore:
 
     # -- reads ------------------------------------------------------------------
 
+    @property
+    def open_container_id(self) -> int:
+        """Id of the still-open (unsealed) container.
+
+        Reads of this id snapshot the open buffer and MUST NOT be cached
+        by callers: later appends land in the same container, so a
+        cached snapshot would serve stale bytes.
+        """
+        return self._open_id
+
+    def load_container(self, container_id: int) -> bytes:
+        """Fetch one whole container (open buffer or sealed file).
+
+        Sealed containers go through the store's LRU read cache; the
+        open container is snapshotted fresh on every call.
+
+        Raises:
+            KeyError: unknown container.
+        """
+        return self._load_container(container_id)
+
     def _load_container(self, container_id: int) -> bytes:
         if container_id == self._open_id:
             return bytes(self._open_buffer)

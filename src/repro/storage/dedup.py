@@ -222,6 +222,11 @@ class DedupEngine:
             directory / "index", **(kvstore_options or {})
         )
         self.stats = DedupStats()
+        # Look-ahead restorers, keyed by window size. Persistent so the
+        # container LRU stays warm across the recipe-ordered GetChunks
+        # batches of one restore (and across restores of overlapping
+        # snapshots) instead of starting cold on every call.
+        self._restorers: Dict[int, "LookaheadRestorer"] = {}
 
     def store(self, fingerprint: bytes, chunk: bytes) -> bool:
         """Store one (ciphertext) chunk; returns True if it was new.
@@ -281,13 +286,24 @@ class DedupEngine:
             KeyError: any unknown fingerprint.
         """
         locations = [self.locate(fp) for fp in fingerprints]
+        if locations:
+            from repro.storage.restore import (
+                FragmentationAnalyzer,
+                _RESTORE_FRAGMENTATION,
+            )
+
+            report = FragmentationAnalyzer.analyze(locations)
+            _RESTORE_FRAGMENTATION.set(report.fragmentation_factor)
         if lookahead_window is None:
             return [self.containers.read(loc) for loc in locations]
-        from repro.storage.restore import LookaheadRestorer
+        restorer = self._restorers.get(lookahead_window)
+        if restorer is None:
+            from repro.storage.restore import LookaheadRestorer
 
-        restorer = LookaheadRestorer(
-            self.containers, window_chunks=lookahead_window
-        )
+            restorer = LookaheadRestorer(
+                self.containers, window_chunks=lookahead_window
+            )
+            self._restorers[lookahead_window] = restorer
         return restorer.restore_all(locations)
 
     def flush(self) -> None:

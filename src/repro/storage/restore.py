@@ -22,7 +22,28 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.storage.container import ChunkLocation, ContainerStore
+
+_REGISTRY = obs_metrics.get_registry()
+_RESTORE_CONTAINER_EVENTS = _REGISTRY.counter(
+    "ted_restore_container_events_total",
+    "Look-ahead restorer container accesses (fetches vs cache hits)",
+    labelnames=("event",),
+)
+_RESTORE_WINDOWS = _REGISTRY.counter(
+    "ted_restore_windows_total",
+    "Look-ahead windows processed by the restorer",
+)
+_RESTORE_CHUNKS = _REGISTRY.counter(
+    "ted_restore_chunks_total",
+    "Chunks served through look-ahead restore scheduling",
+)
+_RESTORE_FRAGMENTATION = _REGISTRY.gauge(
+    "ted_restore_fragmentation_factor",
+    "Fragmentation factor of the most recent restore batch "
+    "(container switches per chunk, 0 = sequential)",
+)
 
 
 @dataclass(frozen=True)
@@ -69,6 +90,13 @@ class FragmentationAnalyzer:
 class LookaheadRestorer:
     """Container-aware restore scheduler.
 
+    The container LRU persists across :meth:`restore` calls, so a
+    recipe-ordered stream of ``GetChunks`` batches (the pipelined
+    download path issues one call per batch) keeps its working set warm
+    between calls instead of refetching at every batch boundary. The
+    still-open container is never cached: it is still being appended
+    to, and a cached snapshot would serve stale bytes on the next call.
+
     Args:
         store: the container store to read from.
         window_chunks: look-ahead window size in chunks. Larger windows
@@ -90,36 +118,55 @@ class LookaheadRestorer:
         self.store = store
         self.window_chunks = window_chunks
         self.cache_containers = cache_containers
-        self.stats = {"container_fetches": 0, "window_count": 0}
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self.stats = {
+            "container_fetches": 0,
+            "window_count": 0,
+            "cache_hits": 0,
+        }
 
     def restore(
         self, locations: Sequence[ChunkLocation]
     ) -> Iterator[bytes]:
         """Yield chunk payloads in recipe order with batched container I/O."""
-        cache: OrderedDict[int, bytes] = OrderedDict()
+        cache = self._cache
         for start in range(0, len(locations), self.window_chunks):
             window = locations[start : start + self.window_chunks]
             self.stats["window_count"] += 1
-            # Fetch every container the window needs exactly once.
-            needed: Dict[int, None] = OrderedDict()
+            _RESTORE_WINDOWS.inc()
+            # Fetch every container the window needs exactly once. The
+            # open container bypasses the cross-call cache (see class
+            # docstring) but is still fetched only once per window.
+            open_id = getattr(self.store, "open_container_id", None)
+            window_data: Dict[int, bytes] = {}
             for location in window:
-                needed.setdefault(location.container_id)
-            for container_id in needed:
-                if container_id not in cache:
-                    cache[container_id] = self.store._load_container(
-                        container_id
-                    )
-                    self.stats["container_fetches"] += 1
-                else:
+                container_id = location.container_id
+                if container_id in window_data:
+                    continue
+                cached = cache.get(container_id)
+                if cached is not None:
                     cache.move_to_end(container_id)
+                    self.stats["cache_hits"] += 1
+                    _RESTORE_CONTAINER_EVENTS.labels(
+                        event="cache_hit"
+                    ).inc()
+                    window_data[container_id] = cached
+                    continue
+                data = self.store.load_container(container_id)
+                self.stats["container_fetches"] += 1
+                _RESTORE_CONTAINER_EVENTS.labels(event="fetch").inc()
+                window_data[container_id] = data
+                if open_id is None or container_id < open_id:
+                    cache[container_id] = data
             for location in window:
-                data = cache[location.container_id]
+                data = window_data[location.container_id]
                 end = location.offset + location.length
                 if end > len(data):
                     raise ValueError(
                         f"chunk location out of bounds: {location}"
                     )
                 yield data[location.offset : end]
+            _RESTORE_CHUNKS.inc(len(window))
             # Shrink the cache to the cross-window retention budget.
             while len(cache) > self.cache_containers:
                 cache.popitem(last=False)

@@ -150,7 +150,12 @@ class TedStoreClient:
 
     @property
     def pipelined(self) -> bool:
-        """Whether uploads take the pipelined path (DESIGN.md §10)."""
+        """Whether transfers take the pipelined paths (DESIGN.md §§10–11).
+
+        Uploads go through :mod:`repro.tedstore.pipeline`, downloads
+        through :mod:`repro.tedstore.restore_pipeline`; both are
+        byte-identical to their serial counterparts by construction.
+        """
         return self.workers > 1 or self.fingerprint_cache is not None
 
     # -- upload ---------------------------------------------------------------
@@ -379,39 +384,80 @@ class TedStoreClient:
         with tracing.get_tracer().span(
             "client.download", attributes={"file": file_name}
         ):
-            data = self._download_inner(file_name)
+            if self.pipelined:
+                data = self._download_pipelined(file_name)
+            else:
+                data = self._download_inner(file_name)
         _CLIENT_OPS.labels(op="download").inc()
         _CLIENT_BYTES.labels(op="download").inc(len(data))
         return data
 
+    def _get_chunks_checked(
+        self, fingerprints: Sequence[bytes]
+    ) -> List[bytes]:
+        """One ``GetChunks`` round trip, reply length verified.
+
+        A short reply would otherwise be silently swallowed by ``zip``
+        downstream, truncating the restored file with no error.
+        """
+        chunks = self.provider.get_chunks(
+            GetChunks(fingerprints=list(fingerprints))
+        ).chunks
+        if len(chunks) != len(fingerprints):
+            raise ValueError(
+                f"provider returned {len(chunks)} chunks for a request "
+                f"of {len(fingerprints)}"
+            )
+        return chunks
+
+    def _fetch_recipes(
+        self, file_name: str
+    ) -> Tuple[FileRecipe, KeyRecipe]:
+        """Fetch and unseal a file's recipes (either storage layout)."""
+        recipes = self.provider.get_recipes(
+            GetRecipes(file_name=file_name)
+        )
+        if not recipes.sealed_key_recipe:
+            # Metadata-dedup layout: the file slot holds a meta recipe
+            # whose metadata chunks live on the normal chunk path.
+            from repro.storage.metadedup import unpack_metadata_chunks
+
+            meta_plain = unseal(
+                self.master_key, recipes.sealed_file_recipe
+            )
+            file_recipe, key_recipe = unpack_metadata_chunks(
+                meta_plain, fetch=self._get_chunks_checked
+            )
+        else:
+            file_recipe = FileRecipe.deserialize(
+                unseal(self.master_key, recipes.sealed_file_recipe)
+            )
+            key_recipe = KeyRecipe.deserialize(
+                unseal(self.master_key, recipes.sealed_key_recipe)
+            )
+        if len(file_recipe.entries) != len(key_recipe.keys):
+            raise ValueError(
+                "file and key recipes disagree on chunk count"
+            )
+        return file_recipe, key_recipe
+
+    def _download_pipelined(self, file_name: str) -> bytes:
+        from repro.tedstore.restore_pipeline import PipelinedDownloader
+
+        with self.timer.stage("recipe fetch"):
+            file_recipe, key_recipe = self._fetch_recipes(file_name)
+        downloader = PipelinedDownloader(self)
+        data = downloader.run(
+            file_name, file_recipe.entries, key_recipe.keys
+        )
+        _CLIENT_CHUNKS.labels(op="download").inc(
+            len(file_recipe.entries)
+        )
+        return data
+
     def _download_inner(self, file_name: str) -> bytes:
         with self.timer.stage("recipe fetch"):
-            recipes = self.provider.get_recipes(
-                GetRecipes(file_name=file_name)
-            )
-            if not recipes.sealed_key_recipe:
-                # Metadata-dedup layout: the file slot holds a meta recipe
-                # whose metadata chunks live on the normal chunk path.
-                from repro.storage.metadedup import unpack_metadata_chunks
-
-                meta_plain = unseal(
-                    self.master_key, recipes.sealed_file_recipe
-                )
-                file_recipe, key_recipe = unpack_metadata_chunks(
-                    meta_plain,
-                    fetch=lambda fps: self.provider.get_chunks(
-                        GetChunks(fingerprints=fps)
-                    ).chunks,
-                )
-            else:
-                file_recipe = FileRecipe.deserialize(
-                    unseal(self.master_key, recipes.sealed_file_recipe)
-                )
-                key_recipe = KeyRecipe.deserialize(
-                    unseal(self.master_key, recipes.sealed_key_recipe)
-                )
-        if len(file_recipe.entries) != len(key_recipe.keys):
-            raise ValueError("file and key recipes disagree on chunk count")
+            file_recipe, key_recipe = self._fetch_recipes(file_name)
 
         pieces: List[bytes] = []
         entries = file_recipe.entries
@@ -420,11 +466,9 @@ class TedStoreClient:
             batch_entries = entries[start : start + self.batch_size]
             batch_keys = keys[start : start + self.batch_size]
             with self.timer.stage("chunk fetch"):
-                chunks = self.provider.get_chunks(
-                    GetChunks(
-                        fingerprints=[fp for fp, _ in batch_entries]
-                    )
-                ).chunks
+                chunks = self._get_chunks_checked(
+                    [fp for fp, _ in batch_entries]
+                )
             _CLIENT_CHUNKS.labels(op="download").inc(len(chunks))
             with self.timer.stage("decryption"):
                 for (fp, size), key, ciphertext in zip(

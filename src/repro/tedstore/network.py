@@ -628,14 +628,15 @@ class RemoteProvider:
 
     Args:
         data_connections: extra connections dedicated to chunk-data
-            frames (``put_chunks``). With the default 0, all traffic
-            shares one connection. The pipelined client sets this so
-            bulk PUT frames never queue behind (or ahead of) recipe and
-            control traffic, and so PUT round-trips overlap with keygen
-            traffic on the other entity's socket. ``put_chunks`` calls
-            round-robin over the data pool; each individual call still
-            runs request/response, so a single uploader thread keeps
-            strict PUT ordering even across pool members.
+            frames (``put_chunks`` and ``get_chunks``). With the
+            default 0, all traffic shares one connection. The pipelined
+            client sets this so bulk chunk frames never queue behind
+            (or ahead of) recipe and control traffic, and so chunk
+            round-trips overlap with keygen traffic on the other
+            entity's socket. Data calls round-robin over the pool; each
+            individual call still runs request/response, so a single
+            uploader (or prefetcher) thread keeps strict ordering even
+            across pool members.
     """
 
     def __init__(
@@ -682,7 +683,11 @@ class RemoteProvider:
         return m.PutChunksResponse.decode(payload)
 
     def get_chunks(self, request: m.GetChunks) -> m.Chunks:
-        _, payload = self._conn.call(m.MSG_GET_CHUNKS, request.encode())
+        # Idempotent read: safe to retry, and routed over the data pool
+        # so restore prefetch traffic never queues behind control calls.
+        _, payload = self._data_conn().call(
+            m.MSG_GET_CHUNKS, request.encode()
+        )
         return m.Chunks.decode(payload)
 
     def put_recipes(self, request: m.PutRecipes) -> None:

@@ -111,3 +111,42 @@ class TestLookaheadRestorer:
             LookaheadRestorer(store, window_chunks=0)
         with pytest.raises(ValueError):
             LookaheadRestorer(store, cache_containers=-1)
+
+    def test_cache_persists_across_calls(self, fragmented_store):
+        """A second restore of the same locations hits the cross-call
+        container cache instead of refetching (the pipelined download
+        path issues one restore call per GetChunks batch)."""
+        store, order, _ = fragmented_store
+        restorer = LookaheadRestorer(
+            store, window_chunks=len(order), cache_containers=64
+        )
+        restorer.restore_all(order)
+        first_fetches = restorer.stats["container_fetches"]
+        assert restorer.restore_all(order) == [
+            store.read(loc) for loc in order
+        ]
+        assert restorer.stats["container_fetches"] == first_fetches
+        assert restorer.stats["cache_hits"] > 0
+
+    def test_open_container_never_served_stale(self, tmp_path):
+        """Appends after a restore must be visible in the next one: the
+        still-open container bypasses the persistent cache."""
+        store = ContainerStore(
+            tmp_path, container_bytes=1 << 20, cache_containers=4
+        )
+        first = store.append(b"a" * 100)
+        restorer = LookaheadRestorer(store, cache_containers=8)
+        assert restorer.restore_all([first]) == [b"a" * 100]
+        second = store.append(b"b" * 100)  # same (open) container
+        assert restorer.restore_all([first, second]) == [
+            b"a" * 100,
+            b"b" * 100,
+        ]
+
+    def test_cache_budget_enforced(self, fragmented_store):
+        store, order, _ = fragmented_store
+        restorer = LookaheadRestorer(
+            store, window_chunks=4, cache_containers=2
+        )
+        restorer.restore_all(order)
+        assert len(restorer._cache) <= 2

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Generate (or verify) the metrics reference from the live registry.
+
+Imports every module under ``repro.*`` so each one registers its
+instruments with the process-global observability registry
+(``repro.obs.metrics``), then renders the instrument catalogue —
+name, kind, label names, help text — as a markdown table. Only
+instrument *definitions* are rendered, never label values or counts,
+so the output is deterministic for a given source tree.
+
+Usage::
+
+    python tools/gen_metrics_doc.py            # rewrite docs/METRICS.md
+    python tools/gen_metrics_doc.py --check    # exit 1 if out of date
+
+CI runs ``--check`` so the committed reference can never drift from the
+code (the freshness gate next to the markdown link checker).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pkgutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "docs" / "METRICS.md"
+
+_HEADER = """\
+# Metrics reference
+
+All instruments registered with the process-global observability
+registry (`repro.obs.metrics`), exported via `repro stats --format prom`
+(Prometheus text) or `--format json`. Naming follows
+`ted_<subsystem>_<name>[_total]` (DESIGN.md §9); histograms additionally
+export `_count`, `_sum`, and `p50/p95/p99` quantiles in snapshots.
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with: python tools/gen_metrics_doc.py
+     CI verifies freshness with: python tools/gen_metrics_doc.py --check -->
+
+| Metric | Type | Labels | Help |
+|---|---|---|---|
+"""
+
+
+def _register_all_instruments() -> None:
+    """Import every repro module so instruments self-register."""
+    sys.path.insert(0, str(ROOT / "src"))
+    import repro
+
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        importlib.import_module(info.name)
+
+
+def render() -> str:
+    """The full METRICS.md contents for the current source tree."""
+    _register_all_instruments()
+    from repro.obs.metrics import get_registry
+
+    lines = [_HEADER]
+    for instrument in get_registry().instruments():
+        labels = ", ".join(
+            f"`{name}`" for name in instrument.labelnames
+        ) or "—"
+        help_text = instrument.help.replace("|", "\\|")
+        lines.append(
+            f"| `{instrument.name}` | {instrument.kind} "
+            f"| {labels} | {help_text} |\n"
+        )
+    return "".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed doc matches the live registry "
+        "instead of rewriting it",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    content = render()
+    if args.check:
+        committed = (
+            args.out.read_text() if args.out.exists() else None
+        )
+        if committed != content:
+            print(
+                f"{args.out} is out of date with the metrics registry.\n"
+                f"Regenerate with: python tools/gen_metrics_doc.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.out} is up to date "
+              f"({content.count('| `ted_')} instruments).")
+        return 0
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(content)
+    print(f"wrote {args.out} "
+          f"({content.count('| `ted_')} instruments).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
