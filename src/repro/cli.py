@@ -10,6 +10,9 @@ Gives downstream users the paper's workflows without writing Python:
   factor, printing the derived balance parameter ``t``.
 * ``stats`` — query running TEDStore servers for their counters and
   metrics snapshots (table, JSON, or Prometheus output).
+* ``fsck`` — verify (and with ``--repair``, heal) a provider storage
+  root: container framing, per-chunk checksums, index reachability
+  (DESIGN.md §12, docs/RUNBOOK.md).
 * ``trace`` — run an in-process upload/download demo and print the
   resulting span tree plus a Prometheus metrics export (DESIGN.md §9).
 
@@ -100,6 +103,11 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
             chunks_per_second=args.rate_limit,
             burst_chunks=2.0 * args.rate_limit,
         )
+    state_store = None
+    if args.state_dir:
+        from repro.tedstore.km_state import KeyManagerStateStore
+
+        state_store = KeyManagerStateStore(args.state_dir)
     service = KeyManagerService(
         TedKeyManager(
             secret=args.secret.encode(),
@@ -108,13 +116,21 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
             sketch_width=args.sketch_width,
         ),
         rate_limiter=limiter,
+        state_store=state_store,
     )
     handle = serve_key_manager(service, host=args.host, port=args.port)
     print(f"key manager listening on {handle.address} (b={args.b})")
+    if service.restore_report is not None:
+        report = service.restore_report
+        print(
+            f"restored durable state: snapshot={report.snapshot_loaded}, "
+            f"deltas replayed={report.deltas_replayed}"
+        )
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
+        service.close()
         handle.stop()
     return 0
 
@@ -124,6 +140,7 @@ def cmd_serve_provider(args: argparse.Namespace) -> int:
         directory=args.storage,
         container_bytes=args.container_mb << 20,
         lookahead_window=args.lookahead_window or None,
+        scrub_interval=args.scrub_interval or None,
     )
     handle = serve_provider(service, host=args.host, port=args.port)
     print(f"provider listening on {handle.address}, storage={args.storage}")
@@ -131,9 +148,53 @@ def cmd_serve_provider(args: argparse.Namespace) -> int:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
-        service.flush()
+        service.close()
         handle.stop()
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.storage.scrub import fsck_path
+
+    report = fsck_path(
+        args.storage, repair=args.repair, deep=not args.shallow
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"checked {report.containers_checked} containers, "
+            f"{report.chunks_verified} chunks, "
+            f"{report.index_entries_checked} index entries "
+            f"in {report.seconds:.2f}s"
+        )
+        for container_id in report.structural_errors:
+            print(f"  STRUCTURAL: container-{container_id}.bin")
+        for bad in report.bad_chunks:
+            state = (
+                "healed" if bad.healed
+                else "dropped" if bad.dropped
+                else "bad"
+            )
+            print(
+                f"  {state.upper()}: container-{bad.container_id}.bin "
+                f"offset={bad.offset} length={bad.length} "
+                f"fingerprint={bad.fingerprint or '<none>'}"
+            )
+        if report.dangling_index_entries:
+            print(
+                f"  DANGLING: {report.dangling_index_entries} index "
+                f"entries without durable chunks"
+            )
+        if report.repaired:
+            print(
+                f"  repaired: {report.healed} healed, "
+                f"{report.dropped} dropped"
+            )
+        print("clean" if report.clean else "DAMAGED")
+    return 0 if report.clean else 1
 
 
 def cmd_upload(args: argparse.Namespace) -> int:
@@ -333,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit", type=float, default=0.0,
         help="per-client key-generation budget in chunks/s (0 disables)",
     )
+    p.add_argument(
+        "--state-dir", default=None,
+        help="durable sketch-state directory (snapshot + delta log); "
+             "restores the frequency state after a crash (DESIGN.md §12)",
+    )
     p.set_defaults(func=cmd_serve_keymanager)
 
     p = sub.add_parser("serve-provider", help="run a storage provider")
@@ -346,7 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
              "an LRU container cache (0 = naive per-chunk reads, the "
              "paper's Figure 9 baseline)",
     )
+    p.add_argument(
+        "--scrub-interval", type=float, default=0.0, metavar="SECONDS",
+        help="background scrub cadence: verify every chunk checksum this "
+             "often (0 disables)",
+    )
     p.set_defaults(func=cmd_serve_provider)
+
+    p = sub.add_parser(
+        "fsck", help="verify (and optionally repair) a storage root"
+    )
+    p.add_argument("--storage", required=True,
+                   help="provider storage root to check")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt containers, heal bad chunks "
+                        "from redundant copies, drop unhealable entries")
+    p.add_argument("--shallow", action="store_true",
+                   help="skip per-chunk checksum verification")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("upload", help="upload a file")
     common_client(p)

@@ -171,6 +171,27 @@ class TedKeyManager:
         """Handle a batch of requests (one TEDStore round trip)."""
         return [self.generate_seed(hashes) for hashes in batch]
 
+    def observe_batch(self, batch: Sequence[Sequence[int]]) -> None:
+        """Re-apply a batch's frequency effects without selecting seeds.
+
+        This is the crash-recovery replay path (km_state): it performs
+        exactly the state mutations of :meth:`generate_seed` — sketch
+        update, FTED frequency tracking, request counting, batch-boundary
+        retuning — but produces no seeds and counts no request metrics,
+        so replaying every acked batch reconstructs the frequency state
+        (and hence every future seed decision) bit-for-bit.
+        """
+        for short_hashes in batch:
+            frequency = self.sketch.update(short_hashes)
+            if self.is_fted:
+                self._freq_by_identity[tuple(short_hashes)] = frequency
+            self.stats.requests += 1
+            if self.batch_size is not None:
+                self._requests_in_batch += 1
+                if self._requests_in_batch >= self.batch_size:
+                    self._retune_from_tracked()
+                    self._requests_in_batch = 0
+
     # -- tuning ------------------------------------------------------------
 
     def tune_from_frequencies(self, frequencies: Sequence[int]) -> int:

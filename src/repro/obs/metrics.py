@@ -55,6 +55,12 @@ def log_scale_buckets(
 #: Default bounds for latency histograms (seconds).
 LATENCY_BUCKETS = log_scale_buckets()
 
+#: Coarse bounds for slow, infrequent operations (scrub passes, recovery):
+#: 1 ms to ~70 min in x4 steps — fewer buckets where precision is wasted.
+DURATION_BUCKETS_COARSE = log_scale_buckets(
+    start=1e-3, factor=4.0, count=12
+)
+
 
 def _format_labels(labelnames: Sequence[str], values: Sequence[str]) -> str:
     if not labelnames:

@@ -7,21 +7,61 @@ produces the *chunk fragmentation* effect of Experiment B.5: later snapshots
 reference chunks scattered across many old containers, so restores touch
 more containers and slow down.
 
-Chunks are addressed by ``ChunkLocation(container_id, offset, length)``.
-Reads fetch whole containers through a small LRU cache, mirroring how a real
-provider amortizes disk seeks.
+Chunks are addressed by ``ChunkLocation(container_id, offset, length)``
+where ``offset`` indexes into the container's *data section*. Reads fetch
+whole containers through a small LRU cache, mirroring how a real provider
+amortizes disk seeks.
+
+Crash consistency (DESIGN.md §12). Sealed containers are self-verifying
+and atomically published:
+
+* **On-disk format (v2)**::
+
+      [magic: 8] [data section] [TOC] [trailer: 32]
+
+  The TOC holds one entry per chunk — ``fp_len varint || fingerprint ||
+  offset varint || length varint || crc32(chunk) u32`` — and the trailer
+  is ``data_len u64 || toc_len u64 || toc_crc u32 || chunk_count u32 ||
+  magic``. Every chunk is individually checksummed and the TOC itself is
+  checksummed, so torn writes and bit rot are always detectable
+  (``repro fsck`` / the background scrubber verify them).
+
+* **Atomic seal**: temp file → fsync → rename → directory fsync via the
+  :mod:`repro.storage.crash` shim. A crash at any barrier leaves either
+  no visible container or a complete one — never a torn visible file.
+
+* **Monotonic id allocation**: every successfully sealed (and every
+  quarantined) container id is committed to a small write-ahead log
+  (``idalloc.log``) before the store acknowledges it. Startup recovery
+  takes ``next_id = max(ids on disk, ids in the log) + 1``, so a crash —
+  even one that later loses or quarantines the highest-numbered
+  container file — can never reuse a committed id and silently overwrite
+  ciphertext that old index entries might still reference.
+
+* **Startup recovery**: stray ``*.tmp`` files from interrupted seals are
+  removed, and any visible container that fails structural validation
+  (bad magic/trailer/TOC checksum) is moved to ``quarantine/`` rather
+  than served.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
+from repro.storage import crash
+from repro.storage.wal import OP_PUT, WriteAheadLog
+from repro.utils.varint import decode_uvarint, encode_uvarint
 
 DEFAULT_CONTAINER_BYTES = 8 << 20
+
+_MAGIC = b"TEDCNT2\n"
+_TRAILER = struct.Struct("<QQII8s")
 
 _REGISTRY = obs_metrics.get_registry()
 _CONTAINER_EVENTS = _REGISTRY.counter(
@@ -32,6 +72,18 @@ _CONTAINER_EVENTS = _REGISTRY.counter(
 _CONTAINER_SEAL_BYTES = _REGISTRY.counter(
     "ted_container_sealed_bytes_total", "Bytes flushed in sealed containers"
 )
+_RECOVERY_QUARANTINED = _REGISTRY.counter(
+    "ted_recovery_containers_quarantined_total",
+    "Containers moved to quarantine by startup recovery or fsck",
+)
+_RECOVERY_TMP_REMOVED = _REGISTRY.counter(
+    "ted_recovery_torn_tmp_removed_total",
+    "Torn temp files from interrupted seals removed at startup",
+)
+
+
+class ContainerIntegrityError(RuntimeError):
+    """A sealed container failed structural or checksum validation."""
 
 
 @dataclass(frozen=True)
@@ -62,13 +114,112 @@ class ChunkLocation:
         )
 
 
+@dataclass(frozen=True)
+class TocEntry:
+    """One chunk's TOC record inside a sealed container."""
+
+    fingerprint: bytes
+    offset: int
+    length: int
+    crc: int
+
+
+def _encode_toc(entries: List[TocEntry]) -> bytes:
+    out = bytearray()
+    for entry in entries:
+        out.extend(encode_uvarint(len(entry.fingerprint)))
+        out.extend(entry.fingerprint)
+        out.extend(encode_uvarint(entry.offset))
+        out.extend(encode_uvarint(entry.length))
+        out.extend(entry.crc.to_bytes(4, "little"))
+    return bytes(out)
+
+
+def _decode_toc(blob: bytes, count: int) -> List[TocEntry]:
+    entries: List[TocEntry] = []
+    pos = 0
+    for _ in range(count):
+        fp_len, pos = decode_uvarint(blob, pos)
+        fingerprint = blob[pos : pos + fp_len]
+        if len(fingerprint) != fp_len:
+            raise ValueError("TOC fingerprint truncated")
+        pos += fp_len
+        offset, pos = decode_uvarint(blob, pos)
+        length, pos = decode_uvarint(blob, pos)
+        if pos + 4 > len(blob):
+            raise ValueError("TOC entry truncated")
+        crc = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        entries.append(TocEntry(fingerprint, offset, length, crc))
+    if pos != len(blob):
+        raise ValueError("trailing bytes after TOC")
+    return entries
+
+
+def encode_container(data: bytes, entries: List[TocEntry]) -> bytes:
+    """Assemble a complete v2 container file image."""
+    toc = _encode_toc(entries)
+    trailer = _TRAILER.pack(
+        len(data), len(toc), zlib.crc32(toc), len(entries), _MAGIC
+    )
+    return _MAGIC + data + toc + trailer
+
+
+def parse_container(blob: bytes) -> Tuple[bytes, List[TocEntry]]:
+    """Parse a container image into (data section, TOC entries).
+
+    Validates magic, trailer geometry, and the TOC checksum — but not the
+    per-chunk checksums (that is the scrubber's deep pass).
+
+    Raises:
+        ContainerIntegrityError: on any structural or checksum failure.
+    """
+    minimum = len(_MAGIC) + _TRAILER.size
+    if len(blob) < minimum:
+        raise ContainerIntegrityError("container shorter than header+trailer")
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise ContainerIntegrityError("bad container magic")
+    data_len, toc_len, toc_crc, count, magic = _TRAILER.unpack(
+        blob[-_TRAILER.size :]
+    )
+    if magic != _MAGIC:
+        raise ContainerIntegrityError("bad container trailer magic")
+    if len(_MAGIC) + data_len + toc_len + _TRAILER.size != len(blob):
+        raise ContainerIntegrityError("container length mismatch")
+    toc_start = len(_MAGIC) + data_len
+    toc = blob[toc_start : toc_start + toc_len]
+    if zlib.crc32(toc) != toc_crc:
+        raise ContainerIntegrityError("container TOC checksum failure")
+    try:
+        entries = _decode_toc(toc, count)
+    except (ValueError, IndexError) as exc:
+        raise ContainerIntegrityError(f"malformed container TOC: {exc}")
+    for entry in entries:
+        if entry.offset + entry.length > data_len:
+            raise ContainerIntegrityError("TOC entry exceeds data section")
+    return blob[len(_MAGIC) : toc_start], entries
+
+
+@dataclass
+class ContainerRecoveryReport:
+    """What startup recovery found and repaired."""
+
+    tmp_files_removed: int = 0
+    quarantined: List[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.quarantined is None:
+            self.quarantined = []
+
+
 class ContainerStore:
     """Append-only chunk storage in fixed-size container files.
 
     Args:
         directory: where container files live.
-        container_bytes: capacity per container (the paper uses 8 MB; tests
-            scale this down).
+        container_bytes: data capacity per container (the paper uses 8 MB;
+            tests scale this down). Capacity covers chunk payload only —
+            the TOC and trailer ride on top.
         cache_containers: number of containers kept in the read LRU cache.
     """
 
@@ -84,32 +235,104 @@ class ContainerStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.container_bytes = container_bytes
         self.cache_containers = cache_containers
+        self._idalloc = WriteAheadLog(
+            self.directory / "idalloc.log", scope="container.idalloc"
+        )
+        self.recovery = self._recover()
         self._open_id = self._discover_next_id()
         self._open_buffer = bytearray()
+        self._open_toc: List[TocEntry] = []
         self._cache: OrderedDict[int, bytes] = OrderedDict()
         self.stats: Dict[str, int] = {
             "containers_sealed": 0,
             "container_reads": 0,
             "cache_hits": 0,
+            "containers_quarantined": len(self.recovery.quarantined),
         }
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> ContainerRecoveryReport:
+        """Remove torn seals and quarantine structurally invalid containers."""
+        report = ContainerRecoveryReport()
+        report.tmp_files_removed = crash.remove_stray_tmp_files(
+            self.directory
+        )
+        if report.tmp_files_removed:
+            _RECOVERY_TMP_REMOVED.inc(report.tmp_files_removed)
+        for path in sorted(self.directory.glob("container-*.bin")):
+            try:
+                parse_container(path.read_bytes())
+            except ContainerIntegrityError:
+                self._quarantine(path)
+                report.quarantined.append(int(path.stem.split("-")[1]))
+        return report
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an invalid container aside, committing its id first.
+
+        The id commit must precede the move: once the file is gone, only
+        the idalloc log prevents the id from being reused (and stale
+        index entries from silently resolving into fresh ciphertext).
+        """
+        container_id = int(path.stem.split("-")[1])
+        self._commit_id(container_id)
+        quarantine_dir = self.directory / "quarantine"
+        quarantine_dir.mkdir(exist_ok=True)
+        path.replace(quarantine_dir / path.name)
+        crash.fsync_dir(quarantine_dir)
+        crash.fsync_dir(self.directory)
+        _RECOVERY_QUARANTINED.inc()
+        _CONTAINER_EVENTS.labels(event="quarantined").inc()
+
+    def quarantine_container(self, container_id: int) -> None:
+        """Quarantine one sealed container (used by fsck ``--repair``).
+
+        Raises:
+            KeyError: unknown container.
+        """
+        path = self._container_path(container_id)
+        if not path.exists():
+            raise KeyError(f"container {container_id} does not exist")
+        self._cache.pop(container_id, None)
+        self._quarantine(path)
+        self.stats["containers_quarantined"] += 1
+
+    def _commit_id(self, container_id: int) -> None:
+        """Durably record that ``container_id`` has been allocated."""
+        self._idalloc.append(
+            OP_PUT, b"id", container_id.to_bytes(8, "big")
+        )
+        self._idalloc.sync()
+
+    def _idalloc_high_water(self) -> int:
+        """Highest container id ever committed (-1 when none)."""
+        high = -1
+        for op, key, value in WriteAheadLog.replay(self._idalloc.path):
+            if op == OP_PUT and key == b"id" and len(value) == 8:
+                high = max(high, int.from_bytes(value, "big"))
+        return high
 
     def _discover_next_id(self) -> int:
         existing = [
             int(p.stem.split("-")[1])
             for p in self.directory.glob("container-*.bin")
         ]
-        return max(existing) + 1 if existing else 0
+        return max(existing + [self._idalloc_high_water()]) + 1
 
     def _container_path(self, container_id: int) -> Path:
         return self.directory / f"container-{container_id}.bin"
 
     # -- writes ---------------------------------------------------------------
 
-    def append(self, chunk: bytes) -> ChunkLocation:
+    def append(self, chunk: bytes, fingerprint: bytes = b"") -> ChunkLocation:
         """Append a chunk; seals the open container when it fills.
 
         A chunk never spans containers: if it does not fit in the remaining
-        space, the open container is sealed first.
+        space, the open container is sealed first. The optional
+        ``fingerprint`` is recorded in the container TOC so fsck can map
+        physical chunks back to index entries (and heal from redundant
+        copies).
 
         Raises:
             ValueError: if a single chunk exceeds the container capacity.
@@ -128,17 +351,39 @@ class ContainerStore:
             offset=len(self._open_buffer),
             length=len(chunk),
         )
+        self._open_toc.append(
+            TocEntry(
+                fingerprint=fingerprint,
+                offset=location.offset,
+                length=location.length,
+                crc=zlib.crc32(chunk),
+            )
+        )
         self._open_buffer.extend(chunk)
         return location
 
     def seal(self) -> Optional[int]:
-        """Flush the open container to disk; returns its id (None if empty)."""
+        """Atomically flush the open container; returns its id (None if empty).
+
+        Write-barrier sequence (each step a named crash point, §12):
+        temp write → fsync → rename → directory fsync → id commit to the
+        idalloc log. The container only becomes readable after the
+        rename, by which point its bytes are durable; the id becomes
+        unreusable once either the file is visible or the commit record
+        is durable, whichever the crash leaves behind.
+        """
         if not self._open_buffer:
             return None
         sealed_id = self._open_id
         sealed_bytes = len(self._open_buffer)
-        self._container_path(sealed_id).write_bytes(bytes(self._open_buffer))
+        image = encode_container(bytes(self._open_buffer), self._open_toc)
+        crash.atomic_write_bytes(
+            self._container_path(sealed_id), image, scope="container.seal"
+        )
+        crash.crash_point("container.seal.before_commit")
+        self._commit_id(sealed_id)
         self._open_buffer = bytearray()
+        self._open_toc = []
         self._open_id += 1
         self.stats["containers_sealed"] += 1
         _CONTAINER_EVENTS.labels(event="sealed").inc()
@@ -158,13 +403,14 @@ class ContainerStore:
         return self._open_id
 
     def load_container(self, container_id: int) -> bytes:
-        """Fetch one whole container (open buffer or sealed file).
+        """Fetch one whole container's data section (open buffer or file).
 
         Sealed containers go through the store's LRU read cache; the
         open container is snapshotted fresh on every call.
 
         Raises:
             KeyError: unknown container.
+            ContainerIntegrityError: the container file is corrupt.
         """
         return self._load_container(container_id)
 
@@ -177,10 +423,7 @@ class ContainerStore:
             self.stats["cache_hits"] += 1
             _CONTAINER_EVENTS.labels(event="cache_hit").inc()
             return cached
-        path = self._container_path(container_id)
-        if not path.exists():
-            raise KeyError(f"container {container_id} does not exist")
-        data = path.read_bytes()
+        data, _ = self._read_container_file(container_id)
         self.stats["container_reads"] += 1
         _CONTAINER_EVENTS.labels(event="read").inc()
         self._cache[container_id] = data
@@ -188,12 +431,21 @@ class ContainerStore:
             self._cache.popitem(last=False)
         return data
 
+    def _read_container_file(
+        self, container_id: int
+    ) -> Tuple[bytes, List[TocEntry]]:
+        path = self._container_path(container_id)
+        if not path.exists():
+            raise KeyError(f"container {container_id} does not exist")
+        return parse_container(path.read_bytes())
+
     def read(self, location: ChunkLocation) -> bytes:
         """Fetch one chunk by location.
 
         Raises:
             KeyError: unknown container.
             ValueError: location out of the container's bounds.
+            ContainerIntegrityError: the container file is corrupt.
         """
         data = self._load_container(location.container_id)
         end = location.offset + location.length
@@ -201,15 +453,88 @@ class ContainerStore:
             raise ValueError(f"chunk location out of bounds: {location}")
         return data[location.offset : end]
 
+    def toc(self, container_id: int) -> List[TocEntry]:
+        """TOC entries for one container (open or sealed).
+
+        Raises:
+            KeyError: unknown container.
+            ContainerIntegrityError: the container file is corrupt.
+        """
+        if container_id == self._open_id:
+            return list(self._open_toc)
+        _, entries = self._read_container_file(container_id)
+        return entries
+
+    def verify_container(self, container_id: int) -> List[TocEntry]:
+        """Deep-verify one sealed container; returns the bad TOC entries.
+
+        Re-reads the file (bypassing the cache) and checks every chunk's
+        checksum against its TOC record.
+
+        Raises:
+            KeyError: unknown container.
+            ContainerIntegrityError: structural corruption (no per-chunk
+                verdict is possible).
+        """
+        data, entries = self._read_container_file(container_id)
+        return [
+            entry
+            for entry in entries
+            if zlib.crc32(data[entry.offset : entry.offset + entry.length])
+            != entry.crc
+        ]
+
     # -- introspection ------------------------------------------------------------
+
+    def container_ids(self) -> List[int]:
+        """Ids of sealed containers on disk, ascending."""
+        return sorted(
+            int(p.stem.split("-")[1])
+            for p in self.directory.glob("container-*.bin")
+        )
 
     def container_count(self) -> int:
         """Sealed containers on disk (excludes the open one)."""
         return len(list(self.directory.glob("container-*.bin")))
 
+    def container_data_bytes(self, container_id: int) -> int:
+        """Chunk-payload bytes in one sealed container (trailer read only).
+
+        Raises:
+            KeyError: unknown container.
+            ContainerIntegrityError: unreadable trailer.
+        """
+        path = self._container_path(container_id)
+        if not path.exists():
+            raise KeyError(f"container {container_id} does not exist")
+        return self._data_len(path)
+
+    @staticmethod
+    def _data_len(path: Path) -> int:
+        size = path.stat().st_size
+        if size < len(_MAGIC) + _TRAILER.size:
+            raise ContainerIntegrityError(
+                "container shorter than header+trailer"
+            )
+        with open(path, "rb") as fh:
+            fh.seek(size - _TRAILER.size)
+            data_len, _, _, _, magic = _TRAILER.unpack(fh.read(_TRAILER.size))
+        if magic != _MAGIC:
+            raise ContainerIntegrityError("bad container trailer magic")
+        return data_len
+
     def physical_bytes(self) -> int:
-        """Bytes stored across sealed containers plus the open buffer."""
+        """Chunk bytes across sealed containers plus the open buffer.
+
+        Counts the data sections only — the paper's physical storage
+        metric covers ciphertext, not our TOC/trailer bookkeeping.
+        """
         sealed = sum(
-            p.stat().st_size for p in self.directory.glob("container-*.bin")
+            self._data_len(p)
+            for p in self.directory.glob("container-*.bin")
         )
         return sealed + len(self._open_buffer)
+
+    def close(self) -> None:
+        """Release the id-allocation log handle."""
+        self._idalloc.close()

@@ -1,0 +1,267 @@
+"""Crash-point injection and the durable-write shim.
+
+Crash consistency cannot be tested by hoping: every write barrier in the
+storage layer (container seal, SSTable publish, WAL append, key-manager
+snapshot) is threaded through this module so tests can *kill the process
+model* at any named point and then prove recovery restores the invariants
+of DESIGN.md §12. Two pieces:
+
+* :class:`CrashInjector` — a process-global registry of armed crash
+  points. Production code calls :func:`crash_point` (or writes through
+  the shim below); when a test has armed that name, an
+  :class:`InjectedCrash` is raised there, simulating power loss at that
+  barrier. Arming with ``torn_bytes`` additionally truncates the write
+  in flight, simulating a torn sector/partial page flush.
+
+* the **durable-write shim** — :func:`atomic_write_bytes` (temp file →
+  write → fsync → rename → directory fsync) plus :func:`fsync_dir` and
+  :func:`crashy_write`. Each barrier inside the shim fires a crash point
+  named ``<scope>.<step>`` so the crash matrix can enumerate every
+  intermediate on-disk state the real sequence can produce:
+
+  ========================  =====================================
+  point                     on-disk state if the crash fires here
+  ========================  =====================================
+  ``<scope>.write``         temp file absent or *torn* (partial)
+  ``<scope>.before_fsync``  temp file complete but not durable
+  ``<scope>.before_rename`` temp file durable, target absent
+  ``<scope>.before_dirsync``target present, dir entry not durable
+  ========================  =====================================
+
+The injector is deliberately not thread-pinned: TEDStore services handle
+requests on worker threads, and a crash is a whole-process event. Tests
+that arm points therefore run the workload they want to kill on whatever
+thread it naturally executes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from contextlib import contextmanager
+
+#: The shim's per-scope barrier steps, in execution order.
+ATOMIC_WRITE_STEPS: Tuple[str, ...] = (
+    "write",
+    "before_fsync",
+    "before_rename",
+    "before_dirsync",
+)
+
+
+def atomic_write_points(scope: str) -> Tuple[str, ...]:
+    """Every crash point :func:`atomic_write_bytes` fires for ``scope``."""
+    return tuple(f"{scope}.{step}" for step in ATOMIC_WRITE_STEPS)
+
+
+class InjectedCrash(RuntimeError):
+    """Raised at an armed crash point; simulates process death there."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at point {point!r}")
+        self.point = point
+
+
+@dataclass
+class _Armed:
+    """One armed crash point: fire on the ``hits``-th traversal."""
+
+    hits: int
+    torn_bytes: Optional[int] = None
+
+
+class CrashInjector:
+    """Registry of armed crash points (thread-safe).
+
+    Example:
+        >>> injector = CrashInjector()
+        >>> injector.arm("demo.point")
+        >>> try:
+        ...     injector.fire("demo.point")
+        ... except InjectedCrash as crash:
+        ...     crash.point
+        'demo.point'
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: Dict[str, _Armed] = {}
+        self._record = False
+        self._seen: List[str] = []
+
+    # -- arming -----------------------------------------------------------
+
+    def arm(
+        self, point: str, *, hits: int = 1, torn_bytes: Optional[int] = None
+    ) -> None:
+        """Arm ``point`` to crash on its ``hits``-th traversal.
+
+        ``torn_bytes`` (only meaningful for write-step points) truncates
+        the in-flight write to that many bytes before crashing, so the
+        durable artifact is a torn prefix rather than nothing.
+        """
+        if hits < 1:
+            raise ValueError("hits must be >= 1")
+        if torn_bytes is not None and torn_bytes < 0:
+            raise ValueError("torn_bytes must be >= 0")
+        with self._lock:
+            self._armed[point] = _Armed(hits=hits, torn_bytes=torn_bytes)
+
+    def disarm(self, point: str) -> None:
+        """Remove one armed point (no-op if not armed)."""
+        with self._lock:
+            self._armed.pop(point, None)
+
+    def reset(self) -> None:
+        """Disarm everything and clear the traversal record."""
+        with self._lock:
+            self._armed.clear()
+            self._record = False
+            self._seen.clear()
+
+    # -- recording (crash-point discovery for the test matrix) ------------
+
+    def start_recording(self) -> None:
+        """Record the name of every crash point traversed from now on."""
+        with self._lock:
+            self._record = True
+            self._seen.clear()
+
+    def recorded_points(self) -> List[str]:
+        """Names traversed since :meth:`start_recording`, in order."""
+        with self._lock:
+            return list(self._seen)
+
+    # -- firing -----------------------------------------------------------
+
+    def _traverse(self, point: str) -> Optional[_Armed]:
+        """Count one traversal; return the spec if the crash fires now."""
+        with self._lock:
+            if self._record:
+                self._seen.append(point)
+            spec = self._armed.get(point)
+            if spec is None:
+                return None
+            spec.hits -= 1
+            if spec.hits > 0:
+                return None
+            del self._armed[point]
+            return spec
+
+    def fire(self, point: str) -> None:
+        """Traverse ``point``; raise :class:`InjectedCrash` if armed."""
+        if self._traverse(point) is not None:
+            raise InjectedCrash(point)
+
+    def torn_write_bytes(self, point: str, full_length: int) -> Optional[int]:
+        """Traverse a write-step point; bytes to write before crashing.
+
+        Returns ``None`` when the write should proceed normally. When the
+        point is armed, returns how many bytes of the payload to write
+        before raising (``torn_bytes`` clamped to the payload, or half
+        the payload when the point was armed without ``torn_bytes``).
+        The caller writes that prefix, flushes it, then calls
+        :meth:`crash_now`.
+        """
+        spec = self._traverse(point)
+        if spec is None:
+            return None
+        if spec.torn_bytes is None:
+            return full_length // 2
+        return min(spec.torn_bytes, full_length)
+
+    @staticmethod
+    def crash_now(point: str) -> None:
+        """Raise the crash for a point already consumed via torn-write."""
+        raise InjectedCrash(point)
+
+    @contextmanager
+    def armed(
+        self, point: str, *, hits: int = 1, torn_bytes: Optional[int] = None
+    ) -> Iterator[None]:
+        """Arm ``point`` for the duration of a ``with`` block."""
+        self.arm(point, hits=hits, torn_bytes=torn_bytes)
+        try:
+            yield
+        finally:
+            self.disarm(point)
+
+
+_injector = CrashInjector()
+
+
+def get_injector() -> CrashInjector:
+    """The process-global crash injector (inert unless a test arms it)."""
+    return _injector
+
+
+def crash_point(point: str) -> None:
+    """Fire one named crash point on the global injector."""
+    _injector.fire(point)
+
+
+# -- durable-write shim -------------------------------------------------------
+
+
+def fsync_dir(directory: Path) -> None:
+    """fsync a directory so renames/creates inside it are durable."""
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def crashy_write(fh, data: bytes, point: str) -> None:
+    """Write ``data`` to ``fh``, honouring a torn-write armed at ``point``.
+
+    A torn write flushes the partial prefix (it reached the disk; the
+    tail did not) and then crashes.
+    """
+    torn = _injector.torn_write_bytes(point, len(data))
+    if torn is None:
+        fh.write(data)
+        return
+    fh.write(data[:torn])
+    fh.flush()
+    _injector.crash_now(point)
+
+
+def atomic_write_bytes(path: Path, data: bytes, *, scope: str) -> None:
+    """Atomically publish ``data`` at ``path`` (write barriers included).
+
+    Sequence: write ``path.tmp`` → flush+fsync → rename over ``path`` →
+    fsync the parent directory. A crash at any intermediate step leaves
+    either no visible file or the old file — never a torn visible file.
+    Crash points are named ``<scope>.<step>`` (see module docstring).
+    """
+    path = Path(path)
+    tmp = path.parent / (path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        crashy_write(fh, data, f"{scope}.write")
+        fh.flush()
+        crash_point(f"{scope}.before_fsync")
+        os.fsync(fh.fileno())
+    crash_point(f"{scope}.before_rename")
+    os.replace(tmp, path)
+    crash_point(f"{scope}.before_dirsync")
+    fsync_dir(path.parent)
+
+
+def remove_stray_tmp_files(directory: Path) -> int:
+    """Delete leftover ``*.tmp`` files from interrupted atomic writes.
+
+    Returns the number removed. Safe by construction: a ``.tmp`` file is
+    never referenced by any durable metadata.
+    """
+    removed = 0
+    for stray in Path(directory).glob("*.tmp"):
+        stray.unlink(missing_ok=True)
+        removed += 1
+    if removed:
+        fsync_dir(Path(directory))
+    return removed

@@ -42,6 +42,11 @@ _DEDUP_DUPLICATE_CHUNKS = _REGISTRY.counter(
 _DEDUP_RATIO = _REGISTRY.gauge(
     "ted_dedup_ratio", "Logical/physical byte ratio (process-wide)"
 )
+_RECOVERY_INDEX_DROPPED = _REGISTRY.counter(
+    "ted_recovery_index_entries_dropped_total",
+    "Fingerprint-index entries dropped because they referenced "
+    "missing or out-of-bounds chunks",
+)
 
 
 def record_dedup_store(size: int, unique: bool) -> None:
@@ -213,6 +218,7 @@ class DedupEngine:
         container_bytes: int = 8 << 20,
         index: Optional[KVStore] = None,
         kvstore_options: Optional[Dict] = None,
+        startup_reconcile: bool = True,
     ) -> None:
         directory = Path(directory)
         self.containers = ContainerStore(
@@ -221,12 +227,45 @@ class DedupEngine:
         self.index = index or KVStore(
             directory / "index", **(kvstore_options or {})
         )
+        # Index <-> container reconciliation (DESIGN.md §12): after a
+        # crash the replayed index may reference chunks that never became
+        # durable (the open container died with the process) or that
+        # recovery quarantined. Those entries are dropped — and counted —
+        # so every surviving index entry resolves to real bytes.
+        self.recovered_index_drops = (
+            self._reconcile_index() if startup_reconcile else 0
+        )
         self.stats = DedupStats()
         # Look-ahead restorers, keyed by window size. Persistent so the
         # container LRU stays warm across the recipe-ordered GetChunks
         # batches of one restore (and across restores of overlapping
         # snapshots) instead of starting cold on every call.
         self._restorers: Dict[int, "LookaheadRestorer"] = {}
+
+    def _reconcile_index(self) -> int:
+        """Drop index entries that no longer resolve to durable chunks."""
+        sealed_data_len: Dict[int, int] = {}
+        for container_id in self.containers.container_ids():
+            sealed_data_len[container_id] = (
+                self.containers.container_data_bytes(container_id)
+            )
+        dropped = 0
+        for fingerprint, raw in list(self.index.items()):
+            try:
+                location = ChunkLocation.from_bytes(raw)
+            except ValueError:
+                location = None
+            if (
+                location is None
+                or location.container_id not in sealed_data_len
+                or location.offset + location.length
+                > sealed_data_len[location.container_id]
+            ):
+                self.index.delete(fingerprint)
+                dropped += 1
+        if dropped:
+            _RECOVERY_INDEX_DROPPED.inc(dropped)
+        return dropped
 
     def store(self, fingerprint: bytes, chunk: bytes) -> bool:
         """Store one (ciphertext) chunk; returns True if it was new.
@@ -239,7 +278,7 @@ class DedupEngine:
         if self.index.get(fingerprint) is not None:
             record_dedup_store(len(chunk), unique=False)
             return False
-        location = self.containers.append(chunk)
+        location = self.containers.append(chunk, fingerprint)
         self.index.put(fingerprint, location.to_bytes())
         self.stats.unique_chunks += 1
         self.stats.unique_bytes += len(chunk)
@@ -315,6 +354,7 @@ class DedupEngine:
         """Flush and release resources."""
         self.flush()
         self.index.close()
+        self.containers.close()
 
     def physical_bytes(self) -> int:
         """Bytes in the container store (the paper's physical storage size)."""

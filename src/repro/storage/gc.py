@@ -154,7 +154,9 @@ class RefcountedStore:
         for path in sorted(containers.directory.glob("container-*.bin")):
             container_id = int(path.stem.split("-")[1])
             scanned += 1
-            total_bytes = path.stat().st_size
+            # Utilization is judged over chunk payload, not the TOC and
+            # trailer the v2 format rides on top.
+            total_bytes = containers.container_data_bytes(container_id)
             live = live_by_container.get(container_id, [])
             live_bytes = sum(loc.length for _, loc in live)
             if total_bytes == 0 or live_bytes / total_bytes >= self.gc_threshold:
@@ -162,7 +164,7 @@ class RefcountedStore:
             # Copy live chunks forward, then drop the container.
             for fingerprint, location in live:
                 chunk = containers.read(location)
-                new_location = containers.append(chunk)
+                new_location = containers.append(chunk, fingerprint)
                 self.engine.index.put(fingerprint, new_location.to_bytes())
                 moved += 1
             # Remove dead index entries pointing into this container.

@@ -21,9 +21,17 @@ import heapq
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.storage import crash
 from repro.storage.memtable import MemTable
 from repro.storage.sstable import SSTable, write_sstable
 from repro.storage.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+_REGISTRY = obs_metrics.get_registry()
+_RECOVERY_TABLES_QUARANTINED = _REGISTRY.counter(
+    "ted_recovery_sstables_quarantined_total",
+    "Corrupt SSTables set aside by key-value-store startup recovery",
+)
 
 
 class KVStore:
@@ -62,7 +70,9 @@ class KVStore:
             "table_reads": 0,
         }
         self._memtable = MemTable()
-        self._wal = WriteAheadLog(self.directory / "wal.log")
+        self._wal = WriteAheadLog(
+            self.directory / "wal.log", scope="kvstore.wal"
+        )
         self._tables: List[SSTable] = []  # newest first
         self._next_table_id = 0
         self._recover()
@@ -70,16 +80,36 @@ class KVStore:
     # -- lifecycle --------------------------------------------------------
 
     def _recover(self) -> None:
+        """Rebuild from disk, tolerating the artifacts a crash leaves.
+
+        Stray ``.tmp`` files (interrupted atomic table writes) are
+        deleted; a corrupt SSTable is quarantined rather than fatal —
+        with atomic publication it can only mean external damage, and
+        recovery must not die on it. WAL replay stops at the first torn
+        record by construction. Table-id allocation stays monotonic past
+        quarantined ids.
+        """
+        crash.remove_stray_tmp_files(self.directory)
         paths = sorted(
             self.directory.glob("table-*.sst"),
             key=lambda p: int(p.stem.split("-")[1]),
             reverse=True,
         )
-        self._tables = [SSTable(p) for p in paths]
         if paths:
             self._next_table_id = (
                 max(int(p.stem.split("-")[1]) for p in paths) + 1
             )
+        self._tables = []
+        for path in paths:
+            try:
+                self._tables.append(SSTable(path))
+            except ValueError:
+                quarantine = self.directory / "quarantine"
+                quarantine.mkdir(exist_ok=True)
+                path.replace(quarantine / path.name)
+                crash.fsync_dir(quarantine)
+                crash.fsync_dir(self.directory)
+                _RECOVERY_TABLES_QUARANTINED.inc()
         for op, key, value in WriteAheadLog.replay(self._wal.path):
             if op == OP_PUT:
                 self._memtable.put(key, value)
@@ -114,14 +144,23 @@ class KVStore:
             self.flush()
 
     def flush(self) -> None:
-        """Write the memtable out as a new L0 SSTable."""
+        """Write the memtable out as a new L0 SSTable.
+
+        Ordering is the recovery invariant: the table is durably
+        published *before* the WAL truncates. A crash between the two
+        replays WAL records whose keys the new table already holds —
+        put/delete replay is idempotent, so that is safe; the reverse
+        order would lose them.
+        """
         if self._memtable.is_empty():
             return
+        crash.crash_point("kvstore.flush.before_table")
         path = self.directory / f"table-{self._next_table_id}.sst"
         self._next_table_id += 1
         table = write_sstable(path, self._memtable.sorted_items())
         self._tables.insert(0, table)
         self._memtable.clear()
+        crash.crash_point("kvstore.flush.before_truncate")
         self._wal.truncate()
         self.stats["flushes"] += 1
         if len(self._tables) >= self.compaction_trigger:

@@ -25,6 +25,7 @@ from bisect import bisect_right
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.storage import crash
 from repro.storage.bloom import BloomFilter
 from repro.utils.varint import decode_uvarint, encode_uvarint
 
@@ -109,10 +110,12 @@ def write_sstable(
     footer = _FOOTER.pack(
         len(data), len(bloom_block), len(index_block), zlib.crc32(body), _MAGIC
     )
-    with open(path, "wb") as f:
-        f.write(_MAGIC)
-        f.write(body)
-        f.write(footer)
+    # Atomic publish (DESIGN.md §12): a crash mid-write must never leave
+    # a torn .sst visible, or recovery would have to guess whether the
+    # table's absence of keys is real.
+    crash.atomic_write_bytes(
+        path, _MAGIC + body + footer, scope="kvstore.sstable"
+    )
     return SSTable(path)
 
 

@@ -11,6 +11,13 @@ Record layout::
 
 where payload is ``op(1) || key_len varint || key || value_len varint ||
 value`` and ``op`` is PUT (0) or DELETE (1).
+
+Replay is deliberately forgiving about the log's *tail*: a crash mid-append
+can leave a truncated record, a zero-filled region (filesystems often
+pre-allocate blocks), or CRC-valid-but-short garbage. All of those mean
+"the write never committed" and replay stops there without raising —
+recovery must never die on the artifact of the crash it is recovering from
+(DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
+from repro.storage import crash
 from repro.utils.varint import decode_uvarint, encode_uvarint
 
 _HEADER = struct.Struct("<II")
@@ -43,10 +51,17 @@ OP_DELETE = 1
 
 
 class WriteAheadLog:
-    """Append-only, CRC-checked mutation log."""
+    """Append-only, CRC-checked mutation log.
 
-    def __init__(self, path: Path) -> None:
+    Args:
+        path: log file location (parent directories are created).
+        scope: crash-point namespace for this log instance — the torn
+            append point is ``<scope>.append`` (DESIGN.md §12).
+    """
+
+    def __init__(self, path: Path, scope: str = "wal") -> None:
         self.path = Path(path)
+        self.scope = scope
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
 
@@ -62,7 +77,7 @@ class WriteAheadLog:
             + value
         )
         record = _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
-        self._file.write(record)
+        crash.crashy_write(self._file, record, f"{self.scope}.append")
         self._file.flush()
         _WAL_APPENDS.inc()
 
@@ -86,6 +101,7 @@ class WriteAheadLog:
         the old log contents on disk, and replay would resurrect — and
         double-apply — mutations that the flush already persisted.
         """
+        crash.crash_point(f"{self.scope}.before_truncate")
         self._file.close()
         start = time.perf_counter()
         self._file = open(self.path, "wb")
@@ -94,11 +110,7 @@ class WriteAheadLog:
         self._file.close()
         self._file = open(self.path, "ab")
         # Durability of the (possibly re-created) directory entry.
-        dir_fd = os.open(self.path.parent, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
+        crash.fsync_dir(self.path.parent)
         _WAL_FSYNCS.inc(2)
         _WAL_FSYNC_SECONDS.observe(time.perf_counter() - start)
 
@@ -106,9 +118,13 @@ class WriteAheadLog:
     def replay(path: Path) -> Iterator[Tuple[int, bytes, bytes]]:
         """Yield ``(op, key, value)`` for every intact record in the log.
 
-        Stops silently at the first truncated or CRC-mismatched record,
-        which is the correct crash-recovery behaviour: a torn tail means
-        the write never completed, and everything before it is intact.
+        Stops silently at the first truncated, corrupt, or malformed
+        record, which is the correct crash-recovery behaviour: a torn
+        tail means the write never completed, and everything before it
+        is intact. This covers truncation at *every* byte offset, a
+        zero-filled tail (a length-0 record CRC-checks against the empty
+        payload, so it needs an explicit guard), and CRC-valid payloads
+        that fail structural decoding.
         """
         path = Path(path)
         if not path.exists():
@@ -119,17 +135,26 @@ class WriteAheadLog:
             crc, length = _HEADER.unpack_from(data, offset)
             start = offset + _HEADER.size
             end = start + length
-            if end > len(data):
-                return  # torn tail
+            if length == 0 or end > len(data):
+                return  # torn or zero-filled tail
             payload = data[start:end]
             if zlib.crc32(payload) != crc:
                 return  # corrupt tail
-            op = payload[0]
-            key_len, pos = decode_uvarint(payload, 1)
-            key = payload[pos : pos + key_len]
-            pos += key_len
-            value_len, pos = decode_uvarint(payload, pos)
-            value = payload[pos : pos + value_len]
+            try:
+                op = payload[0]
+                if op not in (OP_PUT, OP_DELETE):
+                    return
+                key_len, pos = decode_uvarint(payload, 1)
+                key = payload[pos : pos + key_len]
+                if len(key) != key_len:
+                    return
+                pos += key_len
+                value_len, pos = decode_uvarint(payload, pos)
+                value = payload[pos : pos + value_len]
+                if len(value) != value_len:
+                    return
+            except (ValueError, IndexError):
+                return  # structurally malformed despite matching CRC
             yield op, key, value
             offset = end
 

@@ -10,9 +10,12 @@ what makes TED's frequencies *global* across the organization's users.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.ted import TedKeyManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.tedstore.km_state import KeyManagerStateStore
 from repro.obs import metrics as obs_metrics, tracing
 from repro.tedstore.messages import (
     BatchedKeyGenRequest,
@@ -41,12 +44,17 @@ class KeyManagerService:
         key_manager: the TED key manager to serve (BTED or FTED).
         rate_limiter: optional per-client request budget (§2.3's online
             brute-force defence); ``None`` disables limiting.
+        state_store: optional durable sketch-state store. When given,
+            the key manager's frequency state is restored from it at
+            construction, and every acked batch is logged to it before
+            the response is released (DESIGN.md §12).
     """
 
     def __init__(
         self,
         key_manager: Optional[TedKeyManager] = None,
         rate_limiter: Optional[KeyGenRateLimiter] = None,
+        state_store: Optional["KeyManagerStateStore"] = None,
     ) -> None:
         self.key_manager = key_manager or TedKeyManager(
             secret=b"tedstore-default-secret",
@@ -55,14 +63,29 @@ class KeyManagerService:
             sketch_width=2**21,
         )
         self.rate_limiter = rate_limiter
+        self.state_store = state_store
         self._lock = threading.Lock()
         # Last sequence number served per client stream (DESIGN.md §10).
         self._last_sequence: Dict[str, int] = {}
+        if state_store is not None:
+            report = state_store.restore_into(self.key_manager)
+            self._last_sequence.update(report.last_sequence)
+            self.restore_report = report
+        else:
+            self.restore_report = None
 
     def handle_keygen(
-        self, request: KeyGenRequest, client_id: str = "local"
+        self,
+        request: KeyGenRequest,
+        client_id: str = "local",
+        sequence: int = 0,
     ) -> KeyGenResponse:
         """Serve one batch of key-generation requests.
+
+        With a state store configured, the batch is durably logged under
+        the lock *before* the response is built: once the client sees the
+        ack, a crashed-and-recovered key manager is guaranteed to have
+        replayed the batch, so future seed decisions are unchanged.
 
         Raises:
             RateLimitExceeded: if a rate limiter is configured and this
@@ -76,6 +99,14 @@ class KeyManagerService:
             "keymanager.keygen", attributes={"batch": batch}
         ), _BATCH_SECONDS.time(), self._lock:
             seeds = self.key_manager.generate_seeds(request.hash_vectors)
+            if self.state_store is not None:
+                self.state_store.log_batch(
+                    client_id,
+                    sequence,
+                    request.hash_vectors,
+                    key_manager=self.key_manager,
+                    last_sequence=self._last_sequence,
+                )
             return KeyGenResponse(seeds=seeds, current_t=self.key_manager.t)
 
     def handle_keygen_batched(
@@ -110,6 +141,7 @@ class KeyManagerService:
         inner = self.handle_keygen(
             KeyGenRequest(hash_vectors=request.hash_vectors),
             client_id=client_id,
+            sequence=request.sequence,
         )
         return BatchedKeyGenResponse(
             sequence=request.sequence,
@@ -125,3 +157,12 @@ class KeyManagerService:
                 ("batches_tuned", self.key_manager.stats.batches_tuned),
                 ("current_t", self.key_manager.t),
             ]
+
+    def close(self) -> None:
+        """Snapshot pending state (if durable) and release file handles."""
+        if self.state_store is not None:
+            with self._lock:
+                self.state_store.snapshot(
+                    self.key_manager, self._last_sequence
+                )
+            self.state_store.close()

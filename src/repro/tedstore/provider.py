@@ -18,6 +18,8 @@ from typing import Optional
 
 from repro.obs import tracing
 from repro.storage.dedup import DedupEngine, record_dedup_store
+from repro.storage.kvstore import KVStore
+from repro.storage.scrub import BackgroundScrubber
 from repro.tedstore.messages import (
     Chunks,
     GetChunks,
@@ -26,6 +28,16 @@ from repro.tedstore.messages import (
     PutChunksResponse,
     PutRecipes,
 )
+from repro.utils.varint import decode_uvarint, encode_uvarint
+
+
+def _encode_recipes(file_recipe: bytes, key_recipe: bytes) -> bytes:
+    return encode_uvarint(len(file_recipe)) + file_recipe + key_recipe
+
+
+def _decode_recipes(blob: bytes):
+    length, pos = decode_uvarint(blob, 0)
+    return blob[pos : pos + length], blob[pos + length :]
 
 
 class ProviderService:
@@ -36,6 +48,9 @@ class ProviderService:
         container_bytes: container capacity (paper default 8 MB).
         in_memory: keep chunks in a dict instead of the on-disk engine —
             Experiments B.1–B.3 remove disk I/O to measure compute limits.
+        scrub_interval: run the background scrubber (read-only per-chunk
+            verification; DESIGN.md §12) every this many seconds; ``None``
+            disables it. Requires the on-disk engine.
     """
 
     def __init__(
@@ -45,6 +60,7 @@ class ProviderService:
         in_memory: bool = False,
         engine: Optional[DedupEngine] = None,
         lookahead_window: Optional[int] = None,
+        scrub_interval: Optional[float] = None,
     ) -> None:
         self._lock = threading.Lock()
         self.in_memory = in_memory
@@ -53,6 +69,7 @@ class ProviderService:
         # declining download curve; see the B.5 ablation).
         self.lookahead_window = lookahead_window
         self._recipes = {}
+        self._recipe_store: Optional[KVStore] = None
         if in_memory:
             self._memory_chunks = {}
             self.engine = None
@@ -68,6 +85,20 @@ class ProviderService:
             self.engine = DedupEngine(
                 Path(directory), container_bytes=container_bytes
             )
+            # Recipes are durable alongside the chunks: a provider restart
+            # must still resolve every previously-acked file name, or the
+            # chunks it kept are unreachable (DESIGN.md §12).
+            self._recipe_store = KVStore(Path(directory) / "recipes")
+            for name, blob in self._recipe_store.items():
+                self._recipes[name.decode("utf-8")] = _decode_recipes(blob)
+        self.scrubber: Optional[BackgroundScrubber] = None
+        if scrub_interval is not None:
+            if self.engine is None:
+                raise ValueError("scrubbing requires the on-disk engine")
+            self.scrubber = BackgroundScrubber(
+                self.engine, interval_seconds=scrub_interval
+            )
+            self.scrubber.start()
 
     # -- chunk path ----------------------------------------------------------
 
@@ -123,12 +154,24 @@ class ProviderService:
     # -- recipe path -------------------------------------------------------------
 
     def handle_put_recipes(self, request: PutRecipes) -> None:
-        """Store sealed recipes verbatim (no metadata dedup, §2.2)."""
+        """Store sealed recipes verbatim (no metadata dedup, §2.2).
+
+        Directory-backed providers write through to the durable recipe
+        store before acknowledging.
+        """
         with self._lock:
             self._recipes[request.file_name] = (
                 request.sealed_file_recipe,
                 request.sealed_key_recipe,
             )
+            if self._recipe_store is not None:
+                self._recipe_store.put(
+                    request.file_name.encode("utf-8"),
+                    _encode_recipes(
+                        request.sealed_file_recipe,
+                        request.sealed_key_recipe,
+                    ),
+                )
 
     def handle_get_recipes(self, request: GetRecipes) -> PutRecipes:
         """Fetch a file's sealed recipes.
@@ -147,10 +190,22 @@ class ProviderService:
     # -- bookkeeping ----------------------------------------------------------------
 
     def flush(self) -> None:
-        """Seal containers and flush the index (no-op in memory mode)."""
+        """Seal containers and flush the indexes (no-op in memory mode)."""
         with self._lock:
             if self.engine is not None:
                 self.engine.flush()
+            if self._recipe_store is not None:
+                self._recipe_store.flush()
+
+    def close(self) -> None:
+        """Stop the scrubber and flush/release all storage."""
+        if self.scrubber is not None:
+            self.scrubber.stop()
+        with self._lock:
+            if self._recipe_store is not None:
+                self._recipe_store.close()
+            if self.engine is not None:
+                self.engine.close()
 
     def stats(self):
         """Counters for the evaluation harness."""

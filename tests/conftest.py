@@ -65,3 +65,13 @@ def snapshot_series():
 def rng():
     """Deterministic RNG per test."""
     return random.Random(1234)
+
+
+@pytest.fixture(autouse=True)
+def _reset_crash_injector():
+    """No armed crash point ever leaks across tests (DESIGN.md §12)."""
+    from repro.storage import crash
+
+    crash.get_injector().reset()
+    yield
+    crash.get_injector().reset()

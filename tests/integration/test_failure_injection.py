@@ -57,7 +57,7 @@ class TestCorruption:
             return
         assert restored != data
 
-    def test_corrupt_sstable_rejected_on_reopen(self, tmp_path):
+    def test_corrupt_sstable_quarantined_on_reopen(self, tmp_path):
         store = KVStore(tmp_path)
         store.put(b"k", b"v" * 100)
         store.close()
@@ -65,8 +65,13 @@ class TestCorruption:
         blob = bytearray(table.read_bytes())
         blob[len(blob) // 2] ^= 0xFF
         table.write_bytes(bytes(blob))
-        with pytest.raises(ValueError):
-            KVStore(tmp_path)
+        # Recovery survives the damage: the corrupt table is set aside in
+        # quarantine/ rather than crashing the store, and its keys are gone.
+        reopened = KVStore(tmp_path)
+        assert reopened.get(b"k") is None
+        assert reopened.table_count() == 0
+        assert (tmp_path / "quarantine" / table.name).exists()
+        reopened.close()
 
     def test_torn_wal_tail_recovers_prefix(self, tmp_path):
         store = KVStore(tmp_path, memtable_bytes=1 << 20)

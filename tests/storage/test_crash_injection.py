@@ -1,0 +1,121 @@
+"""Crash-point injector and the durable-write shim."""
+
+import pytest
+
+from repro.storage import crash
+from repro.storage.crash import (
+    ATOMIC_WRITE_STEPS,
+    CrashInjector,
+    InjectedCrash,
+    atomic_write_bytes,
+    atomic_write_points,
+    remove_stray_tmp_files,
+)
+
+
+class TestInjector:
+    def test_unarmed_points_are_inert(self):
+        injector = CrashInjector()
+        injector.fire("nothing.armed")  # must not raise
+
+    def test_armed_point_fires_once(self):
+        injector = CrashInjector()
+        injector.arm("p")
+        with pytest.raises(InjectedCrash) as excinfo:
+            injector.fire("p")
+        assert excinfo.value.point == "p"
+        injector.fire("p")  # consumed: inert again
+
+    def test_hits_counts_traversals(self):
+        injector = CrashInjector()
+        injector.arm("p", hits=3)
+        injector.fire("p")
+        injector.fire("p")
+        with pytest.raises(InjectedCrash):
+            injector.fire("p")
+
+    def test_disarm_and_reset(self):
+        injector = CrashInjector()
+        injector.arm("p")
+        injector.disarm("p")
+        injector.fire("p")
+        injector.arm("q")
+        injector.reset()
+        injector.fire("q")
+
+    def test_armed_context_manager(self):
+        injector = CrashInjector()
+        with injector.armed("p"):
+            with pytest.raises(InjectedCrash):
+                injector.fire("p")
+        injector.fire("p")
+
+    def test_recording_discovers_points(self):
+        injector = CrashInjector()
+        injector.start_recording()
+        injector.fire("a")
+        injector.fire("b")
+        injector.fire("a")
+        assert injector.recorded_points() == ["a", "b", "a"]
+
+    def test_torn_write_defaults_to_half(self):
+        injector = CrashInjector()
+        injector.arm("w", torn_bytes=None)
+        assert injector.torn_write_bytes("w", 100) == 50
+
+    def test_torn_write_clamps_to_payload(self):
+        injector = CrashInjector()
+        injector.arm("w", torn_bytes=1000)
+        assert injector.torn_write_bytes("w", 10) == 10
+
+    def test_invalid_arming_rejected(self):
+        injector = CrashInjector()
+        with pytest.raises(ValueError):
+            injector.arm("p", hits=0)
+        with pytest.raises(ValueError):
+            injector.arm("p", torn_bytes=-1)
+
+
+class TestAtomicWriteShim:
+    def test_clean_write_publishes(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"payload", scope="t")
+        assert target.read_bytes() == b"payload"
+        assert not (tmp_path / "file.bin.tmp").exists()
+
+    def test_point_names_enumerate_the_barriers(self):
+        assert atomic_write_points("s") == tuple(
+            f"s.{step}" for step in ATOMIC_WRITE_STEPS
+        )
+
+    @pytest.mark.parametrize("step", ["write", "before_fsync", "before_rename"])
+    def test_crash_before_rename_leaves_target_absent(self, tmp_path, step):
+        target = tmp_path / "file.bin"
+        crash.get_injector().arm(f"t.{step}")
+        with pytest.raises(InjectedCrash):
+            atomic_write_bytes(target, b"payload", scope="t")
+        assert not target.exists()
+
+    def test_crash_before_dirsync_leaves_complete_target(self, tmp_path):
+        target = tmp_path / "file.bin"
+        crash.get_injector().arm("t.before_dirsync")
+        with pytest.raises(InjectedCrash):
+            atomic_write_bytes(target, b"payload", scope="t")
+        assert target.read_bytes() == b"payload"
+
+    def test_crash_never_tears_the_visible_target(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"old contents", scope="t")
+        crash.get_injector().arm("t.write", torn_bytes=3)
+        with pytest.raises(InjectedCrash):
+            atomic_write_bytes(target, b"new contents!", scope="t")
+        # The old file is untouched; the torn prefix sits in the temp file.
+        assert target.read_bytes() == b"old contents"
+        assert (tmp_path / "file.bin.tmp").read_bytes() == b"new"
+
+    def test_remove_stray_tmp_files(self, tmp_path):
+        (tmp_path / "a.tmp").write_bytes(b"x")
+        (tmp_path / "b.tmp").write_bytes(b"y")
+        (tmp_path / "keep.bin").write_bytes(b"z")
+        assert remove_stray_tmp_files(tmp_path) == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["keep.bin"]

@@ -1,0 +1,187 @@
+"""Crash matrix: kill-and-recover at every storage write barrier.
+
+For each named crash point in the container-seal and index-flush paths
+(DESIGN.md §12), one parametrized case: run a dedup workload until the
+injected crash fires, abandon the engine object (the process-death model),
+reopen the directory — which runs startup recovery — and prove:
+
+1. ``fsck`` reports the recovered store clean;
+2. re-running the *same* workload from the start completes and every
+   chunk reads back byte-identical to a never-crashed baseline;
+3. the final container files are byte-identical to the baseline's —
+   recovery plus deterministic re-packing converges on the clean run's
+   physical layout.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.storage import crash
+from repro.storage.container import ContainerStore
+from repro.storage.crash import InjectedCrash
+from repro.storage.dedup import DedupEngine
+from repro.storage.scrub import fsck
+
+CONTAINER_POINTS = [
+    "container.seal.write",
+    "container.seal.before_fsync",
+    "container.seal.before_rename",
+    "container.seal.before_dirsync",
+    "container.seal.before_commit",
+    "container.idalloc.append",
+]
+KVSTORE_POINTS = [
+    "kvstore.wal.append",
+    "kvstore.sstable.write",
+    "kvstore.sstable.before_fsync",
+    "kvstore.sstable.before_rename",
+    "kvstore.sstable.before_dirsync",
+    "kvstore.flush.before_table",
+    "kvstore.flush.before_truncate",
+]
+#: Write-step points additionally exercised with a torn (partial) write.
+TORN_POINTS = [
+    "container.seal.write",
+    "container.idalloc.append",
+    "kvstore.wal.append",
+    "kvstore.sstable.write",
+]
+
+_ENGINE_OPTS = dict(
+    container_bytes=1024, kvstore_options={"memtable_bytes": 512}
+)
+
+
+def _workload():
+    """Deterministic duplicate-heavy chunk sequence."""
+    rng = random.Random(5)
+    blocks = [rng.randbytes(300) for _ in range(30)]
+    sequence = [blocks[rng.randrange(30)] for _ in range(80)]
+    return [(hashlib.sha256(c).digest(), c) for c in sequence]
+
+
+def _run_all(engine, workload):
+    for fingerprint, chunk in workload:
+        engine.store(fingerprint, chunk)
+    engine.flush()
+
+
+def _container_hashes(directory):
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in (directory / "containers").glob("container-*.bin")
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """A never-crashed run: chunk bytes and container-file hashes."""
+    directory = tmp_path_factory.mktemp("crash-baseline")
+    workload = _workload()
+    engine = DedupEngine(directory, **_ENGINE_OPTS)
+    _run_all(engine, workload)
+    chunks = {fp: engine.load(fp) for fp, _ in workload}
+    engine.close()
+    return {
+        "workload": workload,
+        "chunks": chunks,
+        "containers": _container_hashes(directory),
+    }
+
+
+def _crash_and_recover(tmp_path, baseline, point, torn):
+    workload = baseline["workload"]
+    engine = DedupEngine(tmp_path, **_ENGINE_OPTS)
+    crash.get_injector().arm(point, torn_bytes=40 if torn else None)
+    with pytest.raises(InjectedCrash):
+        _run_all(engine, workload)
+    # Process death: the engine object is abandoned un-closed.
+    recovered = DedupEngine(tmp_path, **_ENGINE_OPTS)
+    report = fsck(recovered)
+    assert report.clean, (
+        f"post-recovery fsck dirty at {point}: {report.as_dict()}"
+    )
+    _run_all(recovered, workload)
+    for fingerprint, _ in workload:
+        assert recovered.load(fingerprint) == baseline["chunks"][fingerprint]
+    assert fsck(recovered).clean
+    recovered.close()
+    assert _container_hashes(tmp_path) == baseline["containers"], (
+        f"container layout diverged from clean run after crash at {point}"
+    )
+
+
+@pytest.mark.parametrize("point", CONTAINER_POINTS + KVSTORE_POINTS)
+def test_kill_and_recover(tmp_path, baseline, point):
+    _crash_and_recover(tmp_path, baseline, point, torn=False)
+
+
+@pytest.mark.parametrize("point", TORN_POINTS)
+def test_kill_and_recover_torn_write(tmp_path, baseline, point):
+    _crash_and_recover(tmp_path, baseline, point, torn=True)
+
+
+def test_workload_traverses_every_matrix_point(tmp_path, baseline):
+    """The matrix lists real points — recording proves each is exercised."""
+    injector = crash.get_injector()
+    injector.start_recording()
+    engine = DedupEngine(tmp_path, **_ENGINE_OPTS)
+    _run_all(engine, baseline["workload"])
+    engine.close()
+    seen = set(injector.recorded_points())
+    missing = set(CONTAINER_POINTS + KVSTORE_POINTS) - seen
+    assert not missing, f"points never traversed: {sorted(missing)}"
+
+
+class TestIdAllocation:
+    def test_quarantined_id_never_reused(self, tmp_path):
+        """A corrupt container's id stays burned after quarantine.
+
+        If recovery reused it, stale index entries could silently resolve
+        into fresh (different) ciphertext.
+        """
+        store = ContainerStore(tmp_path, container_bytes=256)
+        store.append(b"x" * 100, b"fp-x")
+        sealed = store.seal()
+        store.close()
+        (tmp_path / f"container-{sealed}.bin").write_bytes(b"garbage")
+        reopened = ContainerStore(tmp_path, container_bytes=256)
+        assert reopened.recovery.quarantined == [sealed]
+        reopened.append(b"y" * 100, b"fp-y")
+        assert reopened.seal() > sealed
+        reopened.close()
+
+    def test_mid_seal_crash_does_not_overwrite(self, tmp_path):
+        """Crash after rename, before id commit: the id is discovered
+        from disk and the sealed bytes survive the next seal."""
+        store = ContainerStore(tmp_path, container_bytes=256)
+        location = store.append(b"a" * 100, b"fp-a")
+        crash.get_injector().arm("container.seal.before_commit")
+        with pytest.raises(InjectedCrash):
+            store.seal()
+        reopened = ContainerStore(tmp_path, container_bytes=256)
+        assert reopened.read(location) == b"a" * 100
+        reopened.append(b"b" * 100, b"fp-b")
+        new_id = reopened.seal()
+        assert new_id == location.container_id + 1
+        assert reopened.read(location) == b"a" * 100
+        reopened.close()
+        store.close()
+
+    def test_torn_seal_id_is_safely_reusable(self, tmp_path):
+        """A seal that dies before rename leaves nothing visible, so the
+        id is reused — keeping recovered layouts identical to clean runs."""
+        store = ContainerStore(tmp_path, container_bytes=256)
+        store.append(b"a" * 100, b"fp-a")
+        open_id = store.open_container_id
+        crash.get_injector().arm("container.seal.write", torn_bytes=10)
+        with pytest.raises(InjectedCrash):
+            store.seal()
+        reopened = ContainerStore(tmp_path, container_bytes=256)
+        assert reopened.recovery.tmp_files_removed == 1
+        location = reopened.append(b"a" * 100, b"fp-a")
+        assert location.container_id == open_id
+        reopened.close()
+        store.close()

@@ -1,0 +1,161 @@
+"""Scrub/fsck: detection, self-heal, quarantine, background passes."""
+
+import hashlib
+
+import pytest
+
+from repro.storage.dedup import DedupEngine
+from repro.storage.scrub import BackgroundScrubber, fsck, fsck_path
+
+
+def _fill(engine, count=12, size=400):
+    chunks = {}
+    for i in range(count):
+        chunk = bytes([i % 251]) * size
+        fingerprint = hashlib.sha256(chunk).digest()
+        engine.store(fingerprint, chunk)
+        chunks[fingerprint] = chunk
+    engine.flush()
+    return chunks
+
+
+def _flip_data_byte(directory, container_id, data_offset=0):
+    """Corrupt one byte inside a container's data section (not the TOC)."""
+    path = directory / "containers" / f"container-{container_id}.bin"
+    blob = bytearray(path.read_bytes())
+    blob[8 + data_offset] ^= 0xFF  # 8 = magic length
+    path.write_bytes(bytes(blob))
+
+
+class TestFsck:
+    def test_clean_store_is_clean(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        report = fsck(engine)
+        assert report.clean
+        assert report.containers_checked > 0
+        assert report.chunks_verified >= 12
+        assert report.index_entries_checked == 12
+        engine.close()
+
+    def test_detects_exactly_one_bad_chunk(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        engine.close()
+        _flip_data_byte(tmp_path, container_id=0)
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        report = fsck(engine)
+        assert not report.clean
+        assert len(report.bad_chunks) == 1
+        assert report.bad_chunks[0].container_id == 0
+        assert report.bad_chunks[0].offset == 0
+        engine.close()
+
+    def test_shallow_skips_chunk_crcs(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        engine.close()
+        _flip_data_byte(tmp_path, container_id=0)
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        report = fsck(engine, deep=False)
+        assert report.clean  # framing intact; rot is invisible shallow
+        assert report.chunks_verified == 0
+        engine.close()
+
+    def test_repair_drops_unhealable_entry(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        chunks = _fill(engine)
+        engine.close()
+        _flip_data_byte(tmp_path, container_id=0)
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        report = fsck(engine, repair=True)
+        assert report.dropped == 1 and report.healed == 0
+        assert report.bad_chunks[0].dropped
+        # The damaged chunk now fails loudly; every other chunk survives.
+        bad_fp = bytes.fromhex(report.bad_chunks[0].fingerprint)
+        with pytest.raises(KeyError):
+            engine.load(bad_fp)
+        for fingerprint, chunk in chunks.items():
+            if fingerprint != bad_fp:
+                assert engine.load(fingerprint) == chunk
+        assert fsck(engine).clean
+        engine.close()
+
+    def test_repair_heals_from_redundant_copy(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        chunk = b"\xabhealme" * 60
+        fingerprint = hashlib.sha256(chunk).digest()
+        engine.store(fingerprint, chunk)
+        engine.containers.seal()
+        # Plant a redundant physical copy (GC copy-forward / pre-crash
+        # duplicates produce these) in a second container.
+        engine.containers.append(chunk, fingerprint)
+        engine.flush()
+        _flip_data_byte(tmp_path, container_id=0)
+        report = fsck(engine, repair=True)
+        assert report.healed == 1 and report.dropped == 0
+        assert report.bad_chunks[0].healed
+        assert engine.load(fingerprint) == chunk
+        assert fsck(engine).clean
+        engine.close()
+
+    def test_repair_quarantines_structural_damage(self, tmp_path):
+        # Damage a container while the engine is open — the case startup
+        # recovery cannot have handled.
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        victim = engine.containers.container_ids()[0]
+        path = tmp_path / "containers" / f"container-{victim}.bin"
+        path.write_bytes(path.read_bytes()[:-4])  # torn trailer
+        report = fsck(engine, repair=True)
+        assert report.structural_errors == [victim]
+        assert not path.exists()
+        assert (
+            tmp_path / "containers" / "quarantine" / path.name
+        ).exists()
+        # Entries into the quarantined container were dropped (no copy).
+        assert report.dropped > 0
+        assert fsck(engine).clean
+        engine.close()
+
+    def test_fsck_path_runs_recovery_first(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        engine.close()
+        report = fsck_path(tmp_path)
+        assert report.clean
+
+
+class TestBackgroundScrubber:
+    def test_run_once_records_report(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        scrubber = BackgroundScrubber(engine, interval_seconds=3600)
+        assert scrubber.last_report is None
+        report = scrubber.run_once()
+        assert report.clean and scrubber.passes == 1
+        assert scrubber.last_report is report
+        engine.close()
+
+    def test_thread_lifecycle(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        _fill(engine)
+        scrubber = BackgroundScrubber(engine, interval_seconds=0.05)
+        scrubber.start()
+        scrubber.start()  # idempotent
+        deadline = 100
+        while scrubber.passes == 0 and deadline:
+            deadline -= 1
+            import time
+
+            time.sleep(0.01)
+        scrubber.stop()
+        assert scrubber.passes >= 1
+        assert scrubber.last_report is not None
+        engine.close()
+
+    def test_rejects_bad_interval(self, tmp_path):
+        engine = DedupEngine(tmp_path, container_bytes=1024)
+        with pytest.raises(ValueError):
+            BackgroundScrubber(engine, interval_seconds=0)
+        engine.close()

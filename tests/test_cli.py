@@ -135,6 +135,53 @@ class TestNetworkedCommands:
         assert main(["stats"]) == 2
 
 
+class TestFsckCommand:
+    def _build_store(self, root):
+        from repro.storage.dedup import DedupEngine
+
+        engine = DedupEngine(root, container_bytes=1024)
+        for i in range(10):
+            chunk = bytes([i % 251]) * 400
+            engine.store(hashlib.sha256(chunk).digest(), chunk)
+        engine.flush()
+        engine.close()
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        import json
+
+        self._build_store(tmp_path)
+        assert main(["fsck", "--storage", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["bad_chunk_count"] == 0
+
+    def test_corrupt_chunk_exits_one(self, tmp_path, capsys):
+        import json
+
+        self._build_store(tmp_path)
+        victim = next((tmp_path / "containers").glob("container-*.bin"))
+        blob = bytearray(victim.read_bytes())
+        blob[10] ^= 0xFF  # inside the data section, past the magic
+        victim.write_bytes(bytes(blob))
+        assert main(["fsck", "--storage", str(tmp_path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert report["bad_chunk_count"] == 1
+
+    def test_repair_restores_clean_verdict(self, tmp_path, capsys):
+        self._build_store(tmp_path)
+        victim = next((tmp_path / "containers").glob("container-*.bin"))
+        blob = bytearray(victim.read_bytes())
+        blob[10] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        assert main(["fsck", "--storage", str(tmp_path), "--repair"]) == 1
+        out = capsys.readouterr().out
+        assert "dropped" in out or "healed" in out
+        # Post-repair the store serves only verified data: clean.
+        assert main(["fsck", "--storage", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
 class TestTraceCommand:
     def test_trace_prints_span_tree_and_prometheus(self, capsys):
         assert main(["trace", "--size-kb", "64"]) == 0
