@@ -74,6 +74,9 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
 
         cache = FingerprintCache(capacity=args.fp_cache)
     pipelined = workers > 1 or cache is not None
+    auth_token = b""
+    if getattr(args, "auth_token", None):
+        auth_token = Path(args.auth_token).read_bytes().strip()
     return TedStoreClient(
         RemoteKeyManager(_address(args.km)),
         RemoteProvider(
@@ -82,6 +85,8 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
             # connections so PUT traffic never queues behind control
             # round trips (DESIGN.md §10).
             data_connections=2 if pipelined else 0,
+            tenant=getattr(args, "tenant", "") or "default",
+            auth_token=auth_token,
         ),
         master_key=_master_key(args.master_key),
         profile=get_profile(args.profile),
@@ -136,14 +141,33 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_provider(args: argparse.Namespace) -> int:
+    auth_tokens = None
+    if args.auth_file:
+        # One "tenant:token" per line; blank lines and '#' comments
+        # are skipped.
+        auth_tokens = {}
+        for line in Path(args.auth_file).read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tenant, _, token = line.partition(":")
+            auth_tokens[tenant.strip()] = token.strip().encode()
     service = ProviderService(
         directory=args.storage,
         container_bytes=args.container_mb << 20,
         lookahead_window=args.lookahead_window or None,
         scrub_interval=args.scrub_interval or None,
+        cross_user_dedup=args.cross_user_dedup,
+        quota_bytes=args.quota_bytes or None,
+        quota_files=args.quota_files or None,
+        auth_tokens=auth_tokens,
     )
     handle = serve_provider(service, host=args.host, port=args.port)
-    print(f"provider listening on {handle.address}, storage={args.storage}")
+    mode = "shared" if args.cross_user_dedup else "partitioned"
+    print(
+        f"provider listening on {handle.address}, storage={args.storage}, "
+        f"dedup index {mode} across tenants"
+    )
     try:
         while True:
             time.sleep(3600)
@@ -382,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "client-side duplicate short-circuiting (implies the "
                  "pipelined path)",
         )
+        p.add_argument(
+            "--tenant", default="default",
+            help="tenant namespace to bind the provider connection to "
+                 "(DESIGN.md §13); 'default' skips the HELLO handshake",
+        )
+        p.add_argument(
+            "--auth-token", default=None, metavar="FILE",
+            help="file whose (stripped) contents are the shared secret "
+                 "presented to the provider for --tenant",
+        )
 
     p = sub.add_parser("serve-keymanager", help="run a TED key manager")
     p.add_argument("--host", default="127.0.0.1")
@@ -416,6 +450,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--scrub-interval", type=float, default=0.0, metavar="SECONDS",
         help="background scrub cadence: verify every chunk checksum this "
              "often (0 disables)",
+    )
+    p.add_argument(
+        "--cross-user-dedup",
+        action=argparse.BooleanOptionalAction, default=True,
+        help="share the fingerprint index and containers across tenants "
+             "(recipes and keys stay per-tenant); --no-cross-user-dedup "
+             "partitions the dedup index per tenant so one tenant's "
+             "uploads never dedup against another's (DESIGN.md §13)",
+    )
+    p.add_argument(
+        "--quota-bytes", type=int, default=0,
+        help="per-tenant logical-byte quota; uploads past it are "
+             "rejected before any storage mutation (0 = unlimited)",
+    )
+    p.add_argument(
+        "--quota-files", type=int, default=0,
+        help="per-tenant file-count quota (0 = unlimited)",
+    )
+    p.add_argument(
+        "--auth-file", default=None, metavar="FILE",
+        help="tenant:token lines; tenants listed here must present the "
+             "token in the HELLO handshake",
     )
     p.set_defaults(func=cmd_serve_provider)
 

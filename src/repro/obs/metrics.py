@@ -9,7 +9,10 @@ message serves a registry snapshot.
 Naming scheme: ``ted_<subsystem>_<name>`` with Prometheus conventions
 (``_total`` suffix on counters, ``_seconds`` on latency histograms).
 Cardinality rule: labels are bounded, enumerable sets (stage names, entity
-roles) — never per-chunk or per-file values.
+roles) — never per-chunk or per-file values. Tenant ids are admitted as a
+deliberate exception: a deployment serves a small, operator-curated tenant
+set (DESIGN.md §13), so the ``tenant`` label stays bounded in practice;
+per-file and per-chunk identifiers remain forbidden.
 
 Instruments:
 

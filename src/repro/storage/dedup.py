@@ -13,6 +13,7 @@ ratio, storage saving, actual storage blowup inputs).
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -359,3 +360,127 @@ class DedupEngine:
     def physical_bytes(self) -> int:
         """Bytes in the container store (the paper's physical storage size)."""
         return self.containers.physical_bytes()
+
+
+class ConcurrentDedupEngine:
+    """Thread-safe facade over :class:`DedupEngine` for concurrent tenants.
+
+    :class:`DedupEngine` itself is single-threaded (the KV store swaps
+    memtables on flush, the container store mutates one open container).
+    The multi-tenant provider (DESIGN.md §13) shares one engine across
+    many connection threads when cross-user deduplication is enabled, so
+    this facade adds locking with enough granularity that concurrent
+    tenants make real progress instead of queueing on one global lock:
+
+    * **striped per-fingerprint locks** make the check-then-append of one
+      fingerprint atomic (two tenants racing to store the same chunk must
+      not both append it) without serializing distinct fingerprints;
+    * an **index lock** covers every KV-store read/write — a lookup racing
+      a memtable flush would observe a half-swapped table list;
+    * a **container lock** covers appends and reads — the open container
+      is a single mutable file.
+
+    The duplicate fast path — the common case in dedup-heavy workloads —
+    takes only a stripe plus the short index lock, so one tenant's
+    duplicate detection proceeds while another tenant streams container
+    appends under the container lock.
+
+    Lock order is strictly ``stripe → (index | container | stats)``;
+    the inner locks are never nested in each other, so the hierarchy is
+    deadlock-free.
+    """
+
+    def __init__(self, engine: DedupEngine, stripes: int = 64) -> None:
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
+        self._engine = engine
+        self._stripes = tuple(threading.Lock() for _ in range(stripes))
+        self._index_lock = threading.Lock()
+        self._container_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    @property
+    def inner(self) -> DedupEngine:
+        """The wrapped engine (scrub/fsck tooling reads through this)."""
+        return self._engine
+
+    @property
+    def stats(self) -> DedupStats:
+        return self._engine.stats
+
+    @property
+    def containers(self):
+        return self._engine.containers
+
+    @property
+    def index(self):
+        return self._engine.index
+
+    def _stripe(self, fingerprint: bytes) -> threading.Lock:
+        return self._stripes[zlib.crc32(fingerprint) % len(self._stripes)]
+
+    def store(self, fingerprint: bytes, chunk: bytes) -> bool:
+        """Store one chunk; returns True if it was new (thread-safe)."""
+        with self._stripe(fingerprint):
+            with self._index_lock:
+                known = self._engine.index.get(fingerprint) is not None
+            if known:
+                with self._stats_lock:
+                    self._engine.stats.logical_chunks += 1
+                    self._engine.stats.logical_bytes += len(chunk)
+                record_dedup_store(len(chunk), unique=False)
+                return False
+            with self._container_lock:
+                location = self._engine.containers.append(chunk, fingerprint)
+            with self._index_lock:
+                self._engine.index.put(fingerprint, location.to_bytes())
+            with self._stats_lock:
+                self._engine.stats.logical_chunks += 1
+                self._engine.stats.logical_bytes += len(chunk)
+                self._engine.stats.unique_chunks += 1
+                self._engine.stats.unique_bytes += len(chunk)
+            record_dedup_store(len(chunk), unique=True)
+            return True
+
+    def contains(self, fingerprint: bytes) -> bool:
+        with self._index_lock:
+            return self._engine.index.get(fingerprint) is not None
+
+    def load(self, fingerprint: bytes) -> bytes:
+        with self._index_lock:
+            raw = self._engine.index.get(fingerprint)
+        if raw is None:
+            raise KeyError(f"unknown fingerprint: {fingerprint.hex()}")
+        with self._container_lock:
+            return self._engine.containers.read(
+                ChunkLocation.from_bytes(raw)
+            )
+
+    def locate(self, fingerprint: bytes) -> ChunkLocation:
+        with self._index_lock:
+            raw = self._engine.index.get(fingerprint)
+        if raw is None:
+            raise KeyError(f"unknown fingerprint: {fingerprint.hex()}")
+        return ChunkLocation.from_bytes(raw)
+
+    def load_many(self, fingerprints, lookahead_window=None):
+        # Batch reads hold both component locks: the look-ahead restorer
+        # mutates a shared container LRU, and reads of the open container
+        # race appends. Restores therefore serialize against stores, but
+        # not against the index-only duplicate fast path above.
+        with self._index_lock, self._container_lock:
+            return self._engine.load_many(
+                fingerprints, lookahead_window=lookahead_window
+            )
+
+    def flush(self) -> None:
+        with self._index_lock, self._container_lock:
+            self._engine.flush()
+
+    def close(self) -> None:
+        with self._index_lock, self._container_lock:
+            self._engine.close()
+
+    def physical_bytes(self) -> int:
+        with self._container_lock:
+            return self._engine.physical_bytes()

@@ -378,6 +378,10 @@ class TedStoreClient:
         """Fetch, decrypt, and reassemble a file.
 
         Raises:
+            FileNotFoundError: no such file in this tenant's namespace
+                (typed ``MSG_NOT_FOUND`` reply over the wire; never
+                retried).
+            KeyError: a recipe names a chunk the provider does not hold.
             ValueError: recipe authentication failure (wrong master key or
                 tampering), or a chunk that decrypts to the wrong size.
         """

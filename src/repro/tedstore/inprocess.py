@@ -23,7 +23,7 @@ from repro.tedstore.messages import (
     PutChunksResponse,
     PutRecipes,
 )
-from repro.tedstore.provider import ProviderService
+from repro.tedstore.provider import DEFAULT_TENANT, ProviderService
 
 
 class LocalKeyManager:
@@ -69,22 +69,40 @@ class LocalKeyManager:
 
 
 class LocalProvider:
-    """Direct-call provider transport."""
+    """Direct-call provider transport.
 
-    def __init__(self, service: ProviderService) -> None:
+    Args:
+        service: the provider service to call into.
+        tenant: tenant namespace every call is scoped to — the
+            in-process analogue of the wire HELLO handshake binding a
+            connection to a tenant (DESIGN.md §13). The service
+            authenticates the binding once at construction, like the
+            wire path does per connection.
+        auth_token: shared secret checked when the provider enforces
+            per-tenant authentication.
+    """
+
+    def __init__(
+        self,
+        service: ProviderService,
+        tenant: str = DEFAULT_TENANT,
+        auth_token: bytes = b"",
+    ) -> None:
         self.service = service
+        self.tenant = tenant or DEFAULT_TENANT
+        service.authenticate(self.tenant, auth_token)
 
     def put_chunks(self, request: PutChunks) -> PutChunksResponse:
-        return self.service.handle_put_chunks(request)
+        return self.service.handle_put_chunks(request, tenant=self.tenant)
 
     def get_chunks(self, request: GetChunks) -> Chunks:
-        return self.service.handle_get_chunks(request)
+        return self.service.handle_get_chunks(request, tenant=self.tenant)
 
     def put_recipes(self, request: PutRecipes) -> None:
-        self.service.handle_put_recipes(request)
+        self.service.handle_put_recipes(request, tenant=self.tenant)
 
     def get_recipes(self, request: GetRecipes) -> PutRecipes:
-        return self.service.handle_get_recipes(request)
+        return self.service.handle_get_recipes(request, tenant=self.tenant)
 
     def stats(self) -> List[Tuple[str, int]]:
         return self.service.stats()

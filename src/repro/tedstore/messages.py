@@ -58,6 +58,19 @@ MSG_BUSY = 14
 # state the sketch accumulates is order-sensitive across batches.
 MSG_KEYGEN_BATCH_REQUEST = 15
 MSG_KEYGEN_BATCH_RESPONSE = 16
+# Tenant handshake (multi-tenant provider, DESIGN.md §13): sent once per
+# connection before any other request; binds the connection to a tenant
+# namespace. Version tolerance works like the trace-context flag: an old
+# server rejects the unknown type with ``MSG_ERROR "unexpected message"``
+# and the client downgrades to the anonymous default-tenant mode, while a
+# connection that never sends HELLO is served as the default tenant.
+MSG_HELLO = 17
+MSG_HELLO_OK = 18
+# Typed not-found reply: unknown file names and fingerprints are client
+# errors, not server faults — ``MSG_ERROR`` conflated the two (and leaked
+# ``KeyError`` repr quotes). Old servers still answer with the legacy
+# ``MSG_ERROR "not found: ..."`` form, which new clients keep decoding.
+MSG_NOT_FOUND = 19
 
 #: Human-readable message-type names (span labels, error messages).
 MESSAGE_NAMES = {
@@ -77,6 +90,9 @@ MESSAGE_NAMES = {
     MSG_BUSY: "busy",
     MSG_KEYGEN_BATCH_REQUEST: "keygen_batch",
     MSG_KEYGEN_BATCH_RESPONSE: "keygen_batch_response",
+    MSG_HELLO: "hello",
+    MSG_HELLO_OK: "hello_ok",
+    MSG_NOT_FOUND: "not_found",
 }
 
 #: High bit of the type byte: the frame carries a trace-context section.
@@ -477,6 +493,83 @@ class GetRecipes:
         name = r.text()
         r.expect_end()
         return cls(file_name=name)
+
+
+# -- tenant handshake ---------------------------------------------------------
+
+
+@dataclass
+class Hello:
+    """Bind this connection to a tenant namespace (DESIGN.md §13).
+
+    Sent once per connection, before any other request. ``auth_token``
+    is checked against the provider's configured per-tenant tokens (an
+    empty token is valid for tenants with no token configured).
+    """
+
+    tenant: str = ""
+    auth_token: bytes = b""
+
+    def encode(self) -> bytes:
+        return _Writer().text(self.tenant).blob(self.auth_token).done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Hello":
+        r = _Reader(payload)
+        tenant = r.text()
+        token = r.blob()
+        r.expect_end()
+        return cls(tenant=tenant, auth_token=token)
+
+
+@dataclass
+class HelloOk:
+    """Handshake acknowledgement: echoes the tenant, states the policy.
+
+    ``cross_user_dedup`` tells the client whether its uploads may
+    deduplicate against other tenants' chunks — the confidentiality
+    trade-off the server operator chose (DESIGN.md §13).
+    """
+
+    tenant: str = ""
+    cross_user_dedup: bool = False
+
+    def encode(self) -> bytes:
+        return (
+            _Writer()
+            .text(self.tenant)
+            .varint(1 if self.cross_user_dedup else 0)
+            .done()
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "HelloOk":
+        r = _Reader(payload)
+        tenant = r.text()
+        flag = r.varint()
+        r.expect_end()
+        return cls(tenant=tenant, cross_user_dedup=bool(flag))
+
+
+# -- typed not-found ----------------------------------------------------------
+
+#: ``MSG_NOT_FOUND`` kinds: what class of name failed to resolve.
+NOT_FOUND_FILE = 0
+NOT_FOUND_CHUNK = 1
+
+
+def encode_not_found(kind: int, message: str) -> bytes:
+    """Payload for MSG_NOT_FOUND: a kind tag plus a human message."""
+    return _Writer().varint(kind).text(message).done()
+
+
+def decode_not_found(payload: bytes) -> Tuple[int, str]:
+    """Inverse of :func:`encode_not_found`."""
+    r = _Reader(payload)
+    kind = r.varint()
+    message = r.text()
+    r.expect_end()
+    return kind, message
 
 
 # -- misc ------------------------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.tedstore import messages as m
 from repro.tedstore.keymanager import KeyManagerService
-from repro.tedstore.provider import ProviderService
+from repro.tedstore.provider import DEFAULT_TENANT, ProviderService
 from repro.tedstore.retry import RetryPolicy
 
 DEFAULT_IDLE_TIMEOUT = 300.0
@@ -205,6 +205,10 @@ class _ServiceHandler(socketserver.BaseRequestHandler):
         # Rate-limiting identity is the peer host (not host:port): a
         # brute-forcing client must not reset its budget by reconnecting.
         peer = str(self.client_address[0])
+        # Per-connection dispatch state: the HELLO handshake binds this
+        # connection to a tenant namespace (DESIGN.md §13). A connection
+        # that never sends HELLO stays on the default tenant.
+        conn_state: Dict[str, object] = {}
         server.register_connection(sock)
         tracer = tracing.get_tracer()
         try:
@@ -235,10 +239,25 @@ class _ServiceHandler(socketserver.BaseRequestHandler):
                         ), _SERVER_REQUEST_SECONDS.labels(
                             entity=server.entity
                         ).time():
-                            reply = dispatch(message_type, payload, peer)
-                    except KeyError as exc:
+                            reply = dispatch(
+                                message_type, payload, peer, conn_state
+                            )
+                    except FileNotFoundError as exc:
+                        # Typed miss: the client raises this locally and
+                        # never retries (the name simply does not exist).
                         reply = m.frame(
-                            m.MSG_ERROR, m.encode_error(f"not found: {exc}")
+                            m.MSG_NOT_FOUND,
+                            m.encode_not_found(m.NOT_FOUND_FILE, str(exc)),
+                        )
+                    except KeyError as exc:
+                        # KeyError's str() is the repr of its argument;
+                        # unwrap so the wire message has no quote noise.
+                        message = (
+                            str(exc.args[0]) if exc.args else str(exc)
+                        )
+                        reply = m.frame(
+                            m.MSG_NOT_FOUND,
+                            m.encode_not_found(m.NOT_FOUND_CHUNK, message),
                         )
                     except Exception as exc:  # report, keep connection alive
                         reply = m.frame(m.MSG_ERROR, m.encode_error(str(exc)))
@@ -323,7 +342,9 @@ def serve_key_manager(
         entity="keymanager",
     )
 
-    def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
+    def dispatch(
+        message_type: int, payload: bytes, peer: str, conn_state: Dict
+    ) -> bytes:
         if message_type == m.MSG_KEYGEN_REQUEST:
             response = service.handle_keygen(
                 m.KeyGenRequest.decode(payload), client_id=peer
@@ -368,24 +389,52 @@ def serve_provider(
         entity="provider",
     )
 
-    def dispatch(message_type: int, payload: bytes, peer: str) -> bytes:
+    def dispatch(
+        message_type: int, payload: bytes, peer: str, conn_state: Dict
+    ) -> bytes:
+        tenant = conn_state.get("tenant", DEFAULT_TENANT)
+        if message_type == m.MSG_HELLO:
+            hello = m.Hello.decode(payload)
+            requested = hello.tenant or DEFAULT_TENANT
+            service.authenticate(requested, hello.auth_token)
+            conn_state["tenant"] = requested
+            return m.frame(
+                m.MSG_HELLO_OK,
+                m.HelloOk(
+                    tenant=requested,
+                    cross_user_dedup=service.cross_user_dedup,
+                ).encode(),
+            )
         if message_type == m.MSG_PUT_CHUNKS:
-            response = service.handle_put_chunks(m.PutChunks.decode(payload))
+            response = service.handle_put_chunks(
+                m.PutChunks.decode(payload), tenant=tenant
+            )
             return m.frame(m.MSG_PUT_CHUNKS_RESPONSE, response.encode())
         if message_type == m.MSG_GET_CHUNKS:
-            response = service.handle_get_chunks(m.GetChunks.decode(payload))
+            response = service.handle_get_chunks(
+                m.GetChunks.decode(payload), tenant=tenant
+            )
             return m.frame(m.MSG_CHUNKS, response.encode())
         if message_type == m.MSG_PUT_RECIPES:
-            service.handle_put_recipes(m.PutRecipes.decode(payload))
+            service.handle_put_recipes(
+                m.PutRecipes.decode(payload), tenant=tenant
+            )
             return m.frame(m.MSG_OK, b"")
         if message_type == m.MSG_GET_RECIPES:
-            response = service.handle_get_recipes(m.GetRecipes.decode(payload))
+            response = service.handle_get_recipes(
+                m.GetRecipes.decode(payload), tenant=tenant
+            )
             return m.frame(m.MSG_RECIPES, response.encode())
         if message_type == m.MSG_STATS_REQUEST:
+            tenant_pairs = [
+                (f"tenant_{name}", value)
+                for name, value in service.tenant_stats(tenant)
+            ]
             return m.frame(
                 m.MSG_STATS_RESPONSE,
                 m.encode_stats(
                     service.stats()
+                    + tenant_pairs
                     + server.stats_pairs()
                     + _REGISTRY.snapshot_pairs()
                 ),
@@ -417,6 +466,7 @@ class _Connection:
         io_timeout: float = 60.0,
         entity: str = "peer",
         propagate_trace: bool = True,
+        hello: Optional[m.Hello] = None,
     ) -> None:
         self._address = address
         self._policy = retry_policy or RetryPolicy()
@@ -432,11 +482,17 @@ class _Connection:
             "timeouts": 0,
             "busy": 0,
             "trace_downgrades": 0,
+            "hello_downgrades": 0,
         }
         # Trace propagation is on by default and latches off for the life
         # of the connection if the peer rejects the flagged type byte (an
         # old-format peer) — interop beats telemetry.
         self._trace_peer = propagate_trace
+        # Tenant handshake (DESIGN.md §13): sent on every (re)connect so
+        # a reconnected socket is re-bound to the same tenant before any
+        # retried request reaches the provider.
+        self._hello = hello
+        self.hello_ok: Optional[m.HelloOk] = None
         self._connect()
 
     def _count(self, name: str, amount: int = 1) -> None:
@@ -452,6 +508,53 @@ class _Connection:
         )
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        if self._hello is not None:
+            try:
+                self._handshake(sock)
+            except BaseException:
+                self._drop_socket()
+                raise
+
+    def _handshake(self, sock: socket.socket) -> None:
+        """Bind the fresh socket to our tenant (runs on every connect).
+
+        Version tolerance mirrors the trace-flag downgrade: an old server
+        answers ``MSG_ERROR "unexpected message"``; a *default-tenant*
+        client then latches the handshake off (the server serves untagged
+        connections as the default tenant anyway), while a named tenant
+        cannot safely proceed and fails loudly.
+        """
+        assert self._hello is not None
+        sock.settimeout(self._io_timeout)
+        sock.sendall(m.frame(m.MSG_HELLO, self._hello.encode()))
+        reply_type, reply = m.read_frame(lambda n: _recv_exact(sock, n))
+        if reply_type == m.MSG_HELLO_OK:
+            self.hello_ok = m.HelloOk.decode(reply)
+            return
+        if reply_type == m.MSG_BUSY:
+            # The server shed the handshake; surface as a wire error so
+            # the caller's retry loop reconnects (HELLO is read-only).
+            raise ConnectionError(
+                f"server busy during handshake: {m.decode_error(reply)}"
+            )
+        if reply_type == m.MSG_ERROR:
+            error = m.decode_error(reply)
+            if error.startswith("unexpected message"):
+                if (self._hello.tenant or DEFAULT_TENANT) == DEFAULT_TENANT:
+                    self._hello = None
+                    self._count("hello_downgrades")
+                    tracing.add_event(
+                        "wire.hello_downgrade", entity=self._entity
+                    )
+                    return
+                raise RuntimeError(
+                    f"peer does not support the tenant handshake; cannot "
+                    f"serve tenant {self._hello.tenant!r}"
+                )
+            raise RuntimeError(f"tenant handshake rejected: {error}")
+        raise m.ProtocolError(
+            f"unexpected handshake reply type {reply_type}"
+        )
 
     def _drop_socket(self) -> None:
         if self._sock is not None:
@@ -536,8 +639,20 @@ class _Connection:
                         span.add_event("wire.trace_downgrade", error=error)
                         continue
                 break
+        if reply_type == m.MSG_NOT_FOUND:
+            # Typed miss: a client error, never retried — the stream is
+            # in sync (the server answered) and the name does not exist.
+            kind, message = m.decode_not_found(reply)
+            if kind == m.NOT_FOUND_FILE:
+                raise FileNotFoundError(message)
+            raise KeyError(message)
         if reply_type == m.MSG_ERROR:
-            raise RuntimeError(f"remote error: {m.decode_error(reply)}")
+            error = m.decode_error(reply)
+            if error.startswith("not found:"):
+                # Legacy form from old servers (pre-MSG_NOT_FOUND); keep
+                # decoding it so new clients interop with old peers.
+                raise KeyError(error)
+            raise RuntimeError(f"remote error: {error}")
         return reply_type, reply
 
     def _exchange(
@@ -637,6 +752,11 @@ class RemoteProvider:
             individual call still runs request/response, so a single
             uploader (or prefetcher) thread keeps strict ordering even
             across pool members.
+        tenant: tenant namespace this client binds to via the HELLO
+            handshake (DESIGN.md §13). The default tenant skips the
+            handshake entirely, preserving the legacy wire exchange.
+        auth_token: shared secret presented in HELLO when the provider
+            enforces per-tenant authentication.
     """
 
     def __init__(
@@ -645,14 +765,25 @@ class RemoteProvider:
         retry_policy: Optional[RetryPolicy] = None,
         propagate_trace: bool = True,
         data_connections: int = 0,
+        tenant: str = DEFAULT_TENANT,
+        auth_token: bytes = b"",
     ) -> None:
         if data_connections < 0:
             raise ValueError("data_connections cannot be negative")
+        self.tenant = tenant or DEFAULT_TENANT
+        # Every connection (control and data pool) performs the same
+        # handshake on each (re)connect, so a reconnected data socket is
+        # re-bound to the tenant before any retried chunk frame lands.
+        hello: Optional[m.Hello] = None
+        if self.tenant != DEFAULT_TENANT or auth_token:
+            hello = m.Hello(tenant=self.tenant, auth_token=auth_token)
+        self._hello = hello
         self._conn = _Connection(
             address,
             retry_policy=retry_policy,
             entity="provider",
             propagate_trace=propagate_trace,
+            hello=hello,
         )
         self._data_conns = [
             _Connection(
@@ -660,6 +791,7 @@ class RemoteProvider:
                 retry_policy=retry_policy,
                 entity="provider",
                 propagate_trace=propagate_trace,
+                hello=hello,
             )
             for _ in range(data_connections)
         ]
@@ -673,6 +805,11 @@ class RemoteProvider:
             conn = self._data_conns[self._rr_next % len(self._data_conns)]
             self._rr_next += 1
         return conn
+
+    @property
+    def hello_ok(self) -> Optional[m.HelloOk]:
+        """Server's handshake reply on the control connection, if any."""
+        return self._conn.hello_ok
 
     def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
         # Idempotent: the provider deduplicates by fingerprint, so a

@@ -1,23 +1,55 @@
-"""TEDStore storage-provider service.
+"""TEDStore storage-provider service (multi-tenant, DESIGN.md §13).
 
 The provider owns the deduplicated storage backend: ciphertext chunks are
 deduplicated by fingerprint (provider-side dedup, §2.2), packed into
 containers, and indexed by the LSM fingerprint index. Sealed file/key
-recipes are stored as opaque blobs keyed by file name — the provider never
-deduplicates or inspects metadata (§2.2).
+recipes are stored as opaque blobs keyed by (tenant, file name) — the
+provider never deduplicates or inspects metadata (§2.2).
 
-Thread-safe: one lock serializes the dedup engine and the recipe store, so
-multiple client connections can upload concurrently (Experiment B.3).
+**Multi-tenancy.** Every request is served in a tenant namespace (the wire
+layer binds a connection to a tenant via the ``HELLO`` handshake; untagged
+connections are the :data:`DEFAULT_TENANT`). Recipes, quota accounting,
+and per-tenant counters are always isolated per tenant; what *chunks* share
+is the operator's choice:
+
+* ``cross_user_dedup=True`` — one fingerprint index and container pool is
+  shared by every tenant, maximizing storage savings at the cost of the
+  cross-tenant chunk-existence channel (frequency-analysis leakage,
+  PAPERS.md). Recipes and keys stay per-tenant (REED's boundary).
+* ``cross_user_dedup=False`` — each tenant gets its own dedup engine
+  (containers + index) under ``tenants/<id>/``, so one tenant's uploads
+  never deduplicate against another's and per-tenant stored state is
+  independent of tenant interleaving (the differential isolation gate).
+
+**Concurrency.** There is no global provider lock. Each tenant has its own
+lock covering its recipes, quota accounting, and (when partitioned) its
+private engine; the shared engine is wrapped in
+:class:`~repro.storage.dedup.ConcurrentDedupEngine`, whose striped
+per-fingerprint locks let distinct tenants store and dedup-check chunks
+concurrently.
+
+**Quotas.** ``quota_bytes`` (logical bytes offered) and ``quota_files``
+are enforced per tenant *before* any storage mutation: an over-quota batch
+is rejected whole with :class:`QuotaExceededError` (``MSG_ERROR`` on the
+wire) and leaves counters, containers, and the index untouched.
 """
 
 from __future__ import annotations
 
+import hmac
+import re
+import sys
 import threading
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
-from repro.storage.dedup import DedupEngine, record_dedup_store
+from repro.storage.dedup import (
+    ConcurrentDedupEngine,
+    DedupEngine,
+    record_dedup_store,
+)
 from repro.storage.kvstore import KVStore
 from repro.storage.scrub import BackgroundScrubber
 from repro.tedstore.messages import (
@@ -30,27 +62,114 @@ from repro.tedstore.messages import (
 )
 from repro.utils.varint import decode_uvarint, encode_uvarint
 
+#: Namespace served to connections that never sent a ``HELLO`` (old
+#: clients, single-tenant deployments). Its storage lives at the root of
+#: the provider directory, so pre-multi-tenant layouts keep working.
+DEFAULT_TENANT = "default"
+
+#: Tenant ids become directory names; keep them path-safe and bounded.
+_TENANT_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_REGISTRY = obs_metrics.get_registry()
+_TENANT_CHUNKS = _REGISTRY.counter(
+    "ted_provider_tenant_chunks_total",
+    "Chunks offered per tenant, by dedup outcome",
+    labelnames=("tenant", "outcome"),
+)
+_TENANT_BYTES = _REGISTRY.counter(
+    "ted_provider_tenant_logical_bytes_total",
+    "Logical bytes offered per tenant",
+    labelnames=("tenant",),
+)
+_QUOTA_REJECTIONS = _REGISTRY.counter(
+    "ted_provider_quota_rejections_total",
+    "Requests rejected by per-tenant quota enforcement",
+    labelnames=("tenant", "resource"),
+)
+_RECIPE_QUARANTINED = _REGISTRY.counter(
+    "ted_provider_recipe_quarantined_total",
+    "Durable recipe blobs that failed to decode at startup",
+)
+_TENANT_GAUGE = _REGISTRY.gauge(
+    "ted_provider_tenants", "Tenant namespaces currently materialized"
+)
+
+
+class QuotaExceededError(RuntimeError):
+    """A request would push a tenant past its quota; nothing was stored."""
+
+
+class AuthenticationError(PermissionError):
+    """HELLO presented a missing or wrong auth token for its tenant."""
+
 
 def _encode_recipes(file_recipe: bytes, key_recipe: bytes) -> bytes:
     return encode_uvarint(len(file_recipe)) + file_recipe + key_recipe
 
 
-def _decode_recipes(blob: bytes):
+def _decode_recipes(blob: bytes) -> Tuple[bytes, bytes]:
+    """Split a stored recipe blob into (file recipe, key recipe).
+
+    Raises:
+        ValueError: truncated or corrupt blob — the uvarint length must
+            lie within the blob, or the split would silently produce
+            wrong recipes.
+    """
     length, pos = decode_uvarint(blob, 0)
+    if pos + length > len(blob):
+        raise ValueError(
+            f"corrupt recipe blob: file-recipe length {length} exceeds "
+            f"remaining {len(blob) - pos} bytes"
+        )
     return blob[pos : pos + length], blob[pos + length :]
 
 
+class _TenantState:
+    """One tenant's namespace: recipes, quota accounting, private engine."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lock = threading.Lock()
+        self.recipes: Dict[str, Tuple[bytes, bytes]] = {}
+        self.recipe_store: Optional[KVStore] = None
+        #: Recipe keys whose durable blobs failed to decode at startup.
+        self.quarantined_recipes: List[str] = []
+        # Private engine (cross-user dedup off) or None (shared engine).
+        self.engine: Optional[DedupEngine] = None
+        # In-memory mode, cross-user dedup off: private chunk dict.
+        self.memory_chunks: Optional[Dict[bytes, bytes]] = None
+        # Per-tenant accounting (logical view of this tenant's offers).
+        self.logical_chunks = 0
+        self.logical_bytes = 0
+        self.stored_chunks = 0
+        self.duplicate_chunks = 0
+
+
 class ProviderService:
-    """Thread-safe deduplicating storage service.
+    """Multi-tenant deduplicating storage service.
 
     Args:
-        directory: provider storage root.
+        directory: provider storage root. The default tenant stores at
+            the root (legacy layout); named tenants under ``tenants/<id>``.
         container_bytes: container capacity (paper default 8 MB).
-        in_memory: keep chunks in a dict instead of the on-disk engine —
+        in_memory: keep chunks in dicts instead of the on-disk engine —
             Experiments B.1–B.3 remove disk I/O to measure compute limits.
+        engine: inject a pre-built engine as the shared/default engine.
+        cross_user_dedup: share the fingerprint index and containers
+            across tenants (True, the storage-efficient default) or give
+            each tenant a private engine (False, the isolated mode).
+        quota_bytes: per-tenant logical-byte quota (None = unlimited).
+        quota_files: per-tenant file-count quota (None = unlimited).
+        auth_tokens: optional ``{tenant: token}`` map; a tenant listed
+            here must present its token in HELLO. Unlisted tenants are
+            admitted without a token.
+        lookahead_window: restore look-ahead scheduling (off by default —
+            the paper's prototype restores naively, which is what produces
+            Figure 9's declining download curve; see the B.5 ablation).
         scrub_interval: run the background scrubber (read-only per-chunk
-            verification; DESIGN.md §12) every this many seconds; ``None``
-            disables it. Requires the on-disk engine.
+            verification; DESIGN.md §12) every this many seconds over the
+            default/shared engine; ``None`` disables it. Requires the
+            on-disk engine.
     """
 
     def __init__(
@@ -61,36 +180,60 @@ class ProviderService:
         engine: Optional[DedupEngine] = None,
         lookahead_window: Optional[int] = None,
         scrub_interval: Optional[float] = None,
+        cross_user_dedup: bool = True,
+        quota_bytes: Optional[int] = None,
+        quota_files: Optional[int] = None,
+        auth_tokens: Optional[Dict[str, bytes]] = None,
+        dedup_stripes: int = 64,
     ) -> None:
-        self._lock = threading.Lock()
+        if quota_bytes is not None and quota_bytes < 0:
+            raise ValueError("quota_bytes cannot be negative")
+        if quota_files is not None and quota_files < 0:
+            raise ValueError("quota_files cannot be negative")
         self.in_memory = in_memory
-        # Look-ahead restore scheduling (off by default — the paper's
-        # prototype restores naively, which is what produces Figure 9's
-        # declining download curve; see the B.5 ablation).
+        self.cross_user_dedup = cross_user_dedup
+        self.quota_bytes = quota_bytes
+        self.quota_files = quota_files
+        self.auth_tokens = dict(auth_tokens or {})
         self.lookahead_window = lookahead_window
-        self._recipes = {}
-        self._recipe_store: Optional[KVStore] = None
+        self.container_bytes = container_bytes
+        self._directory = Path(directory) if directory is not None else None
+        self._dedup_stripes = dedup_stripes
+        self._closed = False
+        # Guards tenant-map mutation and close(); never held while a
+        # tenant lock is held (order: admin -> tenant -> engine locks).
+        self._admin_lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+        self._memory_chunks: Optional[Dict[bytes, bytes]] = None
+        self._memory_lock = threading.Lock()
+        self._shared: Optional[ConcurrentDedupEngine] = None
         if in_memory:
-            self._memory_chunks = {}
             self.engine = None
-            self._logical_chunks = 0
-            self._duplicate_chunks = 0
-        elif engine is not None:
-            self.engine = engine
+            if cross_user_dedup:
+                self._memory_chunks = {}
         else:
-            if directory is None:
-                raise ValueError(
-                    "directory is required unless in_memory or engine given"
+            if engine is not None:
+                self.engine = engine
+            else:
+                if directory is None:
+                    raise ValueError(
+                        "directory is required unless in_memory or engine "
+                        "given"
+                    )
+                self.engine = DedupEngine(
+                    self._directory, container_bytes=container_bytes
                 )
-            self.engine = DedupEngine(
-                Path(directory), container_bytes=container_bytes
-            )
-            # Recipes are durable alongside the chunks: a provider restart
-            # must still resolve every previously-acked file name, or the
-            # chunks it kept are unreachable (DESIGN.md §12).
-            self._recipe_store = KVStore(Path(directory) / "recipes")
-            for name, blob in self._recipe_store.items():
-                self._recipes[name.decode("utf-8")] = _decode_recipes(blob)
+            if cross_user_dedup:
+                self._shared = ConcurrentDedupEngine(
+                    self.engine, stripes=dedup_stripes
+                )
+        # Materialize the default tenant eagerly: it owns the legacy
+        # root-layout recipes, which must be durable-loaded before the
+        # first request (a provider restart must still resolve every
+        # previously-acked file name, DESIGN.md §12).
+        self._tenant(DEFAULT_TENANT)
+
         self.scrubber: Optional[BackgroundScrubber] = None
         if scrub_interval is not None:
             if self.engine is None:
@@ -100,52 +243,270 @@ class ProviderService:
             )
             self.scrubber.start()
 
+    # -- tenant management ----------------------------------------------------
+
+    @staticmethod
+    def validate_tenant(tenant: str) -> str:
+        """Check a tenant id is path-safe; returns it unchanged.
+
+        Raises:
+            ValueError: empty, over-long, or non [A-Za-z0-9._-] ids (they
+                become directory names, so traversal must be impossible).
+        """
+        if not _TENANT_ID.match(tenant):
+            raise ValueError(f"invalid tenant id: {tenant!r}")
+        return tenant
+
+    def authenticate(self, tenant: str, token: bytes) -> None:
+        """Admit (or reject) a HELLO for ``tenant``.
+
+        Raises:
+            ValueError: malformed tenant id.
+            AuthenticationError: the tenant has a configured token and
+                the presented one does not match (constant-time compare).
+        """
+        self.validate_tenant(tenant)
+        expected = self.auth_tokens.get(tenant)
+        if expected is not None and not hmac.compare_digest(expected, token):
+            raise AuthenticationError(
+                f"authentication failed for tenant {tenant}"
+            )
+
+    def _tenant_root(self, tenant: str) -> Path:
+        assert self._directory is not None
+        if tenant == DEFAULT_TENANT:
+            return self._directory
+        return self._directory / "tenants" / tenant
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        """Fetch-or-create a tenant namespace (thread-safe, lazy)."""
+        state = self._tenants.get(tenant)
+        if state is not None:
+            return state
+        self.validate_tenant(tenant)
+        with self._admin_lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                return state
+            if self._closed:
+                raise RuntimeError("provider is closed")
+            state = _TenantState(tenant)
+            if self.in_memory:
+                if not self.cross_user_dedup:
+                    state.memory_chunks = {}
+            else:
+                if not self.cross_user_dedup:
+                    if tenant == DEFAULT_TENANT:
+                        # The default tenant owns the legacy root-layout
+                        # engine; partitioning only namespaces the rest.
+                        state.engine = self.engine
+                    elif self._directory is not None:
+                        state.engine = DedupEngine(
+                            self._tenant_root(tenant),
+                            container_bytes=self.container_bytes,
+                        )
+                    else:
+                        # An injected single engine cannot be partitioned.
+                        raise ValueError(
+                            "per-tenant dedup engines "
+                            "(cross_user_dedup=False) require a storage "
+                            "directory"
+                        )
+                if self._directory is not None:
+                    # Recipes are durable alongside the chunks: a provider
+                    # restart must still resolve every previously-acked
+                    # file name, or the chunks it kept are unreachable
+                    # (DESIGN.md §12).
+                    state.recipe_store = KVStore(
+                        self._tenant_root(tenant) / "recipes"
+                    )
+                    self._load_recipes(state)
+            self._tenants[tenant] = state
+            _TENANT_GAUGE.set(len(self._tenants))
+            return state
+
+    def _load_recipes(self, state: _TenantState) -> None:
+        """Load a tenant's durable recipes, loudly quarantining corruption.
+
+        A blob that fails :func:`_decode_recipes` (truncated length,
+        undecodable name) is skipped and recorded — serving silently
+        wrong recipes would corrupt every restore of that file.
+        """
+        assert state.recipe_store is not None
+        for name, blob in state.recipe_store.items():
+            try:
+                decoded_name = name.decode("utf-8")
+                state.recipes[decoded_name] = _decode_recipes(blob)
+            except (ValueError, UnicodeDecodeError) as exc:
+                key = name.decode("utf-8", "replace")
+                state.quarantined_recipes.append(key)
+                _RECIPE_QUARANTINED.inc()
+                print(
+                    f"provider: quarantined corrupt recipe blob "
+                    f"{key!r} (tenant {state.name}): {exc}",
+                    file=sys.stderr,
+                )
+
+    # -- quota enforcement ----------------------------------------------------
+
+    def _check_bytes_quota(
+        self, state: _TenantState, incoming_bytes: int
+    ) -> None:
+        """Reject (whole batch, pre-mutation) if logical bytes would exceed."""
+        if (
+            self.quota_bytes is not None
+            and state.logical_bytes + incoming_bytes > self.quota_bytes
+        ):
+            _QUOTA_REJECTIONS.labels(
+                tenant=state.name, resource="bytes"
+            ).inc()
+            raise QuotaExceededError(
+                f"quota exceeded: tenant {state.name} logical bytes "
+                f"{state.logical_bytes} + {incoming_bytes} over limit "
+                f"{self.quota_bytes}"
+            )
+
+    def _check_files_quota(self, state: _TenantState, file_name: str) -> None:
+        """Reject a *new* file's recipes once the file-count quota is hit."""
+        if (
+            self.quota_files is not None
+            and file_name not in state.recipes
+            and len(state.recipes) >= self.quota_files
+        ):
+            _QUOTA_REJECTIONS.labels(
+                tenant=state.name, resource="files"
+            ).inc()
+            raise QuotaExceededError(
+                f"quota exceeded: tenant {state.name} at file limit "
+                f"{self.quota_files}"
+            )
+
     # -- chunk path ----------------------------------------------------------
 
-    def handle_put_chunks(self, request: PutChunks) -> PutChunksResponse:
-        """Store a batch of ciphertext chunks with inline deduplication."""
+    def handle_put_chunks(
+        self, request: PutChunks, tenant: str = DEFAULT_TENANT
+    ) -> PutChunksResponse:
+        """Store a batch of ciphertext chunks with inline deduplication.
+
+        Raises:
+            QuotaExceededError: the batch would push the tenant past its
+                byte quota; rejected before any mutation.
+        """
+        state = self._tenant(tenant)
+        batch_bytes = sum(len(data) for _, data in request.chunks)
         stored = 0
         duplicates = 0
         with tracing.get_tracer().span(
-            "provider.put_chunks", attributes={"chunks": len(request.chunks)}
-        ), self._lock:
+            "provider.put_chunks",
+            attributes={"chunks": len(request.chunks), "tenant": tenant},
+        ), state.lock:
+            self._check_bytes_quota(state, batch_bytes)
             if self.in_memory:
+                stored, duplicates = self._put_chunks_memory(state, request)
+            elif state.engine is not None:
+                # Partitioned mode: the tenant lock serializes this
+                # tenant's connections over its private engine.
                 for fingerprint, data in request.chunks:
-                    self._logical_chunks += 1
-                    if fingerprint in self._memory_chunks:
-                        duplicates += 1
-                        self._duplicate_chunks += 1
-                        record_dedup_store(len(data), unique=False)
-                    else:
-                        self._memory_chunks[fingerprint] = data
+                    if state.engine.store(fingerprint, data):
                         stored += 1
-                        record_dedup_store(len(data), unique=True)
+                    else:
+                        duplicates += 1
             else:
+                # Shared mode: the concurrent engine's striped locks let
+                # other tenants proceed in parallel with this batch.
+                assert self._shared is not None
                 for fingerprint, data in request.chunks:
-                    if self.engine.store(fingerprint, data):
+                    if self._shared.store(fingerprint, data):
                         stored += 1
                     else:
                         duplicates += 1
+            state.logical_chunks += len(request.chunks)
+            state.logical_bytes += batch_bytes
+            state.stored_chunks += stored
+            state.duplicate_chunks += duplicates
+        _TENANT_CHUNKS.labels(tenant=tenant, outcome="stored").inc(stored)
+        _TENANT_CHUNKS.labels(tenant=tenant, outcome="duplicate").inc(
+            duplicates
+        )
+        _TENANT_BYTES.labels(tenant=tenant).inc(batch_bytes)
         return PutChunksResponse(stored=stored, duplicates=duplicates)
 
-    def handle_get_chunks(self, request: GetChunks) -> Chunks:
+    def _put_chunks_memory(
+        self, state: _TenantState, request: PutChunks
+    ) -> Tuple[int, int]:
+        stored = 0
+        duplicates = 0
+        if state.memory_chunks is not None:
+            chunks = state.memory_chunks
+            lock = None  # tenant lock already held; dict is private
+        else:
+            assert self._memory_chunks is not None
+            chunks = self._memory_chunks
+            lock = self._memory_lock
+        for fingerprint, data in request.chunks:
+            if lock is not None:
+                lock.acquire()
+            try:
+                if fingerprint in chunks:
+                    duplicates += 1
+                    record_dedup_store(len(data), unique=False)
+                else:
+                    chunks[fingerprint] = data
+                    stored += 1
+                    record_dedup_store(len(data), unique=True)
+            finally:
+                if lock is not None:
+                    lock.release()
+        return stored, duplicates
+
+    def handle_get_chunks(
+        self, request: GetChunks, tenant: str = DEFAULT_TENANT
+    ) -> Chunks:
         """Fetch chunks by fingerprint, in request order.
+
+        With cross-user dedup off, lookups resolve only against the
+        tenant's own namespace — another tenant's fingerprints are
+        unknown here by construction.
 
         Raises:
             KeyError: if any fingerprint is unknown.
         """
+        state = self._tenant(tenant)
         with tracing.get_tracer().span(
             "provider.get_chunks",
-            attributes={"chunks": len(request.fingerprints)},
-        ), self._lock:
+            attributes={
+                "chunks": len(request.fingerprints),
+                "tenant": tenant,
+            },
+        ):
             if self.in_memory:
-                return Chunks(
-                    chunks=[
-                        self._memory_chunks[fp] for fp in request.fingerprints
-                    ]
-                )
+                if state.memory_chunks is not None:
+                    with state.lock:
+                        return Chunks(
+                            chunks=[
+                                state.memory_chunks[fp]
+                                for fp in request.fingerprints
+                            ]
+                        )
+                assert self._memory_chunks is not None
+                with self._memory_lock:
+                    return Chunks(
+                        chunks=[
+                            self._memory_chunks[fp]
+                            for fp in request.fingerprints
+                        ]
+                    )
+            if state.engine is not None:
+                with state.lock:
+                    return Chunks(
+                        chunks=state.engine.load_many(
+                            request.fingerprints,
+                            lookahead_window=self.lookahead_window,
+                        )
+                    )
+            assert self._shared is not None
             return Chunks(
-                chunks=self.engine.load_many(
+                chunks=self._shared.load_many(
                     request.fingerprints,
                     lookahead_window=self.lookahead_window,
                 )
@@ -153,19 +514,27 @@ class ProviderService:
 
     # -- recipe path -------------------------------------------------------------
 
-    def handle_put_recipes(self, request: PutRecipes) -> None:
+    def handle_put_recipes(
+        self, request: PutRecipes, tenant: str = DEFAULT_TENANT
+    ) -> None:
         """Store sealed recipes verbatim (no metadata dedup, §2.2).
 
-        Directory-backed providers write through to the durable recipe
-        store before acknowledging.
+        Directory-backed providers write through to the tenant's durable
+        recipe store before acknowledging.
+
+        Raises:
+            QuotaExceededError: a new file would exceed the tenant's
+                file-count quota; rejected before any mutation.
         """
-        with self._lock:
-            self._recipes[request.file_name] = (
+        state = self._tenant(tenant)
+        with state.lock:
+            self._check_files_quota(state, request.file_name)
+            state.recipes[request.file_name] = (
                 request.sealed_file_recipe,
                 request.sealed_key_recipe,
             )
-            if self._recipe_store is not None:
-                self._recipe_store.put(
+            if state.recipe_store is not None:
+                state.recipe_store.put(
                     request.file_name.encode("utf-8"),
                     _encode_recipes(
                         request.sealed_file_recipe,
@@ -173,14 +542,24 @@ class ProviderService:
                     ),
                 )
 
-    def handle_get_recipes(self, request: GetRecipes) -> PutRecipes:
-        """Fetch a file's sealed recipes.
+    def handle_get_recipes(
+        self, request: GetRecipes, tenant: str = DEFAULT_TENANT
+    ) -> PutRecipes:
+        """Fetch a file's sealed recipes from the tenant's namespace.
 
         Raises:
-            KeyError: unknown file.
+            FileNotFoundError: unknown file *in this tenant's namespace* —
+                another tenant's files are invisible here, whatever the
+                cross-user dedup setting.
         """
-        with self._lock:
-            file_recipe, key_recipe = self._recipes[request.file_name]
+        state = self._tenant(tenant)
+        with state.lock:
+            entry = state.recipes.get(request.file_name)
+        if entry is None:
+            raise FileNotFoundError(
+                f"no such file for tenant {tenant}: {request.file_name}"
+            )
+        file_recipe, key_recipe = entry
         return PutRecipes(
             file_name=request.file_name,
             sealed_file_recipe=file_recipe,
@@ -189,40 +568,142 @@ class ProviderService:
 
     # -- bookkeeping ----------------------------------------------------------------
 
+    def _tenant_snapshot(self) -> List[_TenantState]:
+        with self._admin_lock:
+            return list(self._tenants.values())
+
+    def _engines(self) -> List[DedupEngine]:
+        """Every distinct engine (root/shared + per-tenant), deduped."""
+        engines: List[DedupEngine] = []
+        if self.engine is not None:
+            engines.append(self.engine)
+        for state in self._tenant_snapshot():
+            if state.engine is not None and all(
+                state.engine is not e for e in engines
+            ):
+                engines.append(state.engine)
+        return engines
+
     def flush(self) -> None:
-        """Seal containers and flush the indexes (no-op in memory mode)."""
-        with self._lock:
-            if self.engine is not None:
-                self.engine.flush()
-            if self._recipe_store is not None:
-                self._recipe_store.flush()
+        """Seal containers and flush indexes/recipes across all tenants."""
+        for state in self._tenant_snapshot():
+            with state.lock:
+                if (
+                    state.engine is not None
+                    and state.engine is not self.engine
+                ):
+                    state.engine.flush()
+                if state.recipe_store is not None:
+                    state.recipe_store.flush()
+        if self._shared is not None:
+            self._shared.flush()
+        elif self.engine is not None:
+            self.engine.flush()
 
     def close(self) -> None:
-        """Stop the scrubber and flush/release all storage."""
-        if self.scrubber is not None:
-            self.scrubber.stop()
-        with self._lock:
-            if self._recipe_store is not None:
-                self._recipe_store.close()
+        """Stop the scrubber and flush/release all storage.
+
+        Re-entrant: the second and later calls are no-ops. The scrubber
+        is always stopped first (it reads the engines being closed), and
+        every tenant's stores are closed even if one of them raises —
+        the first error propagates after the sweep finishes.
+        """
+        with self._admin_lock:
+            if self._closed:
+                return
+            self._closed = True
+            states = list(self._tenants.values())
+        try:
+            if self.scrubber is not None:
+                self.scrubber.stop()
+        finally:
+            first_error: Optional[BaseException] = None
+            closers = []
+            for state in states:
+                if state.recipe_store is not None:
+                    closers.append(state.recipe_store.close)
+                if (
+                    state.engine is not None
+                    and state.engine is not self.engine
+                ):
+                    closers.append(state.engine.close)
             if self.engine is not None:
-                self.engine.close()
+                closers.append(self.engine.close)
+            for closer in closers:
+                try:
+                    closer()
+                except BaseException as exc:  # keep sweeping, raise later
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+
+    def tenant_stats(
+        self, tenant: str = DEFAULT_TENANT
+    ) -> List[Tuple[str, int]]:
+        """One tenant's logical counters (quota accounting view)."""
+        state = self._tenant(tenant)
+        with state.lock:
+            return [
+                ("logical_chunks", state.logical_chunks),
+                ("logical_bytes", state.logical_bytes),
+                ("stored_chunks", state.stored_chunks),
+                ("duplicate_chunks", state.duplicate_chunks),
+                ("files", len(state.recipes)),
+                ("quarantined_recipes", len(state.quarantined_recipes)),
+            ]
+
+    def tenants(self) -> List[str]:
+        """Materialized tenant ids (stable order for tests/tools)."""
+        with self._admin_lock:
+            return sorted(self._tenants)
 
     def stats(self):
-        """Counters for the evaluation harness."""
-        with self._lock:
-            if self.in_memory:
-                return [
-                    ("logical_chunks", self._logical_chunks),
-                    ("unique_chunks", len(self._memory_chunks)),
-                    ("duplicate_chunks", self._duplicate_chunks),
-                    ("files", len(self._recipes)),
-                ]
-            stats = self.engine.stats
+        """Counters for the evaluation harness (aggregated over tenants)."""
+        states = self._tenant_snapshot()
+        files = 0
+        for state in states:
+            with state.lock:
+                files += len(state.recipes)
+        if self.in_memory:
+            logical = sum(s.logical_chunks for s in states)
+            duplicates = sum(s.duplicate_chunks for s in states)
+            if self._memory_chunks is not None:
+                with self._memory_lock:
+                    unique = len(self._memory_chunks)
+            else:
+                unique = 0
+                for state in states:
+                    if state.memory_chunks is not None:
+                        unique += len(state.memory_chunks)
             return [
-                ("logical_chunks", stats.logical_chunks),
-                ("unique_chunks", stats.unique_chunks),
-                ("logical_bytes", stats.logical_bytes),
-                ("unique_bytes", stats.unique_bytes),
-                ("files", len(self._recipes)),
-                ("containers", self.engine.containers.container_count()),
+                ("logical_chunks", logical),
+                ("unique_chunks", unique),
+                ("duplicate_chunks", duplicates),
+                ("files", files),
+                ("tenants", len(states)),
             ]
+        engines = self._engines()
+        totals = {
+            "logical_chunks": 0,
+            "unique_chunks": 0,
+            "logical_bytes": 0,
+            "unique_bytes": 0,
+            "containers": 0,
+        }
+        for engine in engines:
+            stats = engine.stats
+            totals["logical_chunks"] += stats.logical_chunks
+            totals["unique_chunks"] += stats.unique_chunks
+            totals["logical_bytes"] += stats.logical_bytes
+            totals["unique_bytes"] += stats.unique_bytes
+            totals["containers"] += engine.containers.container_count()
+        return [
+            ("logical_chunks", totals["logical_chunks"]),
+            ("unique_chunks", totals["unique_chunks"]),
+            ("logical_bytes", totals["logical_bytes"]),
+            ("unique_bytes", totals["unique_bytes"]),
+            ("files", files),
+            ("containers", totals["containers"]),
+            ("tenants", len(states)),
+        ]

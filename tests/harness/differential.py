@@ -334,3 +334,161 @@ def _diff_keys(a: Dict[str, str], b: Dict[str, str]) -> str:
     return (
         f"only-baseline={only_a} only-candidate={only_b} changed={changed}"
     )
+
+
+# -- multi-tenant isolation gate (DESIGN.md §13) -------------------------------
+#
+# With cross-user dedup *off*, every tenant owns a private dedup engine
+# under ``tenants/<id>/``, so a tenant's durable bytes are a function of
+# its own upload sequence alone — concurrent interleaving with other
+# tenants must not change a single byte. The gate below makes that
+# executable: run N tenants concurrently against one provider, run the
+# same N workloads serially against N fresh single-tenant providers, and
+# compare each tenant's subtree byte for byte.
+
+
+def make_tenant_workloads(
+    tenants: Sequence[str],
+    *,
+    files_per_tenant: int = 2,
+    chunks_per_file: int = 400,
+    shared_blocks: int = 24,
+    private_blocks: int = 8,
+    block_bytes: int = 2048,
+    seed: int = 11,
+) -> Dict[str, List[Tuple[str, List[bytes]]]]:
+    """Deterministic per-tenant workloads with heavy cross-tenant overlap.
+
+    Every tenant draws most chunks from one shared block pool (so the
+    cross-user-dedup-on mode has duplicates to collapse) plus a small
+    private pool (so per-tenant state is distinguishable). Each tenant's
+    sequence depends only on its own name, never on the other tenants.
+    """
+    rng = random.Random(seed)
+    shared = [rng.randbytes(block_bytes) for _ in range(shared_blocks)]
+    workloads: Dict[str, List[Tuple[str, List[bytes]]]] = {}
+    for tenant in tenants:
+        tenant_rng = random.Random(f"{seed}:{tenant}")
+        private = [
+            tenant_rng.randbytes(block_bytes) for _ in range(private_blocks)
+        ]
+        pool = shared + private
+        workloads[tenant] = [
+            (
+                f"{tenant}-file-{index}",
+                [
+                    pool[tenant_rng.randrange(len(pool))]
+                    for _ in range(chunks_per_file)
+                ],
+            )
+            for index in range(files_per_tenant)
+        ]
+    return workloads
+
+
+def make_tenant_client(
+    provider_service: ProviderService, tenant: str, *, rng_seed: int = 7
+) -> TedStoreClient:
+    """A serial client bound to ``tenant`` with its own key manager.
+
+    Each tenant gets a private key-manager instance (its own sketch and
+    seeds), so key derivation depends only on that tenant's upload
+    sequence — a prerequisite for the byte-identical isolation gate.
+    The per-tenant master key mirrors a real deployment (REED's
+    per-tenant key boundary).
+    """
+    ted = make_key_manager("bted", rng_seed=rng_seed)
+    return TedStoreClient(
+        LocalKeyManager(KeyManagerService(ted)),
+        LocalProvider(provider_service, tenant=tenant),
+        master_key=hashlib.sha256(tenant.encode()).digest(),
+        profile=get_profile("shactr"),
+        sketch_width=_SKETCH_WIDTH,
+        batch_size=500,
+    )
+
+
+def run_tenants(
+    provider_service: ProviderService,
+    workloads: Dict[str, List[Tuple[str, List[bytes]]]],
+    *,
+    concurrent: bool,
+    rng_seed: int = 7,
+) -> None:
+    """Run every tenant's workload, in parallel threads or serially."""
+    import threading
+
+    errors: List[BaseException] = []
+
+    def one(tenant: str) -> None:
+        try:
+            client = make_tenant_client(
+                provider_service, tenant, rng_seed=rng_seed
+            )
+            for name, chunks in workloads[tenant]:
+                client.upload_chunks(name, list(chunks))
+        except BaseException as exc:  # surfaced to the caller
+            errors.append(exc)
+
+    if concurrent:
+        threads = [
+            threading.Thread(target=one, args=(tenant,))
+            for tenant in workloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        for tenant in workloads:
+            one(tenant)
+    if errors:
+        raise errors[0]
+    provider_service.flush()
+
+
+def tenant_subtree_state(root: Path) -> Dict[str, str]:
+    """Hash every durable file under one tenant's storage subtree.
+
+    The ``recipes/`` store is excluded for the same reason as in
+    :func:`provider_state`: sealing uses a random nonce, so sealed bytes
+    are never comparable across runs — recipe equivalence is asserted
+    over plaintext digests (:func:`tenant_recipes_state`).
+    """
+    hashes: Dict[str, str] = {}
+    for path in sorted(Path(root).rglob("*")):
+        if path.is_file():
+            parts = path.relative_to(root).parts
+            if parts[0] == "recipes":
+                continue
+            hashes["/".join(parts)] = hashlib.sha256(
+                path.read_bytes()
+            ).hexdigest()
+    return hashes
+
+
+def tenant_recipes_state(
+    provider_service: ProviderService,
+    tenant: str,
+    file_names: Sequence[str],
+) -> Dict[str, Tuple[str, str]]:
+    """Per-file recipe *plaintext* digests in one tenant's namespace."""
+    from repro.storage.recipe import unseal
+
+    master_key = hashlib.sha256(tenant.encode()).digest()
+    state = {}
+    for name in file_names:
+        recipes = provider_service.handle_get_recipes(
+            GetRecipes(file_name=name), tenant=tenant
+        )
+        file_plain = unseal(master_key, recipes.sealed_file_recipe)
+        key_plain = (
+            unseal(master_key, recipes.sealed_key_recipe)
+            if recipes.sealed_key_recipe
+            else b""
+        )
+        state[name] = (
+            hashlib.sha256(file_plain).hexdigest(),
+            hashlib.sha256(key_plain).hexdigest(),
+        )
+    return state

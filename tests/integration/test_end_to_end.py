@@ -127,7 +127,8 @@ class TestTraceToStorage:
         chunks = [c for _, c in snapshot_to_chunks(small_records)][:500]
         client.upload_chunks("snap", chunks)
         provider.flush()
-        recipes = provider._recipes  # recipes live outside the engine
+        # Recipes live outside the engine, in the tenant namespace.
+        recipes = dict(provider._tenant("default").recipes)
 
         # Simulate a provider restart on the same directory.
         from repro.storage.dedup import DedupEngine
@@ -136,7 +137,7 @@ class TestTraceToStorage:
         reopened = ProviderService(
             engine=DedupEngine(tmp_path, container_bytes=256 << 10)
         )
-        reopened._recipes = recipes
+        reopened._tenant("default").recipes.update(recipes)
         client2 = TedStoreClient(
             client.key_manager,
             LocalProvider(reopened),

@@ -191,10 +191,10 @@ class _GatedProvider(ProviderService):
         self.entered = threading.Event()
         self.release = threading.Event()
 
-    def handle_put_chunks(self, request):
+    def handle_put_chunks(self, request, tenant="default"):
         self.entered.set()
         assert self.release.wait(10), "test forgot to release the gate"
-        return super().handle_put_chunks(request)
+        return super().handle_put_chunks(request, tenant=tenant)
 
 
 class TestMaxInflight:

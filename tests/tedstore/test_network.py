@@ -92,13 +92,15 @@ class TestTcpRoundTrip:
         assert km_stats["client_reconnects"] == 0
 
     def test_remote_error_propagates(self, stack):
+        # A missing chunk is a typed MSG_NOT_FOUND reply, raised locally
+        # as KeyError (not a RuntimeError server fault).
         client = stack()
-        with pytest.raises(RuntimeError, match="not found"):
+        with pytest.raises(KeyError, match="missing"):
             client.provider.get_chunks(GetChunks(fingerprints=[b"missing"]))
 
     def test_connection_survives_error(self, stack):
         client = stack()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(KeyError):
             client.provider.get_chunks(GetChunks(fingerprints=[b"missing"]))
         # Same connection continues to work.
         data = unique_file(10_000)

@@ -125,7 +125,7 @@ class TestProviderService:
 
     def test_unknown_recipe(self):
         provider = ProviderService(in_memory=True)
-        with pytest.raises(KeyError):
+        with pytest.raises(FileNotFoundError):
             provider.handle_get_recipes(GetRecipes(file_name="missing"))
 
     def test_requires_directory_or_memory(self):
