@@ -1,0 +1,74 @@
+"""Load-harness regression gate: smoke profile throughput + tail latency.
+
+Runs the examples/load_smoke.toml profile (scaled by REPRO_BENCH_SCALE,
+same convention as every other bench) against a fresh in-process
+deployment, prints the per-op table, and writes ``BENCH_load.json``
+(repo root; ``REPRO_BENCH_LOAD_OUT`` overrides) for the CI artifact.
+
+The gate asserts the floors/ceilings in-test so CI fails on regression:
+
+* no operation errors (faults are off in the smoke profile);
+* total throughput at least ``_MIN_OPS_PER_SECOND`` — a deliberately
+  loose floor (~10x below the ~300 ops/s a cold CI runner delivers at
+  smoke scale) that still catches order-of-magnitude collapses;
+* upload p99 under ``_MAX_UPLOAD_P99_MS`` — likewise ~10x headroom over
+  the observed ~25ms;
+* the profile's own (generous) SLOs judged by the tracker.
+"""
+
+from pathlib import Path
+
+from conftest import BENCH_SCALE, print_table
+
+from repro.loadgen.report import LoadReport, write_bench
+from repro.loadgen.runner import LoadRunner
+from repro.loadgen.workload import WorkloadProfile
+
+_PROFILE = Path(__file__).resolve().parent.parent / (
+    "examples/load_smoke.toml"
+)
+_MIN_OPS_PER_SECOND = 20.0
+_MAX_UPLOAD_P99_MS = 500.0
+
+
+def test_load_smoke_gate():
+    profile = WorkloadProfile.from_toml(_PROFILE).scaled(BENCH_SCALE)
+    runner = LoadRunner(profile)
+    totals = runner.run()
+    report = LoadReport.collect(profile, totals, runner.tracker)
+
+    print_table(
+        f"load smoke (scale {BENCH_SCALE}, {profile.clients} clients, "
+        f"{profile.duration_seconds:.1f}s)",
+        [
+            {
+                "op": r.op,
+                "ops": r.ops,
+                "err%": f"{r.error_ratio:.1%}",
+                "p50ms": f"{r.p50_ms:.1f}",
+                "p99ms": f"{r.p99_ms:.1f}",
+                "ops/s": f"{r.ops_per_second:.1f}",
+                "MiB/s": f"{r.mib_per_second:.2f}",
+            }
+            for r in report.per_op
+        ],
+    )
+    out = write_bench([report])
+    print(f"wrote {out}")
+
+    assert totals.ops > 0, "load run produced no operations"
+    assert report.errors_total == 0, (
+        f"{report.errors_total} errors with faults off"
+    )
+    total_rate = sum(r.ops_per_second for r in report.per_op)
+    assert total_rate >= _MIN_OPS_PER_SECOND, (
+        f"throughput collapsed: {total_rate:.1f} ops/s "
+        f"< {_MIN_OPS_PER_SECOND} floor"
+    )
+    uploads = [r for r in report.per_op if r.op == "upload"]
+    assert uploads, "smoke profile uploaded nothing"
+    assert uploads[0].p99_ms <= _MAX_UPLOAD_P99_MS, (
+        f"upload p99 regressed: {uploads[0].p99_ms:.1f}ms "
+        f"> {_MAX_UPLOAD_P99_MS}ms ceiling"
+    )
+    assert not report.breached, "smoke profile breached its own SLOs"

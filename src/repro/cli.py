@@ -15,6 +15,12 @@ Gives downstream users the paper's workflows without writing Python:
   (DESIGN.md §12, docs/RUNBOOK.md).
 * ``trace`` — run an in-process upload/download demo and print the
   resulting span tree plus a Prometheus metrics export (DESIGN.md §9).
+* ``loadgen`` — run a declarative multi-tenant load profile against an
+  in-process or TCP deployment, print per-op p50/p95/p99, throughput,
+  and error rates from the obs registry, and exit nonzero on SLO
+  breach (DESIGN.md §14).
+* ``top`` — per-op qps/p99/error view of a load run, either replaying a
+  finished flight-recorder file or following one being written.
 
 Examples::
 
@@ -360,9 +366,234 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("round trip FAILED: downloaded bytes differ", file=sys.stderr)
         return 1
     print(export.format_recorder(recorder))
+    print(
+        f"\nrecorder: {recorder.used}/{recorder.capacity} spans held, "
+        f"{recorder.dropped} dropped"
+    )
     print()
     print(export.prometheus_text())
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen.report import LoadReport, write_bench
+    from repro.loadgen.runner import (
+        LoadRunner,
+        TcpDeployment,
+    )
+    from repro.loadgen.workload import WorkloadProfile
+    from repro.obs.flight import FlightRecorder
+
+    if args.profile_file:
+        try:
+            profile = WorkloadProfile.from_toml(args.profile_file)
+        except (OSError, ValueError) as exc:
+            print(f"bad profile: {exc}", file=sys.stderr)
+            return 2
+    else:
+        profile = WorkloadProfile()
+    overrides = {}
+    for attr, flag in (
+        ("mode", "mode"),
+        ("clients", "clients"),
+        ("arrival_rate", "rate"),
+        ("duration_seconds", "duration"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[attr] = value
+    if overrides:
+        from dataclasses import replace as _replace
+
+        profile = _replace(profile, **overrides)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+
+    deployment = None
+    if args.km or args.provider:
+        if not (args.km and args.provider):
+            print(
+                "TCP mode needs both --km and --provider", file=sys.stderr
+            )
+            return 2
+        auth_token = b""
+        if args.auth_token:
+            auth_token = Path(args.auth_token).read_bytes().strip()
+        deployment = TcpDeployment(
+            _address(args.km), _address(args.provider), auth_token
+        )
+
+    flight = None
+    if args.flight:
+        flight = FlightRecorder(
+            args.flight, max_bytes=args.flight_mb << 20
+        )
+    runner = LoadRunner(profile, deployment=deployment, flight=flight)
+    try:
+        totals = runner.run()
+    except KeyboardInterrupt:
+        runner.stop()
+        totals = runner.totals
+    finally:
+        if flight is not None:
+            flight.close()
+        if deployment is not None:
+            deployment.close()
+    report = LoadReport.collect(profile, totals, runner.tracker)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    if args.bench_out:
+        path = write_bench([report], args.bench_out)
+        print(f"wrote {path}", file=sys.stderr)
+    return 1 if report.breached else 0
+
+
+def _top_render_window(ops: list, now: float, window: float) -> List[str]:
+    """Render one refresh frame from recent op events."""
+    recent = [e for e in ops if now - e["ts"] <= window]
+    lines = [
+        f"-- last {window:.0f}s: {len(recent)} ops "
+        f"({sum(1 for e in recent if not e['ok'])} errors) --",
+        f"{'op':<10} {'qps':>7} {'p50ms':>8} {'p99ms':>8} {'err%':>6}",
+    ]
+    by_op: dict = {}
+    for event in recent:
+        by_op.setdefault(event["op"], []).append(event)
+    for op, events in sorted(by_op.items()):
+        latencies = sorted(e["seconds"] for e in events if e["ok"])
+        errors = sum(1 for e in events if not e["ok"])
+        p50 = latencies[len(latencies) // 2] * 1000 if latencies else 0.0
+        p99 = (
+            latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+            * 1000
+            if latencies
+            else 0.0
+        )
+        lines.append(
+            f"{op:<10} {len(events) / window:>7.1f} {p50:>8.1f} "
+            f"{p99:>8.1f} {errors / len(events):>6.1%}"
+        )
+    by_tenant: dict = {}
+    for event in recent:
+        by_tenant.setdefault(event["tenant"], []).append(event)
+    if by_tenant:
+        lines.append(f"{'tenant':<10} {'qps':>7} {'err%':>6}")
+        for tenant, events in sorted(by_tenant.items()):
+            errors = sum(1 for e in events if not e["ok"])
+            lines.append(
+                f"{tenant:<10} {len(events) / window:>7.1f} "
+                f"{errors / len(events):>6.1%}"
+            )
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.flight import iter_flight
+
+    path = args.replay or args.follow
+    if not path:
+        print("pass --replay FILE or --follow FILE", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        try:
+            events = list(iter_flight(path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read flight file: {exc}", file=sys.stderr)
+            return 2
+        ops = [e for e in events if e["kind"] == "op"]
+        metas = [e for e in events if e["kind"] == "meta"]
+        if metas:
+            first = metas[0]
+            print(
+                f"run: profile={first.get('profile', '?')} "
+                f"mode={first.get('mode', '?')} "
+                f"seed={first.get('seed', '?')}"
+            )
+        if not ops:
+            print("(no op events recorded)")
+            return 0
+        t0 = ops[0]["ts"]
+        interval = args.interval
+        buckets: dict = {}
+        for event in ops:
+            buckets.setdefault(int((event["ts"] - t0) / interval), []).append(
+                event
+            )
+        print(
+            f"{'t':>6} {'op':<10} {'ops':>6} {'qps':>7} {'p50ms':>8} "
+            f"{'p99ms':>8} {'err%':>6}"
+        )
+        for index in sorted(buckets):
+            by_op: dict = {}
+            for event in buckets[index]:
+                by_op.setdefault(event["op"], []).append(event)
+            for op, events_ in sorted(by_op.items()):
+                latencies = sorted(
+                    e["seconds"] for e in events_ if e["ok"]
+                )
+                errors = sum(1 for e in events_ if not e["ok"])
+                p50 = (
+                    latencies[len(latencies) // 2] * 1000
+                    if latencies
+                    else 0.0
+                )
+                p99 = (
+                    latencies[
+                        min(len(latencies) - 1, int(len(latencies) * 0.99))
+                    ]
+                    * 1000
+                    if latencies
+                    else 0.0
+                )
+                print(
+                    f"{index * interval:>5.0f}s {op:<10} "
+                    f"{len(events_):>6} {len(events_) / interval:>7.1f} "
+                    f"{p50:>8.1f} {p99:>8.1f} "
+                    f"{errors / len(events_):>6.1%}"
+                )
+        total_errors = sum(1 for e in ops if not e["ok"])
+        span = ops[-1]["ts"] - t0
+        print(
+            f"\n{len(ops)} ops over {span:.1f}s "
+            f"({total_errors} errors)"
+        )
+        return 0
+
+    # --follow: poll the active file, rendering a sliding-window frame
+    # per refresh until no new events arrive (or forever with --wait).
+    iterations = 0
+    last_count = -1
+    idle_rounds = 0
+    while True:
+        try:
+            ops = [e for e in iter_flight(path) if e["kind"] == "op"]
+        except FileNotFoundError:
+            ops = []
+        except ValueError as exc:
+            print(f"cannot read flight file: {exc}", file=sys.stderr)
+            return 2
+        if ops:
+            now = ops[-1]["ts"]
+            for line in _top_render_window(ops, now, args.window):
+                print(line)
+            print()
+        idle_rounds = idle_rounds + 1 if len(ops) == last_count else 0
+        last_count = len(ops)
+        iterations += 1
+        if args.iterations and iterations >= args.iterations:
+            return 0
+        if not args.wait and idle_rounds >= 3 and ops:
+            return 0  # the writer has gone quiet; the run is over
+        try:
+            time.sleep(args.refresh)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
@@ -541,6 +772,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", default="shactr",
                    choices=["secure", "fast", "shactr"])
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="run a multi-tenant load profile; exit 1 on SLO breach",
+    )
+    p.add_argument(
+        "--profile", dest="profile_file", default=None, metavar="TOML",
+        help="workload profile file (examples/load_smoke.toml); "
+             "omit for built-in defaults",
+    )
+    p.add_argument("--mode", choices=["closed", "open"], default=None,
+                   help="override the profile's arrival mode")
+    p.add_argument("--clients", type=int, default=None,
+                   help="override closed-loop client count")
+    p.add_argument("--rate", type=float, default=None,
+                   help="override open-loop arrival rate (ops/s)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override run duration in seconds")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the profile seed")
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale clients/rate/inflight/duration together "
+             "(CI smoke uses 0.15)",
+    )
+    p.add_argument("--km", default=None,
+                   help="key manager address; with --provider, drive a "
+                        "TCP deployment instead of in-process services")
+    p.add_argument("--provider", default=None,
+                   help="provider address (host:port)")
+    p.add_argument("--auth-token", default=None, metavar="FILE",
+                   help="file with the shared tenant auth secret")
+    p.add_argument("--flight", default=None, metavar="FILE",
+                   help="write a bounded JSONL flight record here "
+                        "(replay with `repro top --replay`)")
+    p.add_argument("--flight-mb", type=int, default=8,
+                   help="flight-record size budget in MiB")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("--bench-out", default=None, metavar="FILE",
+                   help="also merge the report into this BENCH_load.json")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top", help="per-op qps/p99/error view of a load run"
+    )
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="reconstruct the full per-op latency timeline "
+                        "from a finished flight record")
+    p.add_argument("--follow", default=None, metavar="FILE",
+                   help="poll a flight record being written, printing a "
+                        "sliding-window frame per refresh")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="replay timeline bucket width in seconds")
+    p.add_argument("--window", type=float, default=5.0,
+                   help="follow-mode sliding window in seconds")
+    p.add_argument("--refresh", type=float, default=1.0,
+                   help="follow-mode poll interval in seconds")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop follow mode after N frames (0 = until the "
+                        "writer goes quiet)")
+    p.add_argument("--wait", action="store_true",
+                   help="follow forever even when no events arrive")
+    p.set_defaults(func=cmd_top)
 
     return parser
 

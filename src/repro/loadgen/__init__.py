@@ -1,0 +1,47 @@
+"""Fleet-scale load generation against a TEDStore deployment (§14).
+
+* :mod:`repro.loadgen.workload` — declarative profiles: arrival mode
+  (open/closed loop), file-size and dedup-locality distributions,
+  upload/restore mix, tenant skew, fault mixes, SLO targets.
+* :mod:`repro.loadgen.runner` — the multi-tenant runner: worker threads,
+  Poisson arrivals with shed-on-overload, payload forging, and triple
+  recording (registry, SLO windows, flight recorder).
+* :mod:`repro.loadgen.report` — registry-sourced report: per-op
+  p50/p95/p99, throughput, error rates, SLO verdicts, and the
+  ``BENCH_load.json`` emitter.
+
+Surfaced as ``repro loadgen`` (run a profile, exit nonzero on SLO
+breach) and ``repro top`` (live/replay per-op view of a flight file).
+"""
+
+from repro.loadgen.report import LoadReport, OpReport, write_bench
+from repro.loadgen.runner import (
+    InProcessDeployment,
+    LoadRunner,
+    PayloadForge,
+    RunTotals,
+    TcpDeployment,
+)
+from repro.loadgen.workload import (
+    FaultMix,
+    FileShape,
+    OpMix,
+    TenantShape,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "FaultMix",
+    "FileShape",
+    "InProcessDeployment",
+    "LoadReport",
+    "LoadRunner",
+    "OpMix",
+    "OpReport",
+    "PayloadForge",
+    "RunTotals",
+    "TcpDeployment",
+    "TenantShape",
+    "WorkloadProfile",
+    "write_bench",
+]

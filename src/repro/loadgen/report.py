@@ -1,0 +1,237 @@
+"""Load-run reporting: registry-sourced percentiles, SLO verdicts, JSON.
+
+The report layer deliberately reads its numbers back out of the obs
+registry (the cumulative ``ted_loadgen_*`` instruments the runner wrote)
+rather than private runner state: the same percentiles an operator would
+scrape from ``repro stats --format prom`` are the ones printed and
+emitted to ``BENCH_load.json``, so the report is a consistency check of
+the observability path, not a parallel bookkeeping system. The SLO
+section comes from the tracker's windowed view (the state the run *ended*
+in), and per-tenant rows from the runner's totals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.loadgen.runner import RunTotals
+from repro.loadgen.workload import WorkloadProfile
+from repro.obs import metrics as obs_metrics
+from repro.obs.slo import SLOStatus, SLOTracker
+
+#: Default destination of the benchmark dump (repo root, next to the
+#: other BENCH_*.json trajectories); REPRO_BENCH_LOAD_OUT overrides.
+DEFAULT_BENCH_OUT = (
+    Path(__file__).resolve().parent.parent.parent.parent / "BENCH_load.json"
+)
+
+
+@dataclass(frozen=True)
+class OpReport:
+    """Cumulative per-operation outcome of one run."""
+
+    op: str
+    ops: int
+    errors: int
+    error_ratio: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    ops_per_second: float
+    mib_per_second: float
+
+
+@dataclass
+class LoadReport:
+    """Everything one run produced, printable and JSON-serializable."""
+
+    profile: WorkloadProfile
+    duration_seconds: float
+    ops_total: int
+    errors_total: int
+    shed_total: int
+    bytes_total: int
+    per_op: List[OpReport]
+    per_tenant: Dict[str, Dict[str, int]]
+    slo: List[SLOStatus]
+
+    @property
+    def breached(self) -> bool:
+        return any(status.breached for status in self.slo)
+
+    @classmethod
+    def collect(
+        cls,
+        profile: WorkloadProfile,
+        totals: RunTotals,
+        tracker: SLOTracker,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+    ) -> "LoadReport":
+        """Assemble the report from the registry + tracker + raw totals."""
+        registry = registry or obs_metrics.get_registry()
+        duration = max(totals.duration_seconds, 1e-9)
+        per_op: List[OpReport] = []
+        seconds = registry.get("ted_loadgen_op_seconds")
+        ops_counter = registry.get("ted_loadgen_ops_total")
+        bytes_counter = registry.get("ted_loadgen_bytes_total")
+        ops_by_label: Dict[str, Dict[str, float]] = {}
+        if ops_counter is not None:
+            for (op, status), child in ops_counter.children():
+                ops_by_label.setdefault(op, {})[status] = child.value
+        bytes_by_op: Dict[str, float] = {}
+        if bytes_counter is not None:
+            for (op,), child in bytes_counter.children():
+                bytes_by_op[op] = child.value
+        if seconds is not None:
+            for (op,), child in seconds.children():
+                count = child.count
+                if count == 0:
+                    continue
+                outcomes = ops_by_label.get(op, {})
+                errors = int(outcomes.get("error", 0))
+                moved = bytes_by_op.get(op, 0.0)
+                per_op.append(
+                    OpReport(
+                        op=op,
+                        ops=count,
+                        errors=errors,
+                        error_ratio=errors / count,
+                        p50_ms=child.quantile(0.5) * 1000,
+                        p95_ms=child.quantile(0.95) * 1000,
+                        p99_ms=child.quantile(0.99) * 1000,
+                        mean_ms=(child.sum / count) * 1000,
+                        ops_per_second=count / duration,
+                        mib_per_second=moved / duration / (1 << 20),
+                    )
+                )
+        per_op.sort(key=lambda r: r.op)
+        return cls(
+            profile=profile,
+            duration_seconds=totals.duration_seconds,
+            ops_total=totals.ops + totals.shed,
+            errors_total=totals.errors,
+            shed_total=totals.shed,
+            bytes_total=totals.bytes_moved,
+            per_op=per_op,
+            per_tenant=dict(sorted(totals.per_tenant.items())),
+            slo=tracker.evaluate(),
+        )
+
+    # -- rendering ------------------------------------------------------------
+
+    def format(self) -> str:
+        lines = [
+            f"=== load report: {self.profile.name} "
+            f"({self.profile.mode} loop, {self.profile.tenants.count} "
+            f"tenants, seed {self.profile.seed}) ===",
+            f"duration {self.duration_seconds:.2f}s, "
+            f"{self.ops_total} ops ({self.errors_total} errors, "
+            f"{self.shed_total} shed), "
+            f"{self.bytes_total / (1 << 20):.1f} MiB moved",
+            "",
+            f"{'op':<10} {'ops':>7} {'err%':>6} {'p50ms':>8} "
+            f"{'p95ms':>8} {'p99ms':>8} {'mean':>8} {'ops/s':>8} "
+            f"{'MiB/s':>7}",
+        ]
+        for r in self.per_op:
+            lines.append(
+                f"{r.op:<10} {r.ops:>7} {r.error_ratio:>6.1%} "
+                f"{r.p50_ms:>8.1f} {r.p95_ms:>8.1f} {r.p99_ms:>8.1f} "
+                f"{r.mean_ms:>8.1f} {r.ops_per_second:>8.1f} "
+                f"{r.mib_per_second:>7.2f}"
+            )
+        if self.per_tenant:
+            lines.append("")
+            lines.append(
+                f"{'tenant':<10} {'uploads':>8} {'restores':>9} "
+                f"{'errors':>7}"
+            )
+            for tenant, counts in self.per_tenant.items():
+                lines.append(
+                    f"{tenant:<10} {counts.get('upload', 0):>8} "
+                    f"{counts.get('restore', 0):>9} "
+                    f"{counts.get('errors', 0):>7}"
+                )
+        if self.slo:
+            lines.append("")
+            lines.append("SLO (windowed):")
+            for status in self.slo:
+                lines.append(f"  {status.describe()}")
+        lines.append("")
+        lines.append("SLO BREACHED" if self.breached else "all SLOs met")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.profile.name,
+            "mode": self.profile.mode,
+            "seed": self.profile.seed,
+            "tenants": self.profile.tenants.count,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "ops_total": self.ops_total,
+            "errors_total": self.errors_total,
+            "shed_total": self.shed_total,
+            "bytes_total": self.bytes_total,
+            "breached": self.breached,
+            "per_op": {
+                r.op: {
+                    "ops": r.ops,
+                    "errors": r.errors,
+                    "error_ratio": round(r.error_ratio, 6),
+                    "p50_ms": round(r.p50_ms, 3),
+                    "p95_ms": round(r.p95_ms, 3),
+                    "p99_ms": round(r.p99_ms, 3),
+                    "mean_ms": round(r.mean_ms, 3),
+                    "ops_per_second": round(r.ops_per_second, 3),
+                    "mib_per_second": round(r.mib_per_second, 4),
+                }
+                for r in self.per_op
+            },
+            "per_tenant": self.per_tenant,
+            "slo": [
+                {
+                    "op": s.op,
+                    "breached": s.breached,
+                    "p99_ms": round(s.p99 * 1000, 3),
+                    "error_ratio": round(s.error_ratio, 6),
+                    "latency_burn_rate": round(s.latency_burn_rate, 3),
+                    "error_burn_rate": round(s.error_burn_rate, 3),
+                    "reasons": list(s.reasons),
+                }
+                for s in self.slo
+            ],
+        }
+
+
+def write_bench(
+    reports: Sequence[LoadReport], out: Optional[os.PathLike] = None
+) -> Path:
+    """Merge per-profile summaries into ``BENCH_load.json``.
+
+    The document accumulates across calls (one section per profile name),
+    matching the merge convention of ``benchmarks/emit.py``.
+    """
+    path = Path(
+        out
+        or os.environ.get("REPRO_BENCH_LOAD_OUT", str(DEFAULT_BENCH_OUT))
+    )
+    document: dict = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except ValueError:
+            document = {}  # overwrite a corrupt dump rather than crash
+    profiles = document.setdefault("profiles", {})
+    for report in reports:
+        profiles[report.profile.name] = report.to_dict()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+__all__ = ["LoadReport", "OpReport", "write_bench", "DEFAULT_BENCH_OUT"]

@@ -6,8 +6,12 @@
 * :mod:`repro.obs.tracing` — spans with a contextvars current-span and a
   trace context that propagates across the TEDStore wire framing.
 * :mod:`repro.obs.export` — Prometheus text, JSON snapshot, span trees.
+* :mod:`repro.obs.window` — sliding-window quantiles/rates for live views.
+* :mod:`repro.obs.slo` — per-op SLO targets, burn-rate gauges (§14).
+* :mod:`repro.obs.flight` — bounded JSONL flight recorder + replay reader.
 """
 
+from repro.obs.flight import FlightRecorder, iter_flight, read_ops
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     MetricError,
@@ -16,6 +20,8 @@ from repro.obs.metrics import (
     log_scale_buckets,
     set_registry,
 )
+from repro.obs.slo import SLO, SLOStatus, SLOTracker
+from repro.obs.window import WindowedCounter, WindowedHistogram
 from repro.obs.tracing import (
     Span,
     SpanContext,
@@ -29,6 +35,14 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "FlightRecorder",
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "iter_flight",
+    "read_ops",
     "LATENCY_BUCKETS",
     "MetricError",
     "MetricsRegistry",

@@ -11,7 +11,12 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.metrics import MetricsRegistry, _format_labels, get_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _format_labels,
+    escape_label_value,
+    get_registry,
+)
 from repro.obs.tracing import Span, SpanRecorder
 
 
@@ -32,14 +37,22 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     registry = registry or get_registry()
     lines: List[str] = []
     for instrument in registry.instruments():
+        # HELP/TYPE are emitted exactly once per metric family, before
+        # its samples, regardless of how many labelled children exist.
         if instrument.help:
-            lines.append(f"# HELP {instrument.name} {instrument.help}")
+            escaped_help = instrument.help.replace("\\", "\\\\").replace(
+                "\n", "\\n"
+            )
+            lines.append(f"# HELP {instrument.name} {escaped_help}")
         lines.append(f"# TYPE {instrument.name} {instrument.kind}")
         for values, child in instrument.children():
             labels = _format_labels(instrument.labelnames, values)
             if instrument.kind == "histogram":
                 for bound, cumulative in child.buckets():
-                    pairs = list(zip(instrument.labelnames, values))
+                    pairs = [
+                        (name, escape_label_value(value))
+                        for name, value in zip(instrument.labelnames, values)
+                    ]
                     pairs.append(("le", _format_value(bound)))
                     inner = ",".join(f'{k}="{v}"' for k, v in pairs)
                     lines.append(

@@ -12,7 +12,10 @@ Cardinality rule: labels are bounded, enumerable sets (stage names, entity
 roles) — never per-chunk or per-file values. Tenant ids are admitted as a
 deliberate exception: a deployment serves a small, operator-curated tenant
 set (DESIGN.md §13), so the ``tenant`` label stays bounded in practice;
-per-file and per-chunk identifiers remain forbidden.
+per-file and per-chunk identifiers remain forbidden. The rule is enforced
+mechanically: each instrument caps its distinct label combinations at
+``max_children`` (default :data:`DEFAULT_MAX_CHILDREN`) and raises
+:class:`MetricError` loudly on the first combination past the cap.
 
 Instruments:
 
@@ -65,13 +68,70 @@ DURATION_BUCKETS_COARSE = log_scale_buckets(
 )
 
 
+#: Per-instrument cap on distinct label-value combinations. A runaway
+#: label (a per-file name, an unbounded tenant set) would otherwise grow
+#: children — each a dict entry plus, for histograms, a bucket array —
+#: until the process dies of memory, silently. Exceeding the cap raises
+#: :class:`MetricError` loudly at the offending ``labels()`` call instead.
+DEFAULT_MAX_CHILDREN = 1024
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format reserves inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labelnames: Sequence[str], values: Sequence[str]) -> str:
     if not labelnames:
         return ""
     inner = ",".join(
-        f'{name}="{value}"' for name, value in zip(labelnames, values)
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(labelnames, values)
     )
     return "{" + inner + "}"
+
+
+def bucket_quantile(
+    counts: Sequence[int], bounds: Sequence[float], q: float
+) -> float:
+    """Interpolated ``q``-quantile over histogram bucket ``counts``.
+
+    ``counts`` has one slot per finite bound plus a trailing overflow
+    slot. The return value is always finite; the documented sentinels are:
+
+    * no observations → ``0.0``;
+    * rank falls in the overflow bucket → the last finite bucket edge
+      (``bounds[-1]``) — the histogram cannot resolve beyond it, and a
+      finite clamp keeps SLO math and reports well-defined;
+    * ``q == 0`` → the lower edge of the first occupied bucket;
+    * ``q == 1`` → the upper edge of the last occupied bucket (or the
+      overflow sentinel above).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    running = 0.0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if running + count >= rank:
+            if i >= len(bounds):
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            fraction = max(0.0, (rank - running) / count)
+            return lower + (upper - lower) * fraction
+        running += count
+    return bounds[-1]
 
 
 class _Child:
@@ -192,28 +252,14 @@ class HistogramChild(_Child):
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by interpolating within buckets.
 
-        Returns 0.0 with no observations. Observations in the overflow
-        bucket clamp to the largest finite bound.
+        Edge cases follow :func:`bucket_quantile`'s documented sentinels:
+        an empty histogram returns ``0.0`` and ranks falling in the +Inf
+        overflow bucket clamp to the last finite bucket edge — the result
+        is always finite.
         """
-        if not 0.0 <= q <= 1.0:
-            raise MetricError("quantile must be in [0, 1]")
         with self._lock:
             counts = list(self._counts)
-            total = self._count
-        if total == 0:
-            return 0.0
-        rank = q * total
-        running = 0.0
-        for i, count in enumerate(counts):
-            if running + count >= rank and count > 0:
-                if i >= len(self._bounds):
-                    return self._bounds[-1]
-                lower = self._bounds[i - 1] if i > 0 else 0.0
-                upper = self._bounds[i]
-                fraction = (rank - running) / count
-                return lower + (upper - lower) * fraction
-            running += count
-        return self._bounds[-1]
+        return bucket_quantile(counts, self._bounds, q)
 
 
 _CHILD_FACTORIES = {
@@ -238,10 +284,14 @@ class Instrument:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ) -> None:
+        if max_children < 1:
+            raise MetricError("max_children must be positive")
         self.name = name
         self.kind = kind
         self.help = help
+        self.max_children = max_children
         self.labelnames = tuple(labelnames)
         if kind == "histogram":
             bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS
@@ -270,6 +320,15 @@ class Instrument:
         with self._lock:
             child = self._children.get(key)
             if child is None:
+                if len(self._children) >= self.max_children:
+                    # Cardinality guard: refusing loudly beats exhausting
+                    # memory one child at a time (the failure would
+                    # otherwise surface far from the offending label).
+                    raise MetricError(
+                        f"{self.name} exceeded {self.max_children} label "
+                        f"combinations (rejecting {key!r}); a label is "
+                        "carrying unbounded values"
+                    )
                 child = self._make_child()
                 self._children[key] = child
             return child
@@ -342,6 +401,7 @@ class MetricsRegistry:
         help: str,
         labelnames: Sequence[str],
         buckets: Optional[Sequence[float]] = None,
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ) -> Instrument:
         with self._lock:
             existing = self._instruments.get(name)
@@ -354,19 +414,33 @@ class MetricsRegistry:
                         f"{existing.kind}{existing.labelnames}"
                     )
                 return existing
-            instrument = Instrument(name, kind, help, labelnames, buckets)
+            instrument = Instrument(
+                name, kind, help, labelnames, buckets, max_children
+            )
             self._instruments[name] = instrument
             return instrument
 
     def counter(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ) -> Instrument:
-        return self._register(name, "counter", help, labelnames)
+        return self._register(
+            name, "counter", help, labelnames, max_children=max_children
+        )
 
     def gauge(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ) -> Instrument:
-        return self._register(name, "gauge", help, labelnames)
+        return self._register(
+            name, "gauge", help, labelnames, max_children=max_children
+        )
 
     def histogram(
         self,
@@ -374,8 +448,11 @@ class MetricsRegistry:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        max_children: int = DEFAULT_MAX_CHILDREN,
     ) -> Instrument:
-        return self._register(name, "histogram", help, labelnames, buckets)
+        return self._register(
+            name, "histogram", help, labelnames, buckets, max_children
+        )
 
     def get(self, name: str) -> Optional[Instrument]:
         with self._lock:

@@ -31,6 +31,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+
+_SPANS_DROPPED = obs_metrics.get_registry().counter(
+    "ted_trace_spans_dropped_total",
+    "Finished spans evicted from a full SpanRecorder (oldest first)",
+)
+
 TRACE_CONTEXT_VERSION = 1
 TRACE_ID_BYTES = 16
 SPAN_ID_BYTES = 8
@@ -115,17 +122,40 @@ class Span:
 
 
 class SpanRecorder:
-    """Bounded, thread-safe store of finished spans (newest kept)."""
+    """Bounded, thread-safe store of finished spans (newest kept).
+
+    Once full, recording a span evicts the oldest one; evictions are
+    counted both per recorder (:attr:`dropped`) and on the process-global
+    ``ted_trace_spans_dropped_total`` counter so the loss is visible in
+    ``repro trace`` output and metric exports instead of silent.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
+        self.capacity = capacity
         self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._dropped = 0
         self._lock = threading.Lock()
 
     def record(self, span: Span) -> None:
         with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1
+                _SPANS_DROPPED.inc()
             self._spans.append(span)
+
+    @property
+    def used(self) -> int:
+        """Spans currently held (at most :attr:`capacity`)."""
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from this recorder since construction."""
+        with self._lock:
+            return self._dropped
 
     def spans(self) -> List[Span]:
         with self._lock:

@@ -1,0 +1,214 @@
+"""Sliding-window aggregation: live quantiles, rates, and counts.
+
+The registry's :class:`~repro.obs.metrics.HistogramChild` is cumulative —
+its quantiles describe the whole process lifetime, which is what benchmark
+reports want but useless for a "p99 over the last 10 seconds" SLO view: an
+hour of healthy traffic drowns a 10-second latency spike. This module adds
+the windowed counterpart used by the SLO tracker (:mod:`repro.obs.slo`)
+and the ``repro top`` live view.
+
+Both classes use the same mechanism: the window is divided into a fixed
+number of *slots*, each an independent aggregate stamped with the slot
+epoch it was filled in. Writes land in the current slot (lazily zeroing it
+when its epoch is stale), reads merge only slots whose epoch still falls
+inside the window. That makes ``observe`` O(1), bounds memory at
+``slots × buckets``, and gives the window a granularity of one slot — the
+standard ring-of-sub-histograms design, deliberately chosen over exact
+reservoir quantiles because the loadgen calls ``observe`` on every
+operation from many threads.
+
+The clock is injectable (monotonic seconds) so tests drive rotation
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricError,
+    bucket_quantile,
+)
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One consistent read of a windowed histogram."""
+
+    count: int
+    sum: float
+    rate: float  # observations per second over the window
+    p50: float
+    p95: float
+    p99: float
+
+
+class _Slot:
+    __slots__ = ("epoch", "counts", "count", "sum")
+
+    def __init__(self, buckets: int) -> None:
+        self.epoch = -1
+        self.counts = [0] * buckets
+        self.count = 0
+        self.sum = 0.0
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        for i in range(len(self.counts)):
+            self.counts[i] = 0
+        self.count = 0
+        self.sum = 0.0
+
+
+class WindowedHistogram:
+    """Latency histogram over a sliding time window.
+
+    Args:
+        window_seconds: span of history the estimates cover.
+        slots: ring granularity; the effective window wobbles by up to
+            one slot width (``window_seconds / slots``).
+        bounds: finite bucket edges (defaults to the registry's log-scale
+            latency buckets, so windowed and cumulative quantiles share
+            resolution).
+        clock: monotonic-seconds source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 10.0,
+        slots: int = 10,
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise MetricError("window_seconds must be positive")
+        if slots < 1:
+            raise MetricError("need at least one slot")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError("bounds must be sorted and unique")
+        self.window_seconds = float(window_seconds)
+        self._bounds = tuple(bounds)
+        self._slot_seconds = self.window_seconds / slots
+        self._slots = [_Slot(len(bounds) + 1) for _ in range(slots)]
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _current_slot(self) -> _Slot:
+        epoch = int(self._clock() / self._slot_seconds)
+        slot = self._slots[epoch % len(self._slots)]
+        if slot.epoch != epoch:
+            slot.reset(epoch)
+        return slot
+
+    def observe(self, value: float) -> None:
+        """Record one observation at the current time."""
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            slot = self._current_slot()
+            slot.counts[index] += 1
+            slot.count += 1
+            slot.sum += value
+
+    def _merged(self) -> Tuple[List[int], int, float]:
+        now_epoch = int(self._clock() / self._slot_seconds)
+        oldest = now_epoch - len(self._slots) + 1
+        counts = [0] * (len(self._bounds) + 1)
+        count = 0
+        total = 0.0
+        for slot in self._slots:
+            if slot.epoch < oldest or slot.epoch > now_epoch:
+                continue
+            for i, c in enumerate(slot.counts):
+                counts[i] += c
+            count += slot.count
+            total += slot.sum
+        return counts, count, total
+
+    def count(self) -> int:
+        with self._lock:
+            return self._merged()[1]
+
+    def rate(self) -> float:
+        """Observations per second, averaged over the window."""
+        with self._lock:
+            return self._merged()[1] / self.window_seconds
+
+    def quantile(self, q: float) -> float:
+        """Windowed ``q``-quantile (same sentinels as the cumulative
+        histogram: 0.0 when empty, clamped to the last finite edge)."""
+        with self._lock:
+            counts, _, _ = self._merged()
+        return bucket_quantile(counts, self._bounds, q)
+
+    def snapshot(self) -> WindowSnapshot:
+        """Count, sum, rate, and p50/p95/p99 in one consistent read."""
+        with self._lock:
+            counts, count, total = self._merged()
+        return WindowSnapshot(
+            count=count,
+            sum=total,
+            rate=count / self.window_seconds,
+            p50=bucket_quantile(counts, self._bounds, 0.5),
+            p95=bucket_quantile(counts, self._bounds, 0.95),
+            p99=bucket_quantile(counts, self._bounds, 0.99),
+        )
+
+
+class WindowedCounter:
+    """Event count over a sliding time window (errors, arrivals, sheds)."""
+
+    def __init__(
+        self,
+        window_seconds: float = 10.0,
+        slots: int = 10,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise MetricError("window_seconds must be positive")
+        if slots < 1:
+            raise MetricError("need at least one slot")
+        self.window_seconds = float(window_seconds)
+        self._slot_seconds = self.window_seconds / slots
+        # (epoch, count) pairs; a plain list ring mirroring _Slot.
+        self._epochs = [-1] * slots
+        self._counts = [0.0] * slots
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("windowed counters only go up")
+        epoch = int(self._clock() / self._slot_seconds)
+        index = epoch % len(self._epochs)
+        with self._lock:
+            if self._epochs[index] != epoch:
+                self._epochs[index] = epoch
+                self._counts[index] = 0.0
+            self._counts[index] += amount
+
+    def value(self) -> float:
+        """Total recorded inside the window."""
+        now_epoch = int(self._clock() / self._slot_seconds)
+        oldest = now_epoch - len(self._epochs) + 1
+        with self._lock:
+            return sum(
+                count
+                for epoch, count in zip(self._epochs, self._counts)
+                if oldest <= epoch <= now_epoch
+            )
+
+    def rate(self) -> float:
+        """Events per second, averaged over the window."""
+        return self.value() / self.window_seconds
+
+
+__all__ = [
+    "WindowSnapshot",
+    "WindowedCounter",
+    "WindowedHistogram",
+]

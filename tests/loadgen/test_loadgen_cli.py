@@ -1,0 +1,180 @@
+"""`repro loadgen` / `repro top`: flags, exit codes, replay output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMOKE = """
+name = "cli-smoke"
+mode = "closed"
+clients = 2
+duration_seconds = 0.6
+
+[files]
+min_kb = 8
+max_kb = 16
+
+[slo.upload]
+p99_ms = 60000.0
+"""
+
+BREACH = """
+clients = 2
+duration_seconds = 0.6
+
+[slo.upload]
+p99_ms = 0.001
+"""
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadgen"],
+            ["loadgen", "--profile", "x.toml", "--scale", "0.2"],
+            ["loadgen", "--mode", "open", "--rate", "50", "--json"],
+            ["top", "--replay", "f.jsonl"],
+            ["top", "--follow", "f.jsonl", "--iterations", "3"],
+        ],
+    )
+    def test_subcommands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestLoadgen:
+    def test_profile_run_prints_report_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        profile = tmp_path / "smoke.toml"
+        profile.write_text(SMOKE)
+        assert main(["loadgen", "--profile", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "load report: cli-smoke" in out
+        assert "p99ms" in out
+        assert "all SLOs met" in out
+
+    def test_slo_breach_exits_nonzero(self, tmp_path, capsys):
+        profile = tmp_path / "breach.toml"
+        profile.write_text(BREACH)
+        assert main(["loadgen", "--profile", str(profile)]) == 1
+        assert "SLO BREACHED" in capsys.readouterr().out
+
+    def test_bad_profile_exits_two(self, tmp_path, capsys):
+        profile = tmp_path / "bad.toml"
+        profile.write_text("clientz = 3\n")
+        assert main(["loadgen", "--profile", str(profile)]) == 2
+        assert "bad profile" in capsys.readouterr().err
+
+    def test_tcp_mode_requires_both_addresses(self, capsys):
+        assert main(["loadgen", "--km", "127.0.0.1:1"]) == 2
+        assert "--provider" in capsys.readouterr().err
+
+    def test_json_output_and_bench_out(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_load.json"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--duration",
+                    "0.6",
+                    "--clients",
+                    "2",
+                    "--json",
+                    "--bench-out",
+                    str(bench),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ops_total"] > 0
+        assert "upload" in doc["per_op"]
+        bench_doc = json.loads(bench.read_text())
+        assert "adhoc" in bench_doc["profiles"]
+
+    def test_overrides_and_scale_applied(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--mode",
+                    "open",
+                    "--rate",
+                    "40",
+                    "--duration",
+                    "4",
+                    "--seed",
+                    "77",
+                    "--scale",
+                    "0.25",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "open loop" in out
+        assert "seed 77" in out
+
+
+class TestTop:
+    @pytest.fixture
+    def flight_file(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--duration",
+                    "0.8",
+                    "--clients",
+                    "2",
+                    "--flight",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_replay_reconstructs_timeline(self, flight_file, capsys):
+        capsys.readouterr()  # drop the loadgen report
+        assert main(["top", "--replay", str(flight_file)]) == 0
+        out = capsys.readouterr().out
+        assert "run: profile=adhoc" in out
+        assert "upload" in out
+        assert "p99ms" in out
+        assert "ops over" in out
+
+    def test_follow_bounded_iterations(self, flight_file, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "top",
+                    "--follow",
+                    str(flight_file),
+                    "--iterations",
+                    "2",
+                    "--refresh",
+                    "0.01",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("-- last") == 2
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["top", "--replay", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_source_exits_two(self, capsys):
+        assert main(["top"]) == 2
+        assert "--replay" in capsys.readouterr().err

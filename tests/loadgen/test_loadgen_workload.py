@@ -1,0 +1,179 @@
+"""Workload profiles: validation, scaling, TOML loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.workload import (
+    FaultMix,
+    FileShape,
+    OpMix,
+    TenantShape,
+    WorkloadProfile,
+    _parse_simple_toml,
+)
+
+
+class TestShapes:
+    def test_file_shape_validation(self):
+        with pytest.raises(ValueError):
+            FileShape(min_kb=0)
+        with pytest.raises(ValueError):
+            FileShape(min_kb=64, max_kb=8)
+        with pytest.raises(ValueError):
+            FileShape(unit_kb=16, min_kb=8)
+        with pytest.raises(ValueError):
+            FileShape(dup_chunk_prob=1.5)
+
+    def test_op_mix_normalizes(self):
+        assert OpMix(upload=3, restore=1).upload_fraction == 0.75
+        with pytest.raises(ValueError):
+            OpMix(upload=0, restore=0)
+        with pytest.raises(ValueError):
+            OpMix(upload=-1)
+
+    def test_tenant_weights_skew(self):
+        uniform = TenantShape(count=3, skew=0.0).weights()
+        assert uniform == (1.0, 1.0, 1.0)
+        skewed = TenantShape(count=3, skew=1.0).weights()
+        assert skewed[0] > skewed[1] > skewed[2]
+        with pytest.raises(ValueError):
+            TenantShape(count=0)
+
+    def test_fault_mix_plan_carries_seed(self):
+        mix = FaultMix(drop_rate=0.1, delay_rate=0.2, delay_seconds=0.01)
+        assert mix.enabled()
+        plan = mix.plan(seed=99)
+        assert plan.drop_rate == 0.1
+        assert plan.seed == 99
+        assert not FaultMix().enabled()
+
+
+class TestProfile:
+    def test_defaults_are_valid(self):
+        profile = WorkloadProfile()
+        assert profile.mode == "closed"
+        assert profile.tenants.count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(mode="burst")
+        with pytest.raises(ValueError):
+            WorkloadProfile(clients=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(duration_seconds=0)
+        from repro.obs.slo import SLO
+
+        slo = SLO(op="upload", p99_seconds=1.0)
+        with pytest.raises(ValueError, match="duplicate SLO"):
+            WorkloadProfile(slos=(slo, slo))
+
+    def test_scaled_shrinks_size_but_not_shape(self):
+        profile = WorkloadProfile(
+            clients=100,
+            arrival_rate=200.0,
+            max_inflight=40,
+            duration_seconds=60.0,
+            tenants=TenantShape(count=5),
+        )
+        small = profile.scaled(0.1)
+        assert small.clients == 10
+        assert small.arrival_rate == pytest.approx(20.0)
+        assert small.duration_seconds == pytest.approx(6.0)
+        assert small.tenants.count == 5  # shape stays
+        assert small.seed == profile.seed
+        assert profile.scaled(1.0) is profile
+        with pytest.raises(ValueError):
+            profile.scaled(0)
+
+    def test_scaled_never_drops_below_one_client(self):
+        small = WorkloadProfile(clients=2).scaled(0.01)
+        assert small.clients == 1
+        assert small.duration_seconds >= 1.0
+
+    def test_from_dict_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile keys"):
+            WorkloadProfile.from_dict({"clientz": 4})
+        with pytest.raises(ValueError, match="unknown SLO keys"):
+            WorkloadProfile.from_dict(
+                {"slo": {"upload": {"p99_msec": 50}}}
+            )
+
+    def test_from_dict_full(self):
+        profile = WorkloadProfile.from_dict(
+            {
+                "name": "big",
+                "mode": "open",
+                "arrival_rate": 500.0,
+                "files": {"min_kb": 16, "max_kb": 128, "unit_kb": 16},
+                "mix": {"upload": 1, "restore": 1},
+                "tenants": {"count": 8, "skew": 1.2},
+                "faults": {"drop_rate": 0.01},
+                "slo": {
+                    "upload": {"p99_ms": 250, "max_error_ratio": 0.05},
+                    "restore": {"p99_ms": 100},
+                },
+            }
+        )
+        assert profile.mode == "open"
+        assert profile.files.min_kb == 16
+        assert profile.mix.upload_fraction == 0.5
+        assert profile.faults.enabled()
+        slos = {slo.op: slo for slo in profile.slos}
+        assert slos["upload"].p99_seconds == pytest.approx(0.25)
+        assert slos["upload"].max_error_ratio == 0.05
+        assert slos["restore"].max_error_ratio is None
+
+
+class TestToml:
+    PROFILE = """
+# smoke profile
+name = "smoke"
+mode = "closed"
+clients = 3
+duration_seconds = 2.5
+
+[files]
+min_kb = 8
+max_kb = 32
+
+[tenants]
+count = 2
+cross_user_dedup = true
+
+[slo.upload]
+p99_ms = 500.0
+max_error_ratio = 0.02
+"""
+
+    def test_from_toml(self, tmp_path):
+        path = tmp_path / "smoke.toml"
+        path.write_text(self.PROFILE)
+        profile = WorkloadProfile.from_toml(path)
+        assert profile.name == "smoke"
+        assert profile.clients == 3
+        assert profile.duration_seconds == 2.5
+        assert profile.files.max_kb == 32
+        assert profile.slos[0].p99_seconds == pytest.approx(0.5)
+
+    def test_name_defaults_to_file_stem(self, tmp_path):
+        path = tmp_path / "nightly.toml"
+        path.write_text("clients = 2\n")
+        assert WorkloadProfile.from_toml(path).name == "nightly"
+
+    def test_fallback_parser_matches_tomllib_shape(self):
+        # The 3.10 fallback must produce the same mapping tomllib would.
+        data = _parse_simple_toml(self.PROFILE)
+        assert data["name"] == "smoke"
+        assert data["clients"] == 3
+        assert data["duration_seconds"] == 2.5
+        assert data["tenants"]["cross_user_dedup"] is True
+        assert data["slo"]["upload"]["p99_ms"] == 500.0
+        profile = WorkloadProfile.from_dict(data)
+        assert profile.name == "smoke"
+
+    def test_fallback_parser_rejects_fancy_values(self):
+        with pytest.raises(ValueError, match="unsupported profile value"):
+            _parse_simple_toml("x = [1, 2]\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            _parse_simple_toml("just words\n")

@@ -107,3 +107,57 @@ class TestSpanTrees:
             pass
         text = format_recorder(tracer.recorder)
         assert "!error: ValueError: nope" in text
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("ted_files_total", labelnames=("name",))
+        c.labels(name='say "hi"').inc()
+        c.labels(name="back\\slash").inc()
+        c.labels(name="two\nlines").inc()
+        text = prometheus_text(registry)
+        assert 'name="say \\"hi\\""' in text
+        assert 'name="back\\\\slash"' in text
+        assert 'name="two\\nlines"' in text
+        # No raw newline may survive inside any sample line.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
+    def test_histogram_bucket_labels_escaped(self):
+        registry = MetricsRegistry()
+        h = registry.histogram(
+            "ted_h_seconds", labelnames=("op",), buckets=(1.0,)
+        )
+        h.labels(op='odd"op').observe(0.5)
+        text = prometheus_text(registry)
+        assert 'ted_h_seconds_bucket{op="odd\\"op",le="1"} 1' in text
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ted_x_total", "line one\nline two \\ done").inc()
+        text = prometheus_text(registry)
+        assert "# HELP ted_x_total line one\\nline two \\\\ done" in text
+
+
+class TestFamilyHeaders:
+    def test_help_and_type_once_per_family_with_many_children(self):
+        registry = MetricsRegistry()
+        c = registry.counter(
+            "ted_ops_total", "operations", labelnames=("op",)
+        )
+        for op in ("upload", "restore", "delete"):
+            c.labels(op=op).inc()
+        h = registry.histogram(
+            "ted_h_seconds", "latency", labelnames=("op",)
+        )
+        for op in ("upload", "restore"):
+            h.labels(op=op).observe(0.1)
+        text = prometheus_text(registry)
+        assert text.count("# HELP ted_ops_total") == 1
+        assert text.count("# TYPE ted_ops_total") == 1
+        assert text.count("# HELP ted_h_seconds") == 1
+        assert text.count("# TYPE ted_h_seconds histogram") == 1
+        # ...while every child still gets its sample line.
+        for op in ("upload", "restore", "delete"):
+            assert f'ted_ops_total{{op="{op}"}} 1' in text

@@ -7,7 +7,9 @@ import threading
 import pytest
 
 from repro.obs.metrics import (
+    DEFAULT_MAX_CHILDREN,
     LATENCY_BUCKETS,
+    bucket_quantile,
     MetricError,
     MetricsRegistry,
     get_registry,
@@ -180,3 +182,66 @@ class TestRegistry:
 
     def test_global_registry_is_shared(self):
         assert get_registry() is get_registry()
+
+
+class TestBucketQuantile:
+    def test_empty_returns_zero(self):
+        assert bucket_quantile([0, 0, 0], (1.0, 2.0), 0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(MetricError):
+            bucket_quantile([1, 0, 0], (1.0, 2.0), 1.5)
+        with pytest.raises(MetricError):
+            bucket_quantile([1, 0, 0], (1.0, 2.0), -0.1)
+
+    def test_q0_is_lower_edge_of_first_occupied_bucket(self):
+        # First occupied bucket is (1.0, 2.0]; its lower edge is 1.0.
+        assert bucket_quantile([0, 4, 0], (1.0, 2.0), 0.0) == 1.0
+
+    def test_q1_is_upper_edge_of_last_occupied_bucket(self):
+        assert bucket_quantile([3, 2, 0], (1.0, 2.0), 1.0) == 2.0
+
+    def test_overflow_bucket_clamps_to_last_finite_edge(self):
+        # All mass in +Inf: the documented finite sentinel is the last
+        # finite bucket edge, never inf/nan.
+        value = bucket_quantile([0, 0, 7], (1.0, 2.0), 0.99)
+        assert value == 2.0
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations in (1.0, 2.0]: p50 sits mid-bucket.
+        value = bucket_quantile([0, 10, 0], (1.0, 2.0), 0.5)
+        assert 1.0 < value <= 2.0
+
+
+class TestCardinalityGuard:
+    def test_default_cap_is_1024(self, registry):
+        c = registry.counter("c_total", labelnames=("op",))
+        assert c.max_children == DEFAULT_MAX_CHILDREN == 1024
+
+    def test_exceeding_cap_raises_loudly(self, registry):
+        c = registry.counter("c_total", labelnames=("n",), max_children=3)
+        for n in range(3):
+            c.labels(n=str(n)).inc()
+        with pytest.raises(MetricError, match="c_total exceeded 3"):
+            c.labels(n="boom")
+
+    def test_existing_children_still_usable_at_cap(self, registry):
+        c = registry.counter("c_total", labelnames=("n",), max_children=2)
+        c.labels(n="a").inc()
+        c.labels(n="b").inc()
+        c.labels(n="a").inc()  # re-fetching a known child is fine
+        assert c.labels(n="a").value == 2
+
+    def test_cap_applies_to_histograms_and_gauges(self, registry):
+        h = registry.histogram("h_seconds", labelnames=("n",), max_children=1)
+        h.labels(n="a").observe(0.1)
+        with pytest.raises(MetricError):
+            h.labels(n="b")
+        g = registry.gauge("g", labelnames=("n",), max_children=1)
+        g.labels(n="a").set(1)
+        with pytest.raises(MetricError):
+            g.labels(n="b")
+
+    def test_invalid_cap_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("c_total", labelnames=("n",), max_children=0)

@@ -1,0 +1,128 @@
+"""SLO declarations, tracker judgements, burn rates, registry gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.slo import SLO, SLOTracker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSLO:
+    def test_requires_at_least_one_target(self):
+        with pytest.raises(ValueError):
+            SLO(op="upload")
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            SLO(op="u", p99_seconds=0)
+        with pytest.raises(ValueError):
+            SLO(op="u", max_error_ratio=0.0)
+        with pytest.raises(ValueError):
+            SLO(op="u", max_error_ratio=1.5)
+        with pytest.raises(ValueError):
+            SLO(op="u", p99_seconds=1.0, window_seconds=0)
+
+    def test_duplicate_ops_rejected_by_tracker(self, clock):
+        slo = SLO(op="u", p99_seconds=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker([slo, slo], clock=clock)
+
+
+class TestSLOTracker:
+    def test_healthy_run_does_not_breach(self, clock):
+        tracker = SLOTracker([SLO(op="upload", p99_seconds=1.0)], clock=clock)
+        for _ in range(100):
+            tracker.observe("upload", 0.01)
+        statuses = tracker.evaluate()
+        assert len(statuses) == 1
+        assert not statuses[0].breached
+        assert not tracker.breached()
+
+    def test_latency_breach_with_reason_and_burn(self, clock):
+        tracker = SLOTracker(
+            [SLO(op="upload", p99_seconds=0.01)], clock=clock
+        )
+        for _ in range(10):
+            tracker.observe("upload", 5.0)  # all 10x over target
+        (status,) = tracker.evaluate()
+        assert status.breached
+        assert any("p99" in reason for reason in status.reasons)
+        # All requests over target against a 1% budget: burn = 1/0.01.
+        assert status.latency_burn_rate == pytest.approx(100.0)
+
+    def test_error_breach(self, clock):
+        tracker = SLOTracker(
+            [SLO(op="restore", max_error_ratio=0.01)], clock=clock
+        )
+        for i in range(100):
+            tracker.observe("restore", 0.001, error=(i % 10 == 0))
+        (status,) = tracker.evaluate()
+        assert status.breached
+        assert status.error_ratio == pytest.approx(0.1)
+        assert status.error_burn_rate == pytest.approx(10.0)
+
+    def test_breach_clears_when_window_slides_past(self, clock):
+        tracker = SLOTracker(
+            [SLO(op="u", p99_seconds=0.01, window_seconds=10.0)],
+            clock=clock,
+        )
+        tracker.observe("u", 5.0)
+        assert tracker.breached()
+        clock.advance(11.0)
+        tracker.observe("u", 0.001)
+        assert not tracker.breached()
+
+    def test_undeclared_op_tracked_but_never_breaches(self, clock):
+        tracker = SLOTracker([], clock=clock)
+        tracker.observe("mystery", 100.0, error=True)
+        (status,) = tracker.evaluate()
+        assert status.op == "mystery"
+        assert status.count == 1
+        assert not status.breached
+
+    def test_gauges_published_to_registry(self, clock):
+        tracker = SLOTracker(
+            [SLO(op="up", p99_seconds=0.01, max_error_ratio=0.5)],
+            clock=clock,
+        )
+        for _ in range(10):
+            tracker.observe("up", 1.0)
+        tracker.evaluate()
+        snap = obs_metrics.get_registry().snapshot()
+        assert snap['ted_slo_breached{op="up"}'] == 1
+        assert snap['ted_slo_window_p99_seconds{op="up"}'] > 0.01
+        assert snap['ted_slo_burn_rate{op="up",kind="latency"}'] == (
+            pytest.approx(100.0)
+        )
+
+    def test_breach_counter_counts_transitions_once(self, clock):
+        tracker = SLOTracker([SLO(op="t", p99_seconds=0.01)], clock=clock)
+        counter = obs_metrics.get_registry().get("ted_slo_breach_total")
+        before = counter.labels(op="t").value
+        tracker.observe("t", 5.0)
+        tracker.evaluate()
+        tracker.evaluate()  # still breached: no second transition
+        assert counter.labels(op="t").value == before + 1
+
+    def test_describe_mentions_state(self, clock):
+        tracker = SLOTracker([SLO(op="u", p99_seconds=10.0)], clock=clock)
+        tracker.observe("u", 0.001)
+        (status,) = tracker.evaluate()
+        assert "u: ok" in status.describe()

@@ -140,3 +140,28 @@ class TestRecorder:
         ids = tracer.recorder.trace_ids()
         assert len(ids) == 2
         assert [s.name for s in tracer.recorder.for_trace(ids[0])] == ["t1"]
+
+    def test_capacity_used_and_dropped_exposed(self):
+        recorder = SpanRecorder(capacity=2)
+        tracer = Tracer(recorder=recorder, id_source=deterministic_ids())
+        assert recorder.capacity == 2
+        assert recorder.used == 0
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert recorder.used == 2
+        assert recorder.dropped == 1
+
+    def test_evictions_counted_in_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        counter = obs_metrics.get_registry().get(
+            "ted_trace_spans_dropped_total"
+        )
+        before = counter.value
+        recorder = SpanRecorder(capacity=1)
+        tracer = Tracer(recorder=recorder, id_source=deterministic_ids())
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert counter.value == before + 2

@@ -1,0 +1,137 @@
+"""Sliding-window histogram/counter: rotation, expiry, quantiles."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricError
+from repro.obs.window import WindowedCounter, WindowedHistogram
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestWindowedHistogram:
+    def test_validation(self, clock):
+        with pytest.raises(MetricError):
+            WindowedHistogram(window_seconds=0, clock=clock)
+        with pytest.raises(MetricError):
+            WindowedHistogram(slots=0, clock=clock)
+        with pytest.raises(MetricError):
+            WindowedHistogram(bounds=(2.0, 1.0), clock=clock)
+
+    def test_empty_snapshot_is_zero(self, clock):
+        h = WindowedHistogram(clock=clock)
+        snap = h.snapshot()
+        assert snap.count == 0
+        assert snap.p99 == 0.0
+        assert snap.rate == 0.0
+
+    def test_observations_inside_window_counted(self, clock):
+        h = WindowedHistogram(window_seconds=10.0, slots=10, clock=clock)
+        for _ in range(20):
+            h.observe(0.005)
+        assert h.count() == 20
+        assert h.rate() == pytest.approx(2.0)
+        # The estimate lands inside the bucket that holds 5ms.
+        assert 0.001 < h.quantile(0.5) <= 0.01
+
+    def test_old_observations_expire(self, clock):
+        h = WindowedHistogram(window_seconds=10.0, slots=10, clock=clock)
+        h.observe(1.0)
+        clock.advance(5.0)
+        h.observe(2.0)
+        assert h.count() == 2
+        clock.advance(6.0)  # first observation now outside the window
+        assert h.count() == 1
+        clock.advance(10.0)
+        assert h.count() == 0
+
+    def test_slot_reuse_resets_stale_data(self, clock):
+        # Advancing by exactly one full window lands writes back on the
+        # same ring slots, which must forget their previous contents.
+        h = WindowedHistogram(window_seconds=10.0, slots=5, clock=clock)
+        for _ in range(50):
+            h.observe(0.001)
+        clock.advance(10.0)
+        h.observe(0.001)
+        assert h.count() == 1
+
+    def test_spike_visible_after_long_quiet_history(self, clock):
+        # The whole point vs a cumulative histogram: old healthy traffic
+        # cannot drown a fresh latency spike.
+        h = WindowedHistogram(window_seconds=10.0, slots=10, clock=clock)
+        for _ in range(1000):
+            h.observe(0.001)
+        clock.advance(30.0)
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.count() == 10
+        assert h.quantile(0.99) >= 5.0
+
+    def test_snapshot_consistent_fields(self, clock):
+        h = WindowedHistogram(window_seconds=10.0, clock=clock)
+        for value in (0.001, 0.002, 0.003):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap.count == 3
+        assert snap.sum == pytest.approx(0.006)
+        assert snap.p50 <= snap.p95 <= snap.p99
+
+    def test_thread_safety(self, clock):
+        h = WindowedHistogram(window_seconds=60.0, clock=clock)
+
+        def work():
+            for _ in range(1000):
+                h.observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count() == 8000
+
+
+class TestWindowedCounter:
+    def test_validation(self, clock):
+        with pytest.raises(MetricError):
+            WindowedCounter(window_seconds=0, clock=clock)
+        with pytest.raises(MetricError):
+            WindowedCounter(slots=0, clock=clock)
+        c = WindowedCounter(clock=clock)
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_value_and_rate_inside_window(self, clock):
+        c = WindowedCounter(window_seconds=10.0, clock=clock)
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.rate() == pytest.approx(0.5)
+
+    def test_expiry(self, clock):
+        c = WindowedCounter(window_seconds=10.0, slots=10, clock=clock)
+        c.inc(3)
+        clock.advance(5.0)
+        c.inc(2)
+        assert c.value() == 5
+        clock.advance(6.0)
+        assert c.value() == 2
+        clock.advance(20.0)
+        assert c.value() == 0
