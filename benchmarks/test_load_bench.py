@@ -24,21 +24,31 @@ from repro.loadgen.report import LoadReport, write_bench
 from repro.loadgen.runner import LoadRunner
 from repro.loadgen.workload import WorkloadProfile
 
-_PROFILE = Path(__file__).resolve().parent.parent / (
-    "examples/load_smoke.toml"
-)
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+_PROFILE = _EXAMPLES / "load_smoke.toml"
+_PROFILE_3SHARD = _EXAMPLES / "load_smoke_3shard.toml"
 _MIN_OPS_PER_SECOND = 20.0
 _MAX_UPLOAD_P99_MS = 500.0
 
 
 def test_load_smoke_gate():
-    profile = WorkloadProfile.from_toml(_PROFILE).scaled(BENCH_SCALE)
+    _run_gate(_PROFILE)
+
+
+def test_load_smoke_3shard_gate():
+    # Same workload, 3-shard deployment, same throughput floor: ring
+    # routing must not cost an order of magnitude (DESIGN.md §15).
+    _run_gate(_PROFILE_3SHARD)
+
+
+def _run_gate(profile_path: Path) -> None:
+    profile = WorkloadProfile.from_toml(profile_path).scaled(BENCH_SCALE)
     runner = LoadRunner(profile)
     totals = runner.run()
     report = LoadReport.collect(profile, totals, runner.tracker)
 
     print_table(
-        f"load smoke (scale {BENCH_SCALE}, {profile.clients} clients, "
+        f"{profile.name} (scale {BENCH_SCALE}, {profile.clients} clients, "
         f"{profile.duration_seconds:.1f}s)",
         [
             {

@@ -83,17 +83,27 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
     auth_token = b""
     if getattr(args, "auth_token", None):
         auth_token = Path(args.auth_token).read_bytes().strip()
+    provider = RemoteProvider(
+        _address(args.provider),
+        # Pipelined uploads push data frames over dedicated
+        # connections so PUT traffic never queues behind control
+        # round trips (DESIGN.md §10).
+        data_connections=2 if pipelined else 0,
+        tenant=getattr(args, "tenant", "") or "default",
+        auth_token=auth_token,
+    )
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        from repro.tedstore.ring import HashRing
+        from repro.tedstore.sharding import ShardRoutingProvider
+
+        provider = ShardRoutingProvider(
+            provider,
+            HashRing.build(shards, seed=getattr(args, "ring_seed", 0)),
+        )
     return TedStoreClient(
         RemoteKeyManager(_address(args.km)),
-        RemoteProvider(
-            _address(args.provider),
-            # Pipelined uploads push data frames over dedicated
-            # connections so PUT traffic never queues behind control
-            # round trips (DESIGN.md §10).
-            data_connections=2 if pipelined else 0,
-            tenant=getattr(args, "tenant", "") or "default",
-            auth_token=auth_token,
-        ),
+        provider,
         master_key=_master_key(args.master_key),
         profile=get_profile(args.profile),
         sketch_width=args.sketch_width,
@@ -114,23 +124,44 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
             chunks_per_second=args.rate_limit,
             burst_chunks=2.0 * args.rate_limit,
         )
-    state_store = None
-    if args.state_dir:
-        from repro.tedstore.km_state import KeyManagerStateStore
-
-        state_store = KeyManagerStateStore(args.state_dir)
-    service = KeyManagerService(
-        TedKeyManager(
-            secret=args.secret.encode(),
-            blowup_factor=args.b,
-            batch_size=args.batch_size,
-            sketch_width=args.sketch_width,
-        ),
-        rate_limiter=limiter,
-        state_store=state_store,
+    front = TedKeyManager(
+        secret=args.secret.encode(),
+        blowup_factor=args.b,
+        batch_size=args.batch_size,
+        sketch_width=args.sketch_width,
     )
+    state_dir = Path(args.state_dir) if args.state_dir else None
+    ring_on_disk = (
+        state_dir is not None and (state_dir / "ring.json").exists()
+    )
+    if args.shards > 1 or ring_on_disk:
+        from repro.tedstore.ring import HashRing
+        from repro.tedstore.sharding import ShardedKeyManager
+
+        ring = (
+            None
+            if ring_on_disk
+            else HashRing.build(args.shards, seed=args.ring_seed)
+        )
+        service = ShardedKeyManager(
+            front, ring, rate_limiter=limiter, state_root=state_dir
+        )
+        shard_note = f", {len(service.ring)} KM shards"
+    else:
+        state_store = None
+        if state_dir is not None:
+            from repro.tedstore.km_state import KeyManagerStateStore
+
+            state_store = KeyManagerStateStore(state_dir)
+        service = KeyManagerService(
+            front, rate_limiter=limiter, state_store=state_store
+        )
+        shard_note = ""
     handle = serve_key_manager(service, host=args.host, port=args.port)
-    print(f"key manager listening on {handle.address} (b={args.b})")
+    print(
+        f"key manager listening on {handle.address} "
+        f"(b={args.b}{shard_note})"
+    )
     if service.restore_report is not None:
         report = service.restore_report
         print(
@@ -167,12 +198,17 @@ def cmd_serve_provider(args: argparse.Namespace) -> int:
         quota_bytes=args.quota_bytes or None,
         quota_files=args.quota_files or None,
         auth_tokens=auth_tokens,
+        shards=args.shards,
+        ring_seed=args.ring_seed,
     )
     handle = serve_provider(service, host=args.host, port=args.port)
     mode = "shared" if args.cross_user_dedup else "partitioned"
+    shard_note = (
+        f", {len(service.ring)} shards" if service.ring is not None else ""
+    )
     print(
         f"provider listening on {handle.address}, storage={args.storage}, "
-        f"dedup index {mode} across tenants"
+        f"dedup index {mode} across tenants{shard_note}"
     )
     try:
         while True:
@@ -225,6 +261,34 @@ def cmd_fsck(args: argparse.Namespace) -> int:
             )
         print("clean" if report.clean else "DAMAGED")
     return 0 if report.clean else 1
+
+
+def cmd_reshard(args: argparse.Namespace) -> int:
+    from repro.tedstore.reshard import ReshardError, run_reshard
+
+    try:
+        summaries = run_reshard(
+            args.shards,
+            storage=args.storage,
+            km_state=args.km_state,
+            ring_seed=args.ring_seed if args.ring_seed >= 0 else None,
+            vnodes=args.vnodes if args.vnodes > 0 else None,
+            container_bytes=args.container_mb << 20,
+        )
+    except ReshardError as exc:
+        print(f"reshard failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    else:
+        for summary in summaries:
+            fields = ", ".join(
+                f"{key}={value}" for key, value in sorted(summary.items())
+            )
+            print(fields)
+    return 0
 
 
 def cmd_upload(args: argparse.Namespace) -> int:
@@ -647,6 +711,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="file whose (stripped) contents are the shared secret "
                  "presented to the provider for --tenant",
         )
+        p.add_argument(
+            "--shards", type=int, default=1,
+            help="provider shard count; >1 routes PutChunks/GetChunks "
+                 "sub-batches by the consistent-hash ring (must match "
+                 "the provider's --shards)",
+        )
+        p.add_argument(
+            "--ring-seed", type=int, default=0,
+            help="seed for the consistent-hash ring (must match the "
+                 "servers')",
+        )
 
     p = sub.add_parser("serve-keymanager", help="run a TED key manager")
     p.add_argument("--host", default="127.0.0.1")
@@ -663,6 +738,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir", default=None,
         help="durable sketch-state directory (snapshot + delta log); "
              "restores the frequency state after a crash (DESIGN.md §12)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="shard the sketch across N per-range key managers behind "
+             "one wire endpoint (DESIGN.md §15); an existing ring.json "
+             "in --state-dir takes precedence",
+    )
+    p.add_argument(
+        "--ring-seed", type=int, default=0,
+        help="seed for the consistent-hash ring (ignored once a "
+             "ring.json exists in --state-dir)",
     )
     p.set_defaults(func=cmd_serve_keymanager)
 
@@ -704,7 +790,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant:token lines; tenants listed here must present the "
              "token in the HELLO handshake",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="split storage into N ring-routed engine shards under "
+             "shards/<k>/ (DESIGN.md §15); an existing ring.json in "
+             "--storage takes precedence",
+    )
+    p.add_argument(
+        "--ring-seed", type=int, default=0,
+        help="seed for the consistent-hash ring (ignored once a "
+             "ring.json exists in --storage)",
+    )
     p.set_defaults(func=cmd_serve_provider)
+
+    p = sub.add_parser(
+        "reshard",
+        help="add/remove shards with state migration (provider storage "
+             "root and/or KM state dir)",
+    )
+    p.add_argument("--shards", type=int, required=True,
+                   help="target shard count")
+    p.add_argument("--storage", default=None,
+                   help="provider storage root to migrate")
+    p.add_argument("--km-state", default=None,
+                   help="key-manager state dir to migrate")
+    p.add_argument("--ring-seed", type=int, default=-1,
+                   help="ring seed for a first-time shard split "
+                        "(ignored when a ring.json already exists)")
+    p.add_argument("--vnodes", type=int, default=0,
+                   help="virtual nodes per shard for a first-time split "
+                        "(0 = default)")
+    p.add_argument("--container-mb", type=int, default=8)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable migration summary")
+    p.set_defaults(func=cmd_reshard)
 
     p = sub.add_parser(
         "fsck", help="verify (and optionally repair) a storage root"

@@ -171,6 +171,31 @@ class TedKeyManager:
         """Handle a batch of requests (one TEDStore round trip)."""
         return [self.generate_seed(hashes) for hashes in batch]
 
+    def estimate_batch(
+        self, batch: Sequence[Sequence[int]]
+    ) -> List[int]:
+        """Observe a batch and return its per-chunk frequency estimates.
+
+        The sharded key manager's observer path (DESIGN.md §15): shard
+        key managers own the sketches but never select seeds — the
+        sharded front collects these estimates and runs Eq. 3 selection
+        itself so a single RNG stream and a single ``t`` govern the
+        whole deployment, exactly as with one key manager. Performs the
+        same per-request state mutations as :meth:`generate_seed`
+        (sketch update, FTED frequency tracking, request counting)
+        minus seed selection; batch-boundary retuning is the front's
+        job, so observers are built with ``batch_size=None``.
+        """
+        estimates: List[int] = []
+        for short_hashes in batch:
+            frequency = self.sketch.update(short_hashes)
+            if self.is_fted:
+                self._freq_by_identity[tuple(short_hashes)] = frequency
+            self.stats.requests += 1
+            _KEYGEN_REQUESTS.inc()
+            estimates.append(frequency)
+        return estimates
+
     def observe_batch(self, batch: Sequence[Sequence[int]]) -> None:
         """Re-apply a batch's frequency effects without selecting seeds.
 

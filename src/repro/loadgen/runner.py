@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import queue
 import random
+import tempfile
 import threading
 import time
 import zlib
@@ -176,14 +177,48 @@ class _TenantCatalog:
 
 
 class InProcessDeployment:
-    """Shared KM + provider services, fresh local transports per client."""
+    """Shared KM + provider services, fresh local transports per client.
+
+    ``[deployment] shards > 1`` swaps in the sharded topology: a
+    ring-routed on-disk provider store under a temp dir (the in-memory
+    provider has no engine to shard) and a
+    :class:`~repro.tedstore.sharding.ShardedKeyManager` front, so load
+    profiles exercise the DESIGN.md §15 routing path end to end.
+    """
 
     def __init__(self, profile: WorkloadProfile) -> None:
-        self.key_manager = KeyManagerService()
-        self.provider = ProviderService(
-            in_memory=True,
-            cross_user_dedup=profile.tenants.cross_user_dedup,
-        )
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        shards = profile.deployment.shards
+        if shards > 1:
+            from repro.core.ted import TedKeyManager
+            from repro.tedstore.ring import HashRing
+            from repro.tedstore.sharding import ShardedKeyManager
+
+            ring = HashRing.build(shards, seed=profile.deployment.ring_seed)
+            self.key_manager = ShardedKeyManager(
+                TedKeyManager(
+                    secret=b"tedstore-default-secret",
+                    blowup_factor=1.05,
+                    batch_size=48_000,
+                    sketch_width=2**21,
+                ),
+                ring,
+            )
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="loadgen-shards-"
+            )
+            self.provider = ProviderService(
+                directory=self._tempdir.name,
+                cross_user_dedup=profile.tenants.cross_user_dedup,
+                shards=shards,
+                ring_seed=profile.deployment.ring_seed,
+            )
+        else:
+            self.key_manager = KeyManagerService()
+            self.provider = ProviderService(
+                in_memory=True,
+                cross_user_dedup=profile.tenants.cross_user_dedup,
+            )
 
     def client(
         self, profile: WorkloadProfile, tenant: str, worker: int
@@ -216,6 +251,12 @@ class InProcessDeployment:
 
     def close(self) -> None:
         self.provider.close()
+        close_km = getattr(self.key_manager, "close", None)
+        if callable(close_km):
+            close_km()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
 
 
 class TcpDeployment:

@@ -112,6 +112,25 @@ class TenantShape:
 
 
 @dataclass(frozen=True)
+class DeploymentShape:
+    """Server-side topology the run is generated against.
+
+    ``shards > 1`` builds the in-process deployment sharded — a
+    ring-routed provider store and a :class:`~repro.tedstore.sharding.\
+ShardedKeyManager` front (DESIGN.md §15) — so load profiles can gate
+    the sharded path's throughput the same way they gate the single
+    engine's. Ignored for TCP targets (the servers own their topology).
+    """
+
+    shards: int = 1
+    ring_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+
+
+@dataclass(frozen=True)
 class FaultMix:
     """Seeded fault-injection rates applied to every client transport.
 
@@ -164,6 +183,7 @@ class WorkloadProfile:
     mix: OpMix = field(default_factory=OpMix)
     tenants: TenantShape = field(default_factory=TenantShape)
     faults: FaultMix = field(default_factory=FaultMix)
+    deployment: DeploymentShape = field(default_factory=DeploymentShape)
     slos: Tuple[SLO, ...] = ()
 
     def __post_init__(self) -> None:
@@ -233,6 +253,8 @@ class WorkloadProfile:
             kwargs["tenants"] = TenantShape(**data.pop("tenants"))
         if "faults" in data:
             kwargs["faults"] = FaultMix(**data.pop("faults"))
+        if "deployment" in data:
+            kwargs["deployment"] = DeploymentShape(**data.pop("deployment"))
         if "slo" in data:
             slos = []
             for op, targets in data.pop("slo").items():
@@ -315,6 +337,7 @@ def _parse_simple_toml(text: str) -> Dict:
 
 
 __all__ = [
+    "DeploymentShape",
     "FaultMix",
     "FileShape",
     "OpMix",

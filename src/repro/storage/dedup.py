@@ -112,12 +112,15 @@ class FingerprintCache:
         self._lru: "OrderedDict[bytes, bytes]" = OrderedDict()
         # Size the bloom for several LRU generations so it stays useful
         # after evictions begin without growing unbounded state.
+        self._bloom_fp_rate = bloom_fp_rate
         self._bloom = BloomFilter.with_capacity(
             capacity * 4, false_positive_rate=bloom_fp_rate
         )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.epoch = 0
+        self.epoch_invalidations = 0
 
     @staticmethod
     def key(fingerprint: bytes, seed: bytes) -> bytes:
@@ -164,6 +167,41 @@ class FingerprintCache:
         if evicted:
             _CACHE_EVENTS.labels(event="evict").inc(evicted)
 
+    def advance_epoch(self, epoch: int) -> int:
+        """Invalidate everything when the provider's ring epoch moves.
+
+        A cache hit asserts "this ciphertext fingerprint is stored at
+        the provider *under the current placement*". A reshard changes
+        placement: a fingerprint's owning shard may move, and the copy
+        the cache remembers may be mid-migration or GC'd from its old
+        shard. Entries cached under an older epoch therefore cannot be
+        trusted to short-circuit an upload — dropping them costs a
+        re-encrypt + PUT (which the provider dedups server-side), while
+        keeping them could skip a PUT the new owner never saw. The
+        bloom filter is rebuilt too, since it fronts the LRU.
+
+        Returns the number of entries invalidated; same-epoch calls are
+        no-ops so the pipeline can consult this on every upload.
+        """
+        with self._lock:
+            if epoch == self.epoch:
+                return 0
+            if epoch < self.epoch:
+                raise ValueError(
+                    f"ring epoch moved backwards: {epoch} < {self.epoch}"
+                )
+            invalidated = len(self._lru)
+            self.epoch = epoch
+            self.epoch_invalidations += invalidated
+            self._lru.clear()
+            self._bloom = BloomFilter.with_capacity(
+                self.capacity * 4,
+                false_positive_rate=self._bloom_fp_rate,
+            )
+        if invalidated:
+            _CACHE_EVENTS.labels(event="epoch_invalidate").inc(invalidated)
+        return invalidated
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._lru)
@@ -176,6 +214,8 @@ class FingerprintCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "entries": len(self._lru),
+                "epoch": self.epoch,
+                "epoch_invalidations": self.epoch_invalidations,
             }
 
 
@@ -379,6 +419,15 @@ class ConcurrentDedupEngine:
       a memtable flush would observe a half-swapped table list;
     * a **container lock** covers appends and reads — the open container
       is a single mutable file.
+
+    The stripes are **per engine**: they provide no atomicity across two
+    engines, so they only suffice when a fingerprint can never be offered
+    to two engines concurrently. Under sharding (DESIGN.md §15) that is
+    the ring's routing invariant — one fingerprint, one owning shard per
+    epoch — and migrations only change placement through ``repro
+    reshard``, which runs against a quiesced store and bumps the ring
+    epoch so client caches drop pre-migration placement knowledge
+    (:meth:`FingerprintCache.advance_epoch`).
 
     The duplicate fast path — the common case in dedup-heavy workloads —
     takes only a stripe plus the short index lock, so one tenant's

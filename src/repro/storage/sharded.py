@@ -1,0 +1,249 @@
+"""Ring-routed sharded deduplication engine.
+
+The provider side of ROADMAP item 2: one fingerprint index and one
+container pool cannot serve millions of users, so the store is split
+into N independent :class:`~repro.storage.dedup.DedupEngine` shards
+under ``shards/<k>/``, each with its own LSM index, container pool,
+WAL-backed id allocation, and crash recovery — the per-shard on-disk
+format is byte-for-byte the single-engine format, so every existing
+tool (fsck, scrub, crash recovery) works per shard unchanged.
+
+Routing is the consistent-hash ring's job (``tedstore/ring.py``): a
+cipher fingerprint always hashes to the same shard, so dedup decisions
+are exact — the shard that owns a fingerprint sees *every* store of
+it, and no fingerprint can ever be stored by two shards under one ring
+epoch (DESIGN.md §15's routing invariant). Cross-epoch aliasing —
+a reshard moving a fingerprint's ownership while a client cache still
+remembers the old epoch — is handled by the cache's epoch invalidation
+(:meth:`~repro.storage.dedup.FingerprintCache.advance_epoch`), not
+here.
+
+The ring object is injected rather than imported so this module stays
+free of ``repro.tedstore`` dependencies; anything with
+``shard_for_key``/``shards``/``epoch`` duck-types.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.storage.dedup import (
+    ChunkLocation,
+    ConcurrentDedupEngine,
+    DedupEngine,
+    DedupStats,
+)
+
+SHARDS_DIRNAME = "shards"
+
+_REGISTRY = obs_metrics.get_registry()
+_ROUTED_BATCHES = _REGISTRY.counter(
+    "ted_shard_routed_batches_total",
+    "Sub-batches routed to a shard by the consistent-hash ring",
+    labelnames=("side", "shard"),
+)
+_ROUTED_KEYS = _REGISTRY.counter(
+    "ted_shard_routed_keys_total",
+    "Keys (fingerprints / hash vectors) routed to a shard",
+    labelnames=("side", "shard"),
+)
+_IMBALANCE = _REGISTRY.gauge(
+    "ted_shard_imbalance",
+    "Max/mean ratio of per-shard routed-key counts (1.0 = perfectly even)",
+    labelnames=("side",),
+)
+
+
+class ShardRouteMeter:
+    """Shared routed-batch accounting for both sides of the deployment.
+
+    Tracks cumulative per-shard key counts and keeps the
+    ``ted_shard_imbalance`` gauge current; one instance per router
+    (KM front or provider engine), labelled by ``side``.
+    """
+
+    def __init__(self, side: str, shard_ids: Sequence[int]) -> None:
+        self._side = side
+        self._counts: Dict[int, int] = {int(s): 0 for s in shard_ids}
+
+    def record(self, shard: int, keys: int) -> None:
+        self._counts[shard] = self._counts.get(shard, 0) + keys
+        _ROUTED_BATCHES.labels(side=self._side, shard=str(shard)).inc()
+        _ROUTED_KEYS.labels(side=self._side, shard=str(shard)).inc(keys)
+        counts = self._counts.values()
+        total = sum(counts)
+        if total:
+            mean = total / len(self._counts)
+            _IMBALANCE.labels(side=self._side).set(max(counts) / mean)
+
+    @property
+    def counts(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+
+class ShardedDedupEngine:
+    """N ring-routed dedup engines presenting the single-engine API.
+
+    Args:
+        directory: storage root; shard ``k`` lives at
+            ``<directory>/shards/<k>``.
+        ring: placement — anything with ``shard_for_key(bytes) -> int``,
+            ``shards`` (ids), and ``epoch``.
+        container_bytes: per-shard container size budget.
+        concurrent: wrap each shard in
+            :class:`~repro.storage.dedup.ConcurrentDedupEngine`
+            (striped per-fingerprint locks). The stripes are *per
+            engine*; cross-shard atomicity is never needed because the
+            ring routes a fingerprint to exactly one shard.
+
+    Example:
+        >>> from repro.tedstore.ring import HashRing
+        >>> engine = ShardedDedupEngine(tmp, HashRing.build(3))
+        >>> engine.store(b"f" * 32, b"data")
+        True
+    """
+
+    def __init__(
+        self,
+        directory,
+        ring,
+        container_bytes: int = 8 << 20,
+        concurrent: bool = False,
+        stripes: int = 64,
+    ) -> None:
+        self.directory = Path(directory)
+        self.ring = ring
+        self.container_bytes = container_bytes
+        self._leaves: Dict[int, DedupEngine] = {}
+        self._routes: Dict[int, object] = {}
+        for shard in ring.shards:
+            leaf = DedupEngine(
+                self.directory / SHARDS_DIRNAME / str(shard),
+                container_bytes=container_bytes,
+            )
+            self._leaves[shard] = leaf
+            self._routes[shard] = (
+                ConcurrentDedupEngine(leaf, stripes=stripes)
+                if concurrent
+                else leaf
+            )
+        self._meter = ShardRouteMeter("provider", ring.shards)
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The ring epoch placements were computed under."""
+        return self.ring.epoch
+
+    @property
+    def shard_engines(self) -> List[DedupEngine]:
+        """The leaf engines, shard-id order (fsck/scrub iterate these)."""
+        return [self._leaves[s] for s in self.ring.shards]
+
+    def shard_of(self, fingerprint: bytes) -> int:
+        return self.ring.shard_for_key(fingerprint)
+
+    def _route(self, fingerprint: bytes):
+        return self._routes[self.ring.shard_for_key(fingerprint)]
+
+    # -- single-engine API -------------------------------------------------
+
+    def store(self, fingerprint: bytes, chunk: bytes) -> bool:
+        shard = self.ring.shard_for_key(fingerprint)
+        self._meter.record(shard, 1)
+        return self._routes[shard].store(fingerprint, chunk)
+
+    def contains(self, fingerprint: bytes) -> bool:
+        return self._route(fingerprint).contains(fingerprint)
+
+    def load(self, fingerprint: bytes) -> bytes:
+        return self._route(fingerprint).load(fingerprint)
+
+    def locate(self, fingerprint: bytes) -> ChunkLocation:
+        return self._route(fingerprint).locate(fingerprint)
+
+    def load_many(
+        self,
+        fingerprints: Sequence[bytes],
+        lookahead_window: Optional[int] = None,
+    ) -> List[bytes]:
+        """Batch reads, grouped per shard, results in request order.
+
+        Per-shard sub-batches preserve the caller's relative order, so
+        each shard's container look-ahead sees the same access pattern
+        a single engine would for those fingerprints.
+        """
+        groups: Dict[int, List[int]] = {}
+        for position, fingerprint in enumerate(fingerprints):
+            shard = self.ring.shard_for_key(fingerprint)
+            groups.setdefault(shard, []).append(position)
+        results: List[bytes] = [b""] * len(fingerprints)
+        for shard in sorted(groups):
+            positions = groups[shard]
+            self._meter.record(shard, len(positions))
+            chunks = self._routes[shard].load_many(
+                [fingerprints[p] for p in positions],
+                lookahead_window=lookahead_window,
+            )
+            for position, chunk in zip(positions, chunks):
+                results[position] = chunk
+        return results
+
+    def flush(self) -> None:
+        for shard in self.ring.shards:
+            self._routes[shard].flush()
+
+    def close(self) -> None:
+        for shard in self.ring.shards:
+            self._routes[shard].close()
+
+    def physical_bytes(self) -> int:
+        return sum(
+            self._routes[s].physical_bytes() for s in self.ring.shards
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> DedupStats:
+        """Aggregate logical/physical accounting across shards."""
+        total = DedupStats()
+        for leaf in self._leaves.values():
+            total.logical_chunks += leaf.stats.logical_chunks
+            total.logical_bytes += leaf.stats.logical_bytes
+            total.unique_chunks += leaf.stats.unique_chunks
+            total.unique_bytes += leaf.stats.unique_bytes
+        return total
+
+    def container_count(self) -> int:
+        return sum(
+            leaf.containers.container_count()
+            for leaf in self._leaves.values()
+        )
+
+    def routed_counts(self) -> Dict[int, int]:
+        """Cumulative keys routed per shard (imbalance diagnostics)."""
+        return self._meter.counts
+
+
+def shard_directories(directory) -> List[Tuple[int, Path]]:
+    """``(shard_id, path)`` pairs under ``<directory>/shards``, sorted."""
+    root = Path(directory) / SHARDS_DIRNAME
+    if not root.is_dir():
+        return []
+    found: List[Tuple[int, Path]] = []
+    for entry in root.iterdir():
+        if entry.is_dir() and entry.name.isdigit():
+            found.append((int(entry.name), entry))
+    return sorted(found)
+
+
+__all__ = [
+    "SHARDS_DIRNAME",
+    "ShardRouteMeter",
+    "ShardedDedupEngine",
+    "shard_directories",
+]

@@ -25,12 +25,20 @@ from repro.tedstore.quorum import (
     deal_quorum,
 )
 from repro.tedstore.ratelimit import KeyGenRateLimiter, RateLimitExceeded
+from repro.tedstore.reshard import (
+    ReshardError,
+    reshard_km,
+    reshard_provider,
+    run_reshard,
+)
 from repro.tedstore.retry import (
     DeadlineExceeded,
     RetriesExhausted,
     RetryPolicy,
     retry_call,
 )
+from repro.tedstore.ring import HashRing, load_ring, store_ring
+from repro.tedstore.sharding import ShardedKeyManager, ShardRoutingProvider
 
 __all__ = [
     "QuorumClient",
@@ -59,4 +67,13 @@ __all__ = [
     "RetriesExhausted",
     "RetryPolicy",
     "retry_call",
+    "HashRing",
+    "load_ring",
+    "store_ring",
+    "ShardedKeyManager",
+    "ShardRoutingProvider",
+    "ReshardError",
+    "reshard_km",
+    "reshard_provider",
+    "run_reshard",
 ]

@@ -215,6 +215,14 @@ class TedStoreClient:
     ) -> UploadResult:
         from repro.tedstore.pipeline import PipelinedUploader
 
+        if self.fingerprint_cache is not None:
+            # A reshard moves fingerprint ownership between provider
+            # shards; cached "duplicate" verdicts from the old placement
+            # must not suppress uploads under the new one. The provider
+            # advertises its ring epoch; any advance drops the cache.
+            ring_epoch = getattr(self.provider, "ring_epoch", None)
+            if callable(ring_epoch):
+                self.fingerprint_cache.advance_epoch(ring_epoch())
         uploader = PipelinedUploader(self)
         uploader.run(file_name, chunks)
         with self.timer.stage("write"):

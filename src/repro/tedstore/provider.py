@@ -52,6 +52,8 @@ from repro.storage.dedup import (
 )
 from repro.storage.kvstore import KVStore
 from repro.storage.scrub import BackgroundScrubber
+from repro.storage.sharded import ShardedDedupEngine
+from repro.tedstore.ring import HashRing, load_ring, store_ring
 from repro.tedstore.messages import (
     Chunks,
     GetChunks,
@@ -170,6 +172,14 @@ class ProviderService:
             verification; DESIGN.md §12) every this many seconds over the
             default/shared engine; ``None`` disables it. Requires the
             on-disk engine.
+        shards: split the on-disk engine into this many ring-routed
+            shards under ``shards/<k>/`` (DESIGN.md §15). ``1`` keeps
+            the legacy single-engine layout byte-compatible. A
+            persisted ``ring.json`` at the storage root is
+            authoritative: changing shard membership goes through
+            ``repro reshard``, not this flag.
+        ring_seed: placement seed when bootstrapping a fresh sharded
+            store; ignored once ``ring.json`` exists.
     """
 
     def __init__(
@@ -185,11 +195,15 @@ class ProviderService:
         quota_files: Optional[int] = None,
         auth_tokens: Optional[Dict[str, bytes]] = None,
         dedup_stripes: int = 64,
+        shards: int = 1,
+        ring_seed: int = 0,
     ) -> None:
         if quota_bytes is not None and quota_bytes < 0:
             raise ValueError("quota_bytes cannot be negative")
         if quota_files is not None and quota_files < 0:
             raise ValueError("quota_files cannot be negative")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         self.in_memory = in_memory
         self.cross_user_dedup = cross_user_dedup
         self.quota_bytes = quota_bytes
@@ -207,7 +221,39 @@ class ProviderService:
 
         self._memory_chunks: Optional[Dict[bytes, bytes]] = None
         self._memory_lock = threading.Lock()
-        self._shared: Optional[ConcurrentDedupEngine] = None
+        self._shared = None  # thread-safe facade over self.engine
+        # Ring resolution (DESIGN.md §15): a persisted ring.json is the
+        # source of truth — the CLI flag only bootstraps a fresh store,
+        # and membership changes go through `repro reshard`. A fresh
+        # N=1 store writes no ring.json, keeping today's on-disk layout
+        # byte-compatible.
+        self.ring: Optional[HashRing] = None
+        if not in_memory and engine is None and self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            from repro.tedstore.reshard import pending_reshard
+
+            if pending_reshard(self._directory):
+                raise RuntimeError(
+                    f"unfinished reshard in {self._directory}; run "
+                    "`repro reshard` to complete the migration before "
+                    "serving"
+                )
+            ring_path = self._directory / "ring.json"
+            if ring_path.exists():
+                self.ring = load_ring(ring_path)
+                if shards > 1 and len(self.ring) != shards:
+                    raise ValueError(
+                        f"storage is sharded {len(self.ring)} ways; run "
+                        f"`repro reshard --shards {shards}` to change "
+                        "membership"
+                    )
+            elif shards > 1:
+                self.ring = HashRing.build(shards, seed=ring_seed)
+                store_ring(ring_path, self.ring)
+        elif shards > 1:
+            raise ValueError(
+                "sharding requires the on-disk engine (a storage directory)"
+            )
         if in_memory:
             self.engine = None
             if cross_user_dedup:
@@ -215,6 +261,14 @@ class ProviderService:
         else:
             if engine is not None:
                 self.engine = engine
+            elif self.ring is not None:
+                self.engine = ShardedDedupEngine(
+                    self._directory,
+                    self.ring,
+                    container_bytes=container_bytes,
+                    concurrent=cross_user_dedup,
+                    stripes=dedup_stripes,
+                )
             else:
                 if directory is None:
                     raise ValueError(
@@ -225,9 +279,15 @@ class ProviderService:
                     self._directory, container_bytes=container_bytes
                 )
             if cross_user_dedup:
-                self._shared = ConcurrentDedupEngine(
-                    self.engine, stripes=dedup_stripes
-                )
+                if isinstance(self.engine, ShardedDedupEngine):
+                    # Already thread-safe: each shard wraps its leaf in
+                    # striped locks, and the ring keeps any fingerprint
+                    # on exactly one shard.
+                    self._shared = self.engine
+                else:
+                    self._shared = ConcurrentDedupEngine(
+                        self.engine, stripes=dedup_stripes
+                    )
         # Materialize the default tenant eagerly: it owns the legacy
         # root-layout recipes, which must be durable-loaded before the
         # first request (a provider restart must still resolve every
@@ -301,10 +361,19 @@ class ProviderService:
                         # engine; partitioning only namespaces the rest.
                         state.engine = self.engine
                     elif self._directory is not None:
-                        state.engine = DedupEngine(
-                            self._tenant_root(tenant),
-                            container_bytes=self.container_bytes,
-                        )
+                        if self.ring is not None:
+                            # Private engines shard under the same ring:
+                            # tenants/<id>/shards/<k>, one global ring.json.
+                            state.engine = ShardedDedupEngine(
+                                self._tenant_root(tenant),
+                                self.ring,
+                                container_bytes=self.container_bytes,
+                            )
+                        else:
+                            state.engine = DedupEngine(
+                                self._tenant_root(tenant),
+                                container_bytes=self.container_bytes,
+                            )
                     else:
                         # An injected single engine cannot be partitioned.
                         raise ValueError(
@@ -573,16 +642,34 @@ class ProviderService:
             return list(self._tenants.values())
 
     def _engines(self) -> List[DedupEngine]:
-        """Every distinct engine (root/shared + per-tenant), deduped."""
+        """Every distinct *leaf* engine (root/shared + per-tenant).
+
+        Sharded engines flatten to their per-shard leaves so accounting
+        and scrub sweeps see every container pool and index exactly once.
+        """
         engines: List[DedupEngine] = []
+
+        def add(engine) -> None:
+            leaves = getattr(engine, "shard_engines", None)
+            for leaf in leaves if leaves is not None else [engine]:
+                if all(leaf is not existing for existing in engines):
+                    engines.append(leaf)
+
         if self.engine is not None:
-            engines.append(self.engine)
+            add(self.engine)
         for state in self._tenant_snapshot():
-            if state.engine is not None and all(
-                state.engine is not e for e in engines
-            ):
-                engines.append(state.engine)
+            if state.engine is not None:
+                add(state.engine)
         return engines
+
+    def ring_epoch(self) -> int:
+        """The placement epoch (0 for unsharded stores).
+
+        Clients consult this before uploads: a cache populated under an
+        older epoch must not short-circuit PUTs after a reshard
+        (DESIGN.md §15; :meth:`FingerprintCache.advance_epoch`).
+        """
+        return self.ring.epoch if self.ring is not None else 0
 
     def flush(self) -> None:
         """Seal containers and flush indexes/recipes across all tenants."""
@@ -698,7 +785,7 @@ class ProviderService:
             totals["logical_bytes"] += stats.logical_bytes
             totals["unique_bytes"] += stats.unique_bytes
             totals["containers"] += engine.containers.container_count()
-        return [
+        pairs = [
             ("logical_chunks", totals["logical_chunks"]),
             ("unique_chunks", totals["unique_chunks"]),
             ("logical_bytes", totals["logical_bytes"]),
@@ -707,3 +794,7 @@ class ProviderService:
             ("containers", totals["containers"]),
             ("tenants", len(states)),
         ]
+        if self.ring is not None:
+            pairs.append(("shards", len(self.ring)))
+            pairs.append(("ring_epoch", self.ring.epoch))
+        return pairs

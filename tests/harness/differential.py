@@ -149,6 +149,81 @@ def make_deployment(
     )
 
 
+def make_sharded_deployment(
+    mode: str,
+    directory,
+    shards: int,
+    *,
+    ring_seed: int = 0,
+    workers: int = 1,
+    pipeline_depth: int = 3,
+    client_batch_size: int = 500,
+    km_batch_size: int = 1024,
+    rng_seed: int = 7,
+    key_manager_wrap=None,
+    provider_wrap=None,
+) -> Deployment:
+    """Build an N-shard deployment rooted at ``directory``.
+
+    ``shards == 1`` builds the plain single-engine deployment (no ring,
+    today's on-disk layout) so the parity gate proves byte-compatibility
+    of the N=1 path for free. For N > 1 the key manager is a
+    :class:`~repro.tedstore.sharding.ShardedKeyManager` front over N
+    sketch shards and the provider is ring-routed across N engines —
+    ``Deployment.ted`` is the *front* key manager, so every existing
+    state probe (``sketch_state``'s ``t``/requests/tracked map) reads
+    the authoritative copy.
+    """
+    if shards == 1:
+        return make_deployment(
+            mode,
+            directory,
+            workers=workers,
+            pipeline_depth=pipeline_depth,
+            client_batch_size=client_batch_size,
+            km_batch_size=km_batch_size,
+            rng_seed=rng_seed,
+            key_manager_wrap=key_manager_wrap,
+            provider_wrap=provider_wrap,
+        )
+    from repro.tedstore.ring import HashRing
+    from repro.tedstore.sharding import ShardedKeyManager
+
+    directory = Path(directory)
+    ted = make_key_manager(
+        mode, rng_seed=rng_seed, km_batch_size=km_batch_size
+    )
+    key_service = ShardedKeyManager(
+        ted, HashRing.build(shards, seed=ring_seed)
+    )
+    provider_service = ProviderService(
+        directory=directory, shards=shards, ring_seed=ring_seed
+    )
+    key_transport = LocalKeyManager(key_service)
+    provider_transport = LocalProvider(provider_service)
+    if key_manager_wrap is not None:
+        key_transport = key_manager_wrap(key_transport)
+    if provider_wrap is not None:
+        provider_transport = provider_wrap(provider_transport)
+    client = TedStoreClient(
+        key_transport,
+        provider_transport,
+        profile=get_profile("shactr"),
+        sketch_width=_SKETCH_WIDTH,
+        batch_size=client_batch_size,
+        workers=workers,
+        pipeline_depth=pipeline_depth,
+    )
+    return Deployment(
+        mode=mode,
+        directory=directory,
+        ted=ted,
+        key_service=key_service,
+        provider_service=provider_service,
+        client=client,
+    )
+
+
 def run_workload(
     deployment: Deployment, files: Sequence[Tuple[str, Sequence[bytes]]]
 ) -> List[UploadResult]:
@@ -257,6 +332,111 @@ def sketch_state(deployment: Deployment) -> Dict[str, object]:
         "tracked_frequencies": frequencies,
         "requests": ted.stats.requests,
     }
+
+
+# -- shard-parity probes (DESIGN.md §15) --------------------------------------
+#
+# A sharded deployment must be *logically* identical to the single-engine
+# one: same chunks under the same cipher fingerprints (just distributed),
+# same recipes, and sketch state whose per-shard pieces sum exactly to
+# the single sketch. The probes below express each side in a
+# placement-independent form so N=1 and N=k compare with plain ``==``.
+
+
+def chunk_union_state(deployment: Deployment) -> Dict[str, str]:
+    """``fingerprint-hex -> chunk digest`` union over all engine shards.
+
+    Also asserts the routing invariant: no fingerprint may appear in two
+    shards under one ring epoch (double storage would silently erode the
+    dedup ratio the paper's Eq. 1 measures).
+    """
+    deployment.provider_service.flush()
+    engine = deployment.provider_service.engine
+    leaves = getattr(engine, "shard_engines", None) or [engine]
+    union: Dict[str, str] = {}
+    for leaf in leaves:
+        for fingerprint, _location in leaf.index.items():
+            key = fingerprint.hex()
+            assert key not in union, (
+                f"fingerprint {key} stored by two shards "
+                f"({deployment.mode})"
+            )
+            union[key] = hashlib.sha256(
+                leaf.load(fingerprint)
+            ).hexdigest()
+    return union
+
+
+def union_sketch_state(deployment: Deployment) -> Dict[str, object]:
+    """Placement-independent key-manager state.
+
+    Single KM: exactly :func:`sketch_state`. Sharded KM: the elementwise
+    *sum* of the per-shard Count-Min counter matrices — each identity is
+    routed to exactly one shard, so summing reassembles the single
+    sketch with no double counting, keeping Eqs. 2-4's frequency
+    estimates exact. ``t``/requests/tracked map read from the front,
+    which owns them.
+    """
+    shards = getattr(deployment.key_service, "_shards", None)
+    if shards is None:
+        return sketch_state(deployment)
+    summed = None
+    total = 0
+    for shard_id in sorted(shards):
+        shard_sketch = shards[shard_id].key_manager.sketch
+        total += shard_sketch.total
+        if summed is None:
+            summed = shard_sketch._counters.copy()
+        else:
+            summed += shard_sketch._counters
+    ted = deployment.ted
+    return {
+        "sketch_counters": hashlib.sha256(summed.tobytes()).hexdigest(),
+        "sketch_total": total,
+        "t": ted.t,
+        "tracked_frequencies": hashlib.sha256(
+            repr(sorted(ted._freq_by_identity.items())).encode()
+        ).hexdigest(),
+        "requests": ted.stats.requests,
+    }
+
+
+#: Provider counters that are placement artifacts, not logical state:
+#: container counts differ with shard boundaries, and only sharded
+#: deployments report ring membership.
+_PLACEMENT_COUNTERS = ("containers", "shards", "ring_epoch")
+
+
+def assert_shard_parity(
+    single: Deployment,
+    sharded: Deployment,
+    file_names: Sequence[str],
+) -> None:
+    """Assert an N-shard deployment is logically identical to N=1.
+
+    Per-fingerprint chunk bytes, recipe plaintexts, logical dedup
+    counters, and the (reassembled) sketch state must all match; only
+    placement artifacts (container counts, ring metadata) may differ.
+    """
+    assert chunk_union_state(single) == chunk_union_state(sharded), (
+        f"chunk union diverged ({single.mode})"
+    )
+    assert recipes_state(single, file_names) == recipes_state(
+        sharded, file_names
+    ), f"recipes diverged ({single.mode})"
+    assert union_sketch_state(single) == union_sketch_state(sharded), (
+        f"sketch state diverged ({single.mode}): "
+        f"{union_sketch_state(single)} != {union_sketch_state(sharded)}"
+    )
+    single_counters = dict(single.provider_service.stats())
+    sharded_counters = dict(sharded.provider_service.stats())
+    for key in _PLACEMENT_COUNTERS:
+        single_counters.pop(key, None)
+        sharded_counters.pop(key, None)
+    assert single_counters == sharded_counters, (
+        f"provider counters diverged ({single.mode}): "
+        f"{single_counters} != {sharded_counters}"
+    )
 
 
 # -- equivalence assertion ----------------------------------------------------

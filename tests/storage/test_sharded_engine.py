@@ -1,0 +1,211 @@
+"""ShardedDedupEngine routing + FingerprintCache ring-epoch invalidation.
+
+Unit coverage for the provider half of DESIGN.md §15: the ring-routed
+engine must present the single-engine API while keeping every
+fingerprint on exactly one shard, and the client fingerprint cache must
+drop placement knowledge whenever the provider's ring epoch advances —
+the in-flight alias-suppression audit (a cached "duplicate" verdict
+from a pre-reshard epoch must never suppress an upload the fingerprint's
+new owning shard has not seen).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.storage.dedup import FingerprintCache
+from repro.storage.sharded import (
+    ShardedDedupEngine,
+    ShardRouteMeter,
+    shard_directories,
+)
+from repro.tedstore.ring import HashRing
+
+
+def _chunks(count: int, prefix: bytes = b"block"):
+    for i in range(count):
+        chunk = prefix + str(i).encode() * 9
+        yield hashlib.sha256(chunk).digest(), chunk
+
+
+@pytest.fixture
+def engine(tmp_path):
+    eng = ShardedDedupEngine(tmp_path, HashRing.build(3, seed=2))
+    yield eng
+    eng.close()
+
+
+def test_round_trip_and_single_owner(engine, tmp_path):
+    stored = dict(_chunks(60))
+    for fingerprint, chunk in stored.items():
+        assert engine.store(fingerprint, chunk)
+    engine.flush()
+    for fingerprint, chunk in stored.items():
+        assert engine.contains(fingerprint)
+        assert engine.load(fingerprint) == chunk
+    # Routing invariant: each fingerprint lives in exactly one shard.
+    seen = {}
+    for leaf in engine.shard_engines:
+        for fingerprint, _ in leaf.index.items():
+            assert fingerprint not in seen
+            seen[fingerprint] = leaf
+    assert set(seen) == set(stored)
+    # And physically in the shard the ring names.
+    for fingerprint in stored:
+        owner = engine.shard_of(fingerprint)
+        assert seen[fingerprint] is engine.shard_engines[owner]
+
+
+def test_duplicate_store_is_deduped(engine):
+    fingerprint, chunk = next(_chunks(1))
+    assert engine.store(fingerprint, chunk)
+    assert not engine.store(fingerprint, chunk)
+    stats = engine.stats
+    assert stats.logical_chunks == 2
+    assert stats.unique_chunks == 1
+
+
+def test_load_many_preserves_request_order(engine):
+    pairs = list(_chunks(40))
+    for fingerprint, chunk in pairs:
+        engine.store(fingerprint, chunk)
+    engine.flush()
+    order = [fp for fp, _ in reversed(pairs)]
+    results = engine.load_many(order)
+    assert results == [dict(pairs)[fp] for fp in order]
+
+
+def test_stats_aggregate_across_shards(engine):
+    for fingerprint, chunk in _chunks(30):
+        engine.store(fingerprint, chunk)
+    per_shard = [leaf.stats.unique_chunks for leaf in engine.shard_engines]
+    assert sum(per_shard) == engine.stats.unique_chunks == 30
+    assert engine.physical_bytes() > 0
+    counts = engine.routed_counts()
+    assert sum(counts.values()) == 30
+
+
+def test_shard_directories_layout(engine, tmp_path):
+    for fingerprint, chunk in _chunks(30):
+        engine.store(fingerprint, chunk)
+    engine.flush()
+    pairs = shard_directories(tmp_path)
+    assert [shard for shard, _ in pairs] == [0, 1, 2]
+    for shard, path in pairs:
+        assert (path / "containers").is_dir()
+        assert (path / "index").is_dir()
+    assert shard_directories(tmp_path / "nope") == []
+
+
+def test_route_meter_tracks_imbalance():
+    meter = ShardRouteMeter("test", [0, 1])
+    meter.record(0, 30)
+    meter.record(1, 10)
+    assert meter.counts == {0: 30, 1: 10}
+
+
+# -- fingerprint-cache epoch invalidation -------------------------------------
+
+
+def test_epoch_advance_clears_cache():
+    cache = FingerprintCache(capacity=16)
+    cache.insert(b"fp1", b"seed", b"cipher1")
+    cache.insert(b"fp2", b"seed", b"cipher2")
+    assert cache.lookup(b"fp1", b"seed") == b"cipher1"
+    invalidated = cache.advance_epoch(1)
+    assert invalidated == 2
+    assert len(cache) == 0
+    # Bloom was rebuilt too: a pre-epoch key is a definite miss.
+    assert cache.lookup(b"fp1", b"seed") is None
+    stats = cache.stats()
+    assert stats["epoch"] == 1
+    assert stats["epoch_invalidations"] == 2
+
+
+def test_same_epoch_is_noop():
+    cache = FingerprintCache(capacity=16)
+    cache.insert(b"fp", b"seed", b"cipher")
+    assert cache.advance_epoch(0) == 0
+    assert cache.lookup(b"fp", b"seed") == b"cipher"
+
+
+def test_backwards_epoch_rejected():
+    cache = FingerprintCache(capacity=16)
+    cache.advance_epoch(3)
+    with pytest.raises(ValueError, match="backwards"):
+        cache.advance_epoch(2)
+
+
+def test_epoch_skips_are_allowed():
+    """Several reshards may happen while a client is offline."""
+    cache = FingerprintCache(capacity=16)
+    cache.insert(b"fp", b"seed", b"cipher")
+    assert cache.advance_epoch(5) == 1
+    assert cache.epoch == 5
+
+
+def test_client_cache_invalidated_across_reshard(tmp_path):
+    """End-to-end alias-suppression audit (cross-user dedup + reshard).
+
+    A long-lived cached client uploads, the provider is resharded
+    offline, the client reconnects and re-uploads: the pipelined path
+    must consult the provider's new ring epoch, drop the stale cache,
+    and the re-upload must land every fingerprint on exactly one shard
+    (server-side dedup absorbs the re-PUTs; nothing is double-stored).
+    """
+    from repro.crypto.cipher import get_profile
+    from repro.tedstore.client import TedStoreClient
+    from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+    from repro.tedstore.keymanager import KeyManagerService
+    from repro.tedstore.provider import ProviderService
+    from repro.tedstore.reshard import reshard_provider
+    from repro.core.ted import TedKeyManager
+
+    def make_client(provider_service, cache):
+        return TedStoreClient(
+            LocalKeyManager(
+                KeyManagerService(
+                    TedKeyManager(
+                        secret=b"s",
+                        t=10**9,
+                        probabilistic=False,
+                        sketch_width=2**16,
+                    )
+                )
+            ),
+            LocalProvider(provider_service),
+            profile=get_profile("shactr"),
+            sketch_width=2**16,
+            batch_size=64,
+            fingerprint_cache=cache,
+        )
+
+    cache = FingerprintCache(capacity=1024)
+    chunks = [chunk for _, chunk in _chunks(40)]
+
+    provider = ProviderService(
+        directory=tmp_path, shards=2, cross_user_dedup=True
+    )
+    make_client(provider, cache).upload_chunks("before", chunks)
+    assert cache.epoch == 0 and len(cache) > 0
+    provider.close()
+
+    reshard_provider(tmp_path, 3)
+
+    provider = ProviderService(directory=tmp_path)
+    assert provider.ring_epoch() == 1
+    result = make_client(provider, cache).upload_chunks("after", chunks)
+    assert cache.epoch == 1
+    assert cache.stats()["epoch_invalidations"] > 0
+    # Stale entries could not short-circuit: everything was re-offered.
+    assert result.cache_hits == 0
+    assert result.duplicate_chunks == result.chunk_count
+    # Routing invariant post-reshard: one owner per fingerprint.
+    seen = set()
+    for leaf in provider.engine.shard_engines:
+        for fingerprint, _ in leaf.index.items():
+            assert fingerprint not in seen
+            seen.add(fingerprint)
+    provider.close()

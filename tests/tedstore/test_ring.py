@@ -1,0 +1,185 @@
+"""Seeded consistent-hash ring properties (DESIGN.md §15).
+
+The ring is the correctness foundation of sharded TED, so its contract
+is property-tested directly: placement must be a pure function of the
+``(seed, vnodes, shards)`` config (cross-process determinism), adding a
+shard may only move keys *onto* the new shard (monotonicity — what
+bounds ``repro reshard`` migrations at ~1/N of the data), balance at
+64 vnodes must stay within a 1.25 max/mean bound, and the serialized
+``ring.json`` form must round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.tedstore.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    load_ring,
+    store_ring,
+)
+
+
+def _keys(count: int, prefix: bytes = b"fp") -> list:
+    return [prefix + str(i).encode() for i in range(count)]
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_same_config_places_identically():
+    a = HashRing.build(5, seed=7)
+    b = HashRing(range(5), vnodes=DEFAULT_VNODES, seed=7)
+    for key in _keys(500):
+        assert a.shard_for_key(key) == b.shard_for_key(key)
+
+
+def test_placement_is_deterministic_across_processes():
+    """PYTHONHASHSEED must not affect placement (sha256, not hash())."""
+    code = (
+        "from repro.tedstore.ring import HashRing\n"
+        "ring = HashRing.build(4, seed=3)\n"
+        "print([ring.shard_for_key(b'fp%d' % i) for i in range(64)])\n"
+    )
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    runs = set()
+    for hashseed in ("0", "12345"):
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src_dir, "PYTHONHASHSEED": hashseed},
+        )
+        runs.add(out.stdout.strip())
+    assert len(runs) == 1
+    local = HashRing.build(4, seed=3)
+    assert runs.pop() == str(
+        [local.shard_for_key(b"fp%d" % i) for i in range(64)]
+    )
+
+
+def test_different_seeds_place_differently():
+    a, b = HashRing.build(4, seed=0), HashRing.build(4, seed=1)
+    placements_a = [a.shard_for_key(k) for k in _keys(200)]
+    placements_b = [b.shard_for_key(k) for k in _keys(200)]
+    assert placements_a != placements_b
+
+
+def test_hash_vector_routing_is_deterministic():
+    ring = HashRing.build(3, seed=9)
+    vector = [17, 4242, 99999, 3]
+    assert ring.shard_for_hashes(vector) == ring.shard_for_hashes(
+        list(vector)
+    )
+    assert ring.shard_for_hashes(vector) in ring.shards
+
+
+# -- monotonicity -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("base", [2, 3, 5])
+def test_adding_a_shard_moves_keys_only_onto_it(base):
+    old = HashRing.build(base, seed=13)
+    new = old.add_shard()
+    new_id = max(new.shards)
+    moved = 0
+    for key in _keys(3000):
+        before, after = old.shard_for_key(key), new.shard_for_key(key)
+        if before != after:
+            assert after == new_id, (
+                f"key moved {before}->{after}, not onto new shard {new_id}"
+            )
+            moved += 1
+    # The new shard takes roughly its fair 1/(base+1) slice.
+    assert 0 < moved < 3000
+
+
+def test_removing_a_shard_only_scatters_its_keys():
+    old = HashRing.build(4, seed=13)
+    new = old.remove_shard(2)
+    for key in _keys(2000):
+        before, after = old.shard_for_key(key), new.shard_for_key(key)
+        if before != 2:
+            assert after == before
+        else:
+            assert after != 2
+    assert new.epoch == old.epoch + 1
+
+
+def test_membership_changes_bump_epoch_and_copy():
+    ring = HashRing.build(2, seed=1)
+    grown = ring.add_shard()
+    assert ring.epoch == 0 and grown.epoch == 1
+    assert len(ring) == 2 and len(grown) == 3  # original untouched
+    with pytest.raises(ValueError):
+        ring.add_shard(0)
+    with pytest.raises(ValueError):
+        ring.remove_shard(9)
+    with pytest.raises(ValueError):
+        HashRing.build(1).remove_shard(0)
+
+
+# -- balance ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [2, 3, 5, 8])
+def test_balance_within_bound_at_10k_keys(shards):
+    """max/mean <= 1.25 at 10k keys with the default 64 vnodes."""
+    ring = HashRing.build(shards, seed=0)
+    counts = Counter(ring.shard_for_key(k) for k in _keys(10_000))
+    assert set(counts) == set(ring.shards), "a shard received no keys"
+    mean = 10_000 / shards
+    imbalance = max(counts.values()) / mean
+    assert imbalance <= 1.25, f"imbalance {imbalance:.3f} > 1.25 bound"
+
+
+# -- config round-trip --------------------------------------------------------
+
+
+def test_json_round_trip_preserves_placement():
+    ring = HashRing((0, 1, 3), vnodes=32, seed=11, epoch=4)
+    clone = HashRing.from_json(ring.to_json())
+    assert clone == ring
+    assert clone.to_dict() == ring.to_dict()
+    for key in _keys(300):
+        assert clone.shard_for_key(key) == ring.shard_for_key(key)
+
+
+def test_store_and_load_ring(tmp_path):
+    ring = HashRing.build(3, seed=5).add_shard()
+    path = tmp_path / "ring.json"
+    store_ring(path, ring)
+    loaded = load_ring(path)
+    assert loaded == ring
+    assert loaded.epoch == 1
+    # Plain JSON on disk — operators can read it.
+    data = json.loads(path.read_text())
+    assert data["shards"] == [0, 1, 2, 3]
+
+
+def test_unsupported_version_rejected():
+    with pytest.raises(ValueError, match="version"):
+        HashRing.from_dict(
+            {"version": 99, "seed": 0, "vnodes": 64, "epoch": 0, "shards": [0]}
+        )
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing([0, 0])
+    with pytest.raises(ValueError):
+        HashRing([0], vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing.build(0)

@@ -1,0 +1,220 @@
+"""ShardedKeyManager unit behaviour (DESIGN.md §15).
+
+The parity gate (tests/integration/test_shard_parity.py) proves whole-
+deployment equivalence; these tests pin the service-level contracts in
+isolation: seed-for-seed equality with the single key manager, the
+sequenced-stream ordering check, FTED tune propagation to every shard
+observer, durable restore from per-shard stores plus the front log,
+ring persistence/mismatch handling, and rate-limiter pass-through.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.murmur3 import short_hashes
+from repro.tedstore.messages import BatchedKeyGenRequest, KeyGenRequest
+from repro.tedstore.ratelimit import KeyGenRateLimiter, RateLimitExceeded
+from repro.tedstore.ring import HashRing
+from repro.tedstore.sharding import ShardedKeyManager
+
+_WIDTH = 2**12
+_ROWS = 4
+
+
+def _front(mode: str = "fted", batch_size: int = 128) -> TedKeyManager:
+    if mode == "mle":
+        return TedKeyManager(
+            secret=b"unit", t=10**9, probabilistic=False, sketch_width=_WIDTH
+        )
+    if mode == "bted":
+        return TedKeyManager(
+            secret=b"unit",
+            t=4,
+            sketch_width=_WIDTH,
+            rng=random.Random(3),
+        )
+    return TedKeyManager(
+        secret=b"unit",
+        blowup_factor=1.05,
+        batch_size=batch_size,
+        sketch_width=_WIDTH,
+        rng=random.Random(3),
+    )
+
+
+def _vectors(count: int, distinct: int = 16, seed: int = 5) -> list:
+    rng = random.Random(seed)
+    blocks = [rng.randbytes(48) for _ in range(distinct)]
+    import hashlib
+
+    return [
+        short_hashes(
+            hashlib.sha256(blocks[rng.randrange(distinct)]).digest(),
+            _ROWS,
+            _WIDTH,
+        )
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("mode", ["mle", "bted", "fted"])
+@pytest.mark.parametrize("shards", [2, 5])
+def test_seeds_match_single_km(mode, shards):
+    """Identical config + RNG ⇒ identical seeds, request for request."""
+    single = _front(mode)
+    sharded = ShardedKeyManager(_front(mode), HashRing.build(shards, seed=1))
+    for start in range(0, 400, 100):
+        batch = _vectors(400)[start : start + 100]
+        expected = single.generate_seeds(batch)
+        got = sharded.handle_keygen(KeyGenRequest(hash_vectors=batch)).seeds
+        assert got == expected
+    assert sharded.key_manager.t == single.t
+    assert sharded.key_manager.stats.requests == single.stats.requests
+
+
+def test_fted_tune_propagates_to_all_shards():
+    sharded = ShardedKeyManager(
+        _front("fted", batch_size=64), HashRing.build(3, seed=1)
+    )
+    response = sharded.handle_keygen(
+        KeyGenRequest(hash_vectors=_vectors(200))
+    )
+    front = sharded.key_manager
+    assert front.stats.batches_tuned >= 1
+    assert response.current_t == front.t
+    for shard in sharded._shards.values():
+        assert shard.key_manager.t == front.t
+
+
+def test_batched_sequence_regression_rejected():
+    sharded = ShardedKeyManager(_front("mle"), HashRing.build(2))
+    vectors = _vectors(10)
+    sharded.handle_keygen_batched(
+        BatchedKeyGenRequest(sequence=2, hash_vectors=vectors), "c1"
+    )
+    with pytest.raises(ValueError, match="stale keygen batch"):
+        sharded.handle_keygen_batched(
+            BatchedKeyGenRequest(sequence=1, hash_vectors=vectors), "c1"
+        )
+    # Same-sequence retry and other clients are fine.
+    sharded.handle_keygen_batched(
+        BatchedKeyGenRequest(sequence=2, hash_vectors=vectors), "c1"
+    )
+    sharded.handle_keygen_batched(
+        BatchedKeyGenRequest(sequence=1, hash_vectors=vectors), "c2"
+    )
+
+
+def test_rate_limiter_enforced():
+    limiter = KeyGenRateLimiter(chunks_per_second=1.0, burst_chunks=5.0)
+    sharded = ShardedKeyManager(
+        _front("mle"), HashRing.build(2), rate_limiter=limiter
+    )
+    with pytest.raises(RateLimitExceeded):
+        sharded.handle_keygen(
+            KeyGenRequest(hash_vectors=_vectors(50)), client_id="greedy"
+        )
+
+
+def test_durable_restore_resumes_stream(tmp_path):
+    """Close and reopen: t, requests, and sequence floors all survive."""
+    vectors = _vectors(300)
+    first = ShardedKeyManager(
+        _front("fted", batch_size=64),
+        HashRing.build(3, seed=2),
+        state_root=tmp_path,
+    )
+    for index, start in enumerate(range(0, 200, 100)):
+        first.handle_keygen_batched(
+            BatchedKeyGenRequest(
+                sequence=index + 1,
+                hash_vectors=vectors[start : start + 100],
+            ),
+            "client-a",
+        )
+    saved_t = first.key_manager.t
+    saved_requests = first.key_manager.stats.requests
+    saved_tunes = first.key_manager.stats.batches_tuned
+    first.close()
+
+    # Uninterrupted twin: same first two batches, never restarted.
+    twin = ShardedKeyManager(
+        _front("fted", batch_size=64), HashRing.build(3, seed=2)
+    )
+    for start in range(0, 200, 100):
+        twin.handle_keygen(
+            KeyGenRequest(hash_vectors=vectors[start : start + 100])
+        )
+
+    second = ShardedKeyManager(_front("fted", batch_size=64), state_root=tmp_path)
+    assert second.key_manager.t == saved_t
+    assert second.key_manager.stats.requests == saved_requests
+    assert second.key_manager.stats.batches_tuned == saved_tunes
+    # The stream's sequence floor survives the restart.
+    with pytest.raises(ValueError, match="stale keygen batch"):
+        second.handle_keygen_batched(
+            BatchedKeyGenRequest(sequence=1, hash_vectors=vectors[:10]),
+            "client-a",
+        )
+    # Continuing the stream reproduces the uninterrupted run's *durable*
+    # state: summed sketch counters, t, tune count, request count. (Seed
+    # draws are not durable — the selection RNG restarts, exactly as in
+    # the single key manager — the fail-safe direction.)
+    second.handle_keygen_batched(
+        BatchedKeyGenRequest(sequence=3, hash_vectors=vectors[200:300]),
+        "client-a",
+    )
+    twin_resp = twin.handle_keygen(
+        KeyGenRequest(hash_vectors=vectors[200:300])
+    )
+
+    def summed_counters(service):
+        total = None
+        for shard in service._shards.values():
+            matrix = shard.key_manager.sketch._counters
+            total = matrix.copy() if total is None else total + matrix
+        return total
+
+    assert (summed_counters(second) == summed_counters(twin)).all()
+    assert second.key_manager.t == twin.key_manager.t == twin_resp.current_t
+    assert (
+        second.key_manager.stats.requests == twin.key_manager.stats.requests
+    )
+    assert (
+        second.key_manager.stats.batches_tuned
+        == twin.key_manager.stats.batches_tuned
+    )
+    second.close()
+
+
+def test_ring_persisted_and_mismatch_rejected(tmp_path):
+    first = ShardedKeyManager(
+        _front("mle"), HashRing.build(3, seed=7), state_root=tmp_path
+    )
+    first.close()
+    assert (tmp_path / "ring.json").exists()
+    # Reopen without a ring: the persisted one is picked up.
+    second = ShardedKeyManager(_front("mle"), state_root=tmp_path)
+    assert len(second.ring) == 3 and second.ring.seed == 7
+    second.close()
+    with pytest.raises(ValueError, match="ring config mismatch"):
+        ShardedKeyManager(
+            _front("mle"), HashRing.build(4, seed=7), state_root=tmp_path
+        )
+
+
+def test_ring_required_without_state():
+    with pytest.raises(ValueError, match="required"):
+        ShardedKeyManager(_front("mle"))
+
+
+def test_stats_expose_shard_count():
+    sharded = ShardedKeyManager(_front("bted"), HashRing.build(4))
+    sharded.handle_keygen(KeyGenRequest(hash_vectors=_vectors(50)))
+    stats = dict(sharded.stats())
+    assert stats["shards"] == 4
+    assert stats["requests"] == 50
