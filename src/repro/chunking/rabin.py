@@ -20,7 +20,8 @@ make the rolling update O(1) per byte:
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 DEFAULT_DEGREE = 53
 DEFAULT_WINDOW_SIZE = 48
@@ -118,6 +119,68 @@ def find_irreducible(degree: int, seed: int = 1) -> int:
     raise RuntimeError("no irreducible polynomial found")  # pragma: no cover
 
 
+def _x_pow_mod(exponent: int, polynomial: int, degree: int) -> int:
+    """``x^exponent mod polynomial`` by square-and-multiply."""
+    result = 1
+    base = 0b10
+    while exponent:
+        if exponent & 1:
+            result = _poly_mulmod(result, base, polynomial, degree)
+        base = _poly_mulmod(base, base, polynomial, degree)
+        exponent >>= 1
+    return result
+
+
+@lru_cache(maxsize=None)
+def rolling_tables(
+    polynomial: int, window_size: int
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """The (shift, pop) rolling-update tables for one (P, window) pair.
+
+    Cached at module level so every chunker/fingerprint built with the
+    same polynomial and window shares one physical pair of tables
+    (constructing them costs ~256 polynomial reductions plus 256 modular
+    multiplications — pure waste when repeated per construction).
+    """
+    degree = polynomial.bit_length() - 1
+    # shift[b]: reduction of b * x^degree for each possible top byte b.
+    shift = tuple(
+        _poly_mod(b << degree, polynomial, degree) for b in range(256)
+    )
+    # pop[b]: contribution of byte b once it is window_size bytes old,
+    # i.e. b * x^(8 * window_size) mod P.
+    x8w = _x_pow_mod(8 * window_size, polynomial, degree)
+    pop = tuple(
+        _poly_mulmod(b, x8w, polynomial, degree) for b in range(256)
+    )
+    return shift, pop
+
+
+@lru_cache(maxsize=None)
+def window_tables(polynomial: int, window_size: int):
+    """Per-distance contribution tables for the vectorized scan kernel.
+
+    Row ``d`` maps byte value ``b`` to ``b * x^(8d) mod P`` — the
+    contribution of a byte ``d`` positions behind the scan head. The
+    windowed fingerprint at position ``i`` is the XOR of
+    ``T[d][data[i-d]]`` over ``d in [0, window)``, with out-of-range
+    positions contributing nothing (row entry 0 is always 0, so
+    zero-padding the data realizes that for free). Returns a
+    ``(window_size, 256)`` uint64 ndarray, cached per (P, window).
+    """
+    import numpy as np
+
+    degree = polynomial.bit_length() - 1
+    table = np.zeros((window_size, 256), dtype=np.uint64)
+    for d in range(window_size):
+        xp = _x_pow_mod(8 * d, polynomial, degree)
+        table[d] = [
+            _poly_mulmod(b, xp, polynomial, degree) for b in range(256)
+        ]
+    table.setflags(write=False)
+    return table
+
+
 class RabinFingerprint:
     """Rolling Rabin fingerprint over a fixed-size byte window.
 
@@ -150,32 +213,12 @@ class RabinFingerprint:
         self._window = bytearray(window_size)
         self._pos = 0
         self._filled = 0
-        self._shift_table, self._pop_table = self._build_tables()
-
-    def _build_tables(self):
-        degree = self.degree
-        poly = self.polynomial
-        # shift[b]: reduction of b * x^degree for each possible top byte b.
-        shift = [0] * 256
-        for b in range(256):
-            shift[b] = _poly_mod(b << degree, poly, degree)
-        # pop[b]: contribution of byte b once it is window_size bytes old,
-        # i.e. b * x^(8 * window_size) mod poly.
-        x8w = 0b10  # "x"
-        # compute x^(8 * window_size) mod poly by square-and-multiply.
-        exponent = 8 * self.window_size
-        result = 1
-        base = 0b10
-        while exponent:
-            if exponent & 1:
-                result = _poly_mulmod(result, base, poly, degree)
-            base = _poly_mulmod(base, base, poly, degree)
-            exponent >>= 1
-        x8w = result
-        pop = [0] * 256
-        for b in range(256):
-            pop[b] = _poly_mulmod(b, x8w, poly, degree)
-        return shift, pop
+        # Shared, module-cached tables: every fingerprint with the same
+        # (polynomial, window) pair aliases one physical table pair
+        # instead of recomputing ~512 modular operations per construction.
+        self._shift_table, self._pop_table = rolling_tables(
+            self.polynomial, window_size
+        )
 
     def reset(self) -> None:
         """Clear the window and fingerprint."""

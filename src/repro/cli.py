@@ -74,12 +74,13 @@ def _master_key(path: Optional[str]) -> bytes:
 
 def _make_client(args: argparse.Namespace) -> TedStoreClient:
     workers = getattr(args, "workers", 1)
+    crypto_workers = getattr(args, "crypto_workers", 0)
     cache = None
     if getattr(args, "fp_cache", 0) > 0:
         from repro.storage.dedup import FingerprintCache
 
         cache = FingerprintCache(capacity=args.fp_cache)
-    pipelined = workers > 1 or cache is not None
+    pipelined = workers > 1 or crypto_workers > 0 or cache is not None
     auth_token = b""
     if getattr(args, "auth_token", None):
         auth_token = Path(args.auth_token).read_bytes().strip()
@@ -112,6 +113,7 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
         workers=workers,
         pipeline_depth=getattr(args, "pipeline_depth", 4),
         fingerprint_cache=cache,
+        crypto_workers=crypto_workers,
     )
 
 
@@ -694,6 +696,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--pipeline-depth", type=int, default=4,
             help="bounded-queue depth between pipeline stages",
+        )
+        p.add_argument(
+            "--crypto-workers", type=int, default=0, metavar="N",
+            help="encrypt in a pool of N OS processes instead of the "
+                 "worker threads (sidesteps the GIL for CPU-bound "
+                 "profiles; implies the pipelined upload path and keeps "
+                 "stored bytes identical, DESIGN.md §16)",
         )
         p.add_argument(
             "--fp-cache", type=int, default=0, metavar="ENTRIES",

@@ -29,6 +29,7 @@ from repro.core import tuning
 from repro.core.keygen import KeySeedGenerator
 from repro.obs import metrics as obs_metrics
 from repro.sketch.countmin import CountMinSketch
+from repro.utils import kernels
 
 DEFAULT_SKETCH_ROWS = 4
 DEFAULT_SKETCH_WIDTH = 2**20
@@ -165,11 +166,63 @@ class TedKeyManager:
                 self._requests_in_batch = 0
         return seed
 
+    def _batch_runs(self, total: int):
+        """Split ``total`` requests into runs that never cross a retune.
+
+        In sequential :meth:`generate_seed` order, FTED retunes ``t``
+        the moment ``_requests_in_batch`` reaches ``batch_size`` — and
+        every later request in the same call sees the *new* ``t``. The
+        batched paths therefore slice their input at those exact
+        boundaries: each run is processed with one sketch batch update
+        under one constant ``t``, and the retune fires between runs,
+        reproducing the sequential seed decisions bit-for-bit.
+        """
+        done = 0
+        while done < total:
+            if self.batch_size is not None:
+                take = min(
+                    total - done, self.batch_size - self._requests_in_batch
+                )
+            else:
+                take = total - done
+            yield done, done + take
+            done += take
+
     def generate_seeds(
         self, batch: Sequence[Sequence[int]]
     ) -> List[bytes]:
-        """Handle a batch of requests (one TEDStore round trip)."""
-        return [self.generate_seed(hashes) for hashes in batch]
+        """Handle a batch of requests (one TEDStore round trip).
+
+        With kernels enabled, each retune-free run of the batch goes
+        through :meth:`CountMinSketch.update_batch` — one pass over the
+        counter array instead of per-request scalar indexing — while
+        seed selection, FTED frequency tracking, and batch-boundary
+        retuning keep their exact sequential order and semantics.
+        """
+        if not kernels.kernels_enabled():
+            return [self.generate_seed(hashes) for hashes in batch]
+        seeds: List[bytes] = []
+        for lo, hi in self._batch_runs(len(batch)):
+            run = batch[lo:hi]
+            frequencies = self.sketch.update_batch(run)
+            select = self._seeder.select_seed
+            t = self.t
+            if self.is_fted:
+                tracked = self._freq_by_identity
+                for hashes, frequency in zip(run, frequencies):
+                    tracked[tuple(hashes)] = frequency
+                    seeds.append(select(hashes, frequency, t))
+            else:
+                for hashes, frequency in zip(run, frequencies):
+                    seeds.append(select(hashes, frequency, t))
+            self.stats.requests += len(run)
+            _KEYGEN_REQUESTS.inc(len(run))
+            if self.batch_size is not None:
+                self._requests_in_batch += len(run)
+                if self._requests_in_batch >= self.batch_size:
+                    self._retune_from_tracked()
+                    self._requests_in_batch = 0
+        return seeds
 
     def estimate_batch(
         self, batch: Sequence[Sequence[int]]
@@ -186,14 +239,23 @@ class TedKeyManager:
         minus seed selection; batch-boundary retuning is the front's
         job, so observers are built with ``batch_size=None``.
         """
-        estimates: List[int] = []
-        for short_hashes in batch:
-            frequency = self.sketch.update(short_hashes)
-            if self.is_fted:
-                self._freq_by_identity[tuple(short_hashes)] = frequency
-            self.stats.requests += 1
-            _KEYGEN_REQUESTS.inc()
-            estimates.append(frequency)
+        if not kernels.kernels_enabled():
+            estimates: List[int] = []
+            for short_hashes in batch:
+                frequency = self.sketch.update(short_hashes)
+                if self.is_fted:
+                    self._freq_by_identity[tuple(short_hashes)] = frequency
+                self.stats.requests += 1
+                _KEYGEN_REQUESTS.inc()
+                estimates.append(frequency)
+            return estimates
+        estimates = self.sketch.update_batch(batch)
+        if self.is_fted:
+            tracked = self._freq_by_identity
+            for short_hashes, frequency in zip(batch, estimates):
+                tracked[tuple(short_hashes)] = frequency
+        self.stats.requests += len(batch)
+        _KEYGEN_REQUESTS.inc(len(batch))
         return estimates
 
     def observe_batch(self, batch: Sequence[Sequence[int]]) -> None:
@@ -206,13 +268,28 @@ class TedKeyManager:
         so replaying every acked batch reconstructs the frequency state
         (and hence every future seed decision) bit-for-bit.
         """
-        for short_hashes in batch:
-            frequency = self.sketch.update(short_hashes)
+        if not kernels.kernels_enabled():
+            for short_hashes in batch:
+                frequency = self.sketch.update(short_hashes)
+                if self.is_fted:
+                    self._freq_by_identity[tuple(short_hashes)] = frequency
+                self.stats.requests += 1
+                if self.batch_size is not None:
+                    self._requests_in_batch += 1
+                    if self._requests_in_batch >= self.batch_size:
+                        self._retune_from_tracked()
+                        self._requests_in_batch = 0
+            return
+        for lo, hi in self._batch_runs(len(batch)):
+            run = batch[lo:hi]
+            frequencies = self.sketch.update_batch(run)
             if self.is_fted:
-                self._freq_by_identity[tuple(short_hashes)] = frequency
-            self.stats.requests += 1
+                tracked = self._freq_by_identity
+                for short_hashes, frequency in zip(run, frequencies):
+                    tracked[tuple(short_hashes)] = frequency
+            self.stats.requests += len(run)
             if self.batch_size is not None:
-                self._requests_in_batch += 1
+                self._requests_in_batch += len(run)
                 if self._requests_in_batch >= self.batch_size:
                     self._retune_from_tracked()
                     self._requests_in_batch = 0

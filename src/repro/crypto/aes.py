@@ -15,7 +15,11 @@ DESIGN.md §4 for the substitution rationale).
 
 from __future__ import annotations
 
+import struct
+import time
 from typing import List, Tuple
+
+from repro.utils import kernels
 
 
 def _gf_mul(a: int, b: int) -> int:
@@ -82,6 +86,31 @@ _MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
 
 BLOCK_SIZE = 16
 
+# -- T-tables (DESIGN.md §16) -------------------------------------------------
+#
+# The batched encrypt path folds SubBytes + ShiftRows + MixColumns into
+# four 256-entry 32-bit tables: one full round becomes 16 table lookups
+# and 16 XORs on big-endian column words, with no per-byte state
+# mutation. Derived from the generated S-box, so still constant-free.
+_T0 = tuple(
+    (_MUL2[s] << 24) | (s << 16) | (s << 8) | _MUL3[s]
+    for s in _SBOX
+)
+_T1 = tuple(
+    (_MUL3[s] << 24) | (_MUL2[s] << 16) | (s << 8) | s
+    for s in _SBOX
+)
+_T2 = tuple(
+    (s << 24) | (_MUL3[s] << 16) | (_MUL2[s] << 8) | s
+    for s in _SBOX
+)
+_T3 = tuple(
+    (s << 24) | (s << 16) | (_MUL3[s] << 8) | _MUL2[s]
+    for s in _SBOX
+)
+
+_WORDS4 = struct.Struct(">4I")
+
 
 class AES:
     """AES block cipher over 16-byte blocks.
@@ -103,6 +132,14 @@ class AES:
         self.key = bytes(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(key)
+        # Word-form schedule for the T-table batch path: one flat tuple
+        # of big-endian 32-bit columns, computed once per key and reused
+        # across every block of every batch this cipher encrypts.
+        self._round_words = tuple(
+            word
+            for round_key in self._round_keys
+            for word in _WORDS4.unpack(round_key)
+        )
 
     def _expand_key(self, key: bytes) -> List[bytes]:
         """FIPS-197 key schedule; returns per-round 16-byte subkeys."""
@@ -215,6 +252,111 @@ class AES:
         self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self.rounds])
         return bytes(state)
+
+    def encrypt_blocks(self, data) -> bytes:
+        """Encrypt a run of consecutive 16-byte blocks in one call.
+
+        ``data`` is any bytes-like object whose length is a multiple of
+        16 (ECB over the batch — the CTR layer feeds counter blocks, so
+        no chaining is wanted). The batched path runs the T-table round
+        function over every block with the word-form key schedule reused
+        across the batch; it is byte-identical to calling
+        :meth:`encrypt_block` per block (property-tested), which is also
+        the fallback when kernels are disabled.
+        """
+        view = memoryview(data)
+        if len(view) % BLOCK_SIZE:
+            raise ValueError("batch length must be a multiple of 16")
+        if not kernels.kernels_enabled():
+            return b"".join(
+                self.encrypt_block(bytes(view[i : i + BLOCK_SIZE]))
+                for i in range(0, len(view), BLOCK_SIZE)
+            )
+        start = time.perf_counter()
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = _SBOX
+        words = self._round_words
+        rounds = self.rounds
+        out = bytearray(len(view))
+        unpack = _WORDS4.unpack_from
+        pack = _WORDS4.pack_into
+        for offset in range(0, len(view), BLOCK_SIZE):
+            w0, w1, w2, w3 = unpack(view, offset)
+            w0 ^= words[0]
+            w1 ^= words[1]
+            w2 ^= words[2]
+            w3 ^= words[3]
+            base = 4
+            for _ in range(1, rounds):
+                n0 = (
+                    t0[w0 >> 24]
+                    ^ t1[(w1 >> 16) & 0xFF]
+                    ^ t2[(w2 >> 8) & 0xFF]
+                    ^ t3[w3 & 0xFF]
+                    ^ words[base]
+                )
+                n1 = (
+                    t0[w1 >> 24]
+                    ^ t1[(w2 >> 16) & 0xFF]
+                    ^ t2[(w3 >> 8) & 0xFF]
+                    ^ t3[w0 & 0xFF]
+                    ^ words[base + 1]
+                )
+                n2 = (
+                    t0[w2 >> 24]
+                    ^ t1[(w3 >> 16) & 0xFF]
+                    ^ t2[(w0 >> 8) & 0xFF]
+                    ^ t3[w1 & 0xFF]
+                    ^ words[base + 2]
+                )
+                n3 = (
+                    t0[w3 >> 24]
+                    ^ t1[(w0 >> 16) & 0xFF]
+                    ^ t2[(w1 >> 8) & 0xFF]
+                    ^ t3[w2 & 0xFF]
+                    ^ words[base + 3]
+                )
+                w0, w1, w2, w3 = n0, n1, n2, n3
+                base += 4
+            pack(
+                out,
+                offset,
+                (
+                    (sbox[w0 >> 24] << 24)
+                    | (sbox[(w1 >> 16) & 0xFF] << 16)
+                    | (sbox[(w2 >> 8) & 0xFF] << 8)
+                    | sbox[w3 & 0xFF]
+                )
+                ^ words[base],
+                (
+                    (sbox[w1 >> 24] << 24)
+                    | (sbox[(w2 >> 16) & 0xFF] << 16)
+                    | (sbox[(w3 >> 8) & 0xFF] << 8)
+                    | sbox[w0 & 0xFF]
+                )
+                ^ words[base + 1],
+                (
+                    (sbox[w2 >> 24] << 24)
+                    | (sbox[(w3 >> 16) & 0xFF] << 16)
+                    | (sbox[(w0 >> 8) & 0xFF] << 8)
+                    | sbox[w1 & 0xFF]
+                )
+                ^ words[base + 2],
+                (
+                    (sbox[w3 >> 24] << 24)
+                    | (sbox[(w0 >> 16) & 0xFF] << 16)
+                    | (sbox[(w1 >> 8) & 0xFF] << 8)
+                    | sbox[w2 & 0xFF]
+                )
+                ^ words[base + 3],
+            )
+        kernels.observe(
+            "aes_blocks",
+            len(view) // BLOCK_SIZE,
+            len(view),
+            time.perf_counter() - start,
+        )
+        return bytes(out)
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt exactly one 16-byte block."""

@@ -11,6 +11,8 @@ here take an explicit IV/nonce and leave that policy to the caller.
 from __future__ import annotations
 
 from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.utils import kernels
+from repro.utils.bytesutil import xor_bytes
 
 
 def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
@@ -39,22 +41,41 @@ def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
 
 
 def ctr_keystream(cipher: AES, nonce: bytes, length: int) -> bytes:
-    """Generate ``length`` keystream bytes in big-endian counter mode."""
+    """Generate ``length`` keystream bytes in big-endian counter mode.
+
+    The batched path materializes every counter block into one buffer
+    and encrypts them in a single :meth:`AES.encrypt_blocks` call, so
+    the key schedule and the T-table round function are amortized over
+    the whole message instead of being re-entered per block.
+    """
     if len(nonce) != BLOCK_SIZE:
         raise ValueError("CTR nonce must be one block")
     counter = int.from_bytes(nonce, "big")
-    blocks = []
-    for _ in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
-        blocks.append(cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
-        counter = (counter + 1) % (1 << 128)
-    return b"".join(blocks)[:length]
+    nblocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    if not kernels.kernels_enabled():
+        blocks = []
+        for _ in range(nblocks):
+            blocks.append(
+                cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big"))
+            )
+            counter = (counter + 1) % (1 << 128)
+        return b"".join(blocks)[:length]
+    buf = bytearray(nblocks * BLOCK_SIZE)
+    wrap = 1 << 128
+    for i in range(nblocks):
+        buf[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE] = (
+            (counter + i) % wrap
+        ).to_bytes(BLOCK_SIZE, "big")
+    return cipher.encrypt_blocks(bytes(buf))[:length]
 
 
 def ctr_encrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
     """Encrypt (or decrypt — CTR is an involution) ``data`` under AES-CTR."""
     cipher = AES(key)
     stream = ctr_keystream(cipher, nonce, len(data))
-    return bytes(a ^ b for a, b in zip(data, stream))
+    if not kernels.kernels_enabled():
+        return bytes(a ^ b for a, b in zip(data, stream))
+    return xor_bytes(data, stream)
 
 
 def ctr_decrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:

@@ -17,21 +17,68 @@ property the experiments actually depend on — is identical.
 from __future__ import annotations
 
 import hashlib
+import time
+
+from repro.utils import kernels
 
 _DIGEST_SIZE = 32
 
+#: Big-endian counter encodings shared by every keystream call. Grown on
+#: demand and capped so a pathological length request cannot pin memory;
+#: 2^16 entries cover 2 MiB of keystream, far above the 16 KiB max chunk.
+_COUNTER_CACHE: list = []
+_COUNTER_CACHE_MAX = 1 << 16
+
+
+def _counter_bytes(nblocks: int) -> list:
+    """The first ``nblocks`` 8-byte counter encodings (cached prefix)."""
+    cached = len(_COUNTER_CACHE)
+    if nblocks > cached:
+        grow_to = min(nblocks, _COUNTER_CACHE_MAX)
+        _COUNTER_CACHE.extend(
+            c.to_bytes(8, "big") for c in range(cached, grow_to)
+        )
+    if nblocks <= len(_COUNTER_CACHE):
+        return _COUNTER_CACHE[:nblocks]
+    return _COUNTER_CACHE + [
+        c.to_bytes(8, "big")
+        for c in range(len(_COUNTER_CACHE), nblocks)
+    ]
+
 
 def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """Generate ``length`` pseudo-random bytes from (key, nonce)."""
+    """Generate ``length`` pseudo-random bytes from (key, nonce).
+
+    The batched path hashes the (key || nonce) prefix once and clones
+    the resulting midstate per counter block (``hash.copy()``), so each
+    32-byte block costs one 8-byte update + finalize instead of
+    re-hashing the whole prefix — byte-identical output, since
+    SHA-256(prefix || counter) is exactly what the clone finalizes.
+    """
     if length < 0:
         raise ValueError("length must be non-negative")
+    nblocks = (length + _DIGEST_SIZE - 1) // _DIGEST_SIZE
+    if not kernels.kernels_enabled():
+        blocks = []
+        prefix = key + nonce
+        for counter in range(nblocks):
+            blocks.append(
+                hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+            )
+        return b"".join(blocks)[:length]
+    start = time.perf_counter()
+    copy = hashlib.sha256(key + nonce).copy
     blocks = []
-    prefix = key + nonce
-    for counter in range((length + _DIGEST_SIZE - 1) // _DIGEST_SIZE):
-        blocks.append(
-            hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
-        )
-    return b"".join(blocks)[:length]
+    append = blocks.append
+    for counter in _counter_bytes(nblocks):
+        h = copy()
+        h.update(counter)
+        append(h.digest())
+    stream = b"".join(blocks)[:length]
+    kernels.observe(
+        "shactr_keystream", nblocks, length, time.perf_counter() - start
+    )
+    return stream
 
 
 def encrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.crypto.murmur3 import short_hashes
 from repro.obs import metrics as obs_metrics
+from repro.utils import kernels
 
 _REGISTRY = obs_metrics.get_registry()
 _SKETCH_UPDATES = _REGISTRY.counter(
@@ -122,6 +123,72 @@ class CountMinSketch:
         _SKETCH_UPDATES.inc()
         _SKETCH_UPDATE_SECONDS.observe(time.perf_counter() - start)
         return result
+
+    def update_batch(
+        self, batch: Sequence[Sequence[int]]
+    ) -> List[int]:
+        """Record one occurrence per item; returns post-update estimates.
+
+        Result-identical to calling :meth:`update` once per item in
+        order: for every item the estimate is the row-wise minimum of
+        its counters *after* its own increment, including increments
+        contributed by earlier items in the same batch that hashed to
+        the same cells. The batched path reads all touched counters in
+        one fancy-indexed gather, recovers the within-batch collision
+        history from each occurrence's rank among equal (row, col)
+        cells, and writes all increments back with one ``np.add.at`` —
+        one pass over the counter array per batch instead of ``r``
+        scalar reads and writes per item.
+
+        The conservative-update rule keeps the sequential loop (its
+        writes depend on each item's min, which depends on prior
+        writes — there is no closed form over the batch).
+        """
+        if not batch:
+            return []
+        if self.conservative or not kernels.kernels_enabled():
+            return [self.update(indices) for indices in batch]
+        start = time.perf_counter()
+        idx = np.asarray(batch, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.rows:
+            raise ValueError(
+                f"expected {self.rows} short hashes per item, got "
+                f"shape {idx.shape}"
+            )
+        n = idx.shape[0]
+        counters = self._counters
+        rows_idx = np.broadcast_to(
+            np.arange(self.rows, dtype=np.int64), (n, self.rows)
+        )
+        before = counters[rows_idx, idx].astype(np.int64)
+        # Within-batch collision history: occurrence k of a given
+        # (row, col) cell — in item order — lands on a counter already
+        # raised k times by this batch. A stable argsort groups equal
+        # cells while preserving item order inside each group, so the
+        # rank is just the offset from the group start.
+        flat = (rows_idx * self.width + idx).ravel()
+        order = np.argsort(flat, kind="stable")
+        sorted_keys = flat[order]
+        group_start = np.zeros(flat.size, dtype=np.int64)
+        new_group = np.empty(flat.size, dtype=bool)
+        new_group[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+        positions = np.arange(flat.size, dtype=np.int64)
+        group_start = np.maximum.accumulate(
+            np.where(new_group, positions, 0)
+        )
+        rank = np.empty(flat.size, dtype=np.int64)
+        rank[order] = positions - group_start
+        estimates = (
+            (before + rank.reshape(n, self.rows) + 1).min(axis=1)
+        )
+        np.add.at(counters, (rows_idx, idx), 1)
+        self.total += n
+        _SKETCH_UPDATES.inc(n)
+        elapsed = time.perf_counter() - start
+        _SKETCH_UPDATE_SECONDS.observe(elapsed)
+        kernels.observe("sketch_update", n, int(idx.size) * 4, elapsed)
+        return estimates.tolist()
 
     def estimate(self, indices: Sequence[int]) -> int:
         """Row-wise minimum estimate for the item hashed to ``indices``."""

@@ -104,6 +104,12 @@ class TedStoreClient:
         fingerprint_cache: optional client-side
             :class:`~repro.storage.dedup.FingerprintCache`; hits skip
             encryption and upload for chunks already at the provider.
+        crypto_workers: if > 0, encrypt jobs run in a pool of this many
+            OS processes instead of in the worker threads, sidestepping
+            the GIL for CPU-bound profiles. Implies the pipelined path;
+            byte-identical output since the re-sequencing uploader
+            restores chunk order and encryption is a pure function of
+            (profile, key, chunk) (DESIGN.md §16).
     """
 
     def __init__(
@@ -122,6 +128,7 @@ class TedStoreClient:
         workers: int = 1,
         pipeline_depth: int = 4,
         fingerprint_cache: Optional["FingerprintCache"] = None,
+        crypto_workers: int = 0,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -129,6 +136,8 @@ class TedStoreClient:
             raise ValueError("workers must be at least 1")
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be at least 1")
+        if crypto_workers < 0:
+            raise ValueError("crypto_workers must be non-negative")
         self.key_manager = key_manager
         self.provider = provider
         self.master_key = master_key
@@ -147,6 +156,7 @@ class TedStoreClient:
         self.workers = workers
         self.pipeline_depth = pipeline_depth
         self.fingerprint_cache = fingerprint_cache
+        self.crypto_workers = crypto_workers
 
     @property
     def pipelined(self) -> bool:
@@ -156,7 +166,11 @@ class TedStoreClient:
         through :mod:`repro.tedstore.restore_pipeline`; both are
         byte-identical to their serial counterparts by construction.
         """
-        return self.workers > 1 or self.fingerprint_cache is not None
+        return (
+            self.workers > 1
+            or self.crypto_workers > 0
+            or self.fingerprint_cache is not None
+        )
 
     # -- upload ---------------------------------------------------------------
 

@@ -26,7 +26,12 @@ with a bounded-queue pipeline:
   aliases): the uploader copies the first occurrence's ciphertext
   fingerprint at resequencing time.
 * **encrypt workers** — ``workers`` threads encrypt cache misses and
-  fingerprint the ciphertexts.
+  fingerprint the ciphertexts. With ``crypto_workers > 0`` on the client,
+  the threads instead submit their jobs to a pool of OS processes
+  (:func:`_mp_encrypt_job`) and collect the results, sidestepping the GIL
+  for CPU-bound cipher profiles; encryption is a pure function of
+  (profile, key, chunk), and the uploader re-sequences by index either
+  way, so the stored bytes are identical to the serial path's.
 * **uploader** — a single thread re-sequences encrypted chunks into
   original order, cuts PUT batches at the same ``batch_size`` boundaries
   as the serial path, sends them one at a time (ordering is what keeps
@@ -42,6 +47,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -180,6 +186,36 @@ class _Resolved:
 _FEED_END = object()
 
 
+def _mp_encrypt_job(
+    profile_name: str, job: List[Tuple[int, bytes, bytes, bytes, bytes]]
+) -> List[_Resolved]:
+    """Encrypt one job in a pool process.
+
+    Module-level so it pickles; resolves the profile by name in the
+    child. Encryption is deterministic in (profile, key, chunk), so the
+    returned ciphertexts are byte-identical to in-process encryption.
+    """
+    from repro.crypto.cipher import get_profile
+
+    profile = get_profile(profile_name)
+    algorithm = profile.hash_algorithm
+    resolved: List[_Resolved] = []
+    for index, chunk, fp, seed, key in job:
+        ciphertext = profile.encrypt(key, chunk)
+        resolved.append(
+            _Resolved(
+                index=index,
+                size=len(chunk),
+                key=key,
+                cipher_fp=digest(ciphertext, algorithm),
+                ciphertext=ciphertext,
+                fingerprint=fp,
+                seed=seed,
+            )
+        )
+    return resolved
+
+
 class PipelinedUploader:
     """One pipelined upload execution (single use).
 
@@ -192,6 +228,13 @@ class PipelinedUploader:
     def __init__(self, client) -> None:
         self.client = client
         self.workers = max(1, client.workers)
+        self.crypto_workers = max(0, getattr(client, "crypto_workers", 0))
+        if self.crypto_workers:
+            # Each worker thread blocks on one in-flight pool job, so the
+            # pool only stays busy if there are at least as many
+            # submitter threads as processes.
+            self.workers = max(self.workers, self.crypto_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
         depth = max(1, client.pipeline_depth)
         self.failure = _Failure()
         self.feed_q = _MeteredQueue("feed", depth, self.failure)
@@ -389,19 +432,24 @@ class PipelinedUploader:
             resolved: List[_Resolved] = []
             with timer.stage("encryption"), _WORKERS_BUSY.track(), \
                     _STAGE_SECONDS.labels(stage="encrypt_job").time():
-                for index, chunk, fp, seed, key in job:
-                    ciphertext = profile.encrypt(key, chunk)
-                    resolved.append(
-                        _Resolved(
-                            index=index,
-                            size=len(chunk),
-                            key=key,
-                            cipher_fp=digest(ciphertext, algorithm),
-                            ciphertext=ciphertext,
-                            fingerprint=fp,
-                            seed=seed,
+                if self._pool is not None:
+                    resolved = self._pool.submit(
+                        _mp_encrypt_job, profile.name, job
+                    ).result()
+                else:
+                    for index, chunk, fp, seed, key in job:
+                        ciphertext = profile.encrypt(key, chunk)
+                        resolved.append(
+                            _Resolved(
+                                index=index,
+                                size=len(chunk),
+                                key=key,
+                                cipher_fp=digest(ciphertext, algorithm),
+                                ciphertext=ciphertext,
+                                fingerprint=fp,
+                                seed=seed,
+                            )
                         )
-                    )
             _PIPELINE_CHUNKS.labels(path="encrypted").inc(len(resolved))
             self.result_q.put(resolved)
 
@@ -523,6 +571,8 @@ class PipelinedUploader:
             )
             for i, timer in enumerate(worker_timers)
         )
+        if self.crypto_workers:
+            self._pool = ProcessPoolExecutor(max_workers=self.crypto_workers)
         with tracing.get_tracer().span(
             "client.pipeline",
             attributes={"workers": self.workers, "file": file_name},
@@ -534,6 +584,9 @@ class PipelinedUploader:
             finally:
                 for thread in threads:
                     thread.join()
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+                    self._pool = None
         for timer in worker_timers:
             self.client.timer.merge(timer)
         if self.failure.exc is not None:

@@ -1,0 +1,132 @@
+"""Batched crypto kernels must be byte-identical to the references.
+
+The batched fast paths (DESIGN.md §16) — AES T-table ``encrypt_blocks``,
+the single-call CTR keystream, and the SHA-CTR midstate keystream — are
+pure optimizations: with ``REPRO_KERNELS`` toggled off the originals run,
+and these tests pin the two implementations to each other on random and
+adversarial inputs. Any divergence would silently break deduplication
+(the same chunk would stop producing the same ciphertext).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import shactr
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.modes import ctr_encrypt, ctr_keystream
+from repro.utils import kernels
+
+
+@pytest.fixture
+def kernels_on():
+    previous = kernels.set_kernels_enabled(True)
+    yield
+    kernels.set_kernels_enabled(previous)
+
+
+def _with_kernels(enabled, fn):
+    previous = kernels.set_kernels_enabled(enabled)
+    try:
+        return fn()
+    finally:
+        kernels.set_kernels_enabled(previous)
+
+
+@pytest.mark.parametrize("key_size", [16, 24, 32])
+def test_encrypt_blocks_matches_per_block(kernels_on, key_size):
+    rng = random.Random(key_size)
+    cipher = AES(bytes(rng.randrange(256) for _ in range(key_size)))
+    for nblocks in (0, 1, 2, 7, 64):
+        data = bytes(rng.randrange(256) for _ in range(nblocks * BLOCK_SIZE))
+        expected = b"".join(
+            cipher.encrypt_block(data[i : i + BLOCK_SIZE])
+            for i in range(0, len(data), BLOCK_SIZE)
+        )
+        assert cipher.encrypt_blocks(data) == expected
+
+
+def test_encrypt_blocks_rejects_partial_blocks(kernels_on):
+    cipher = AES(b"k" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_blocks(b"\x00" * 17)
+
+
+def test_encrypt_blocks_off_path_matches_on_path():
+    cipher = AES(b"\x07" * 32)
+    data = bytes(range(256)) * 2
+    on = _with_kernels(True, lambda: cipher.encrypt_blocks(data))
+    off = _with_kernels(False, lambda: cipher.encrypt_blocks(data))
+    assert on == off
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 4096, 16384 + 5])
+def test_ctr_parity(length):
+    rng = random.Random(length)
+    key = bytes(rng.randrange(256) for _ in range(32))
+    nonce = bytes(rng.randrange(256) for _ in range(16))
+    data = bytes(rng.randrange(256) for _ in range(length))
+    on = _with_kernels(True, lambda: ctr_encrypt(key, nonce, data))
+    off = _with_kernels(False, lambda: ctr_encrypt(key, nonce, data))
+    assert on == off
+    # Round trip through the involution on the fast path.
+    assert _with_kernels(True, lambda: ctr_encrypt(key, nonce, on)) == data
+
+
+def test_ctr_counter_wraparound_parity():
+    # A nonce close to 2^128 makes the counter wrap inside the message;
+    # the batched buffer fill must wrap exactly like the per-block loop.
+    key = b"\x42" * 16
+    nonce = b"\xff" * 16
+    data = bytes(range(160))
+    on = _with_kernels(True, lambda: ctr_encrypt(key, nonce, data))
+    off = _with_kernels(False, lambda: ctr_encrypt(key, nonce, data))
+    assert on == off
+
+
+def test_ctr_keystream_prefix_consistency(kernels_on):
+    cipher = AES(b"\x01" * 16)
+    nonce = bytes(16)
+    long = ctr_keystream(cipher, nonce, 512)
+    for length in (0, 1, 31, 32, 33, 511):
+        assert ctr_keystream(cipher, nonce, length) == long[:length]
+
+
+@pytest.mark.parametrize("length", [0, 1, 31, 32, 33, 4096, 100_001])
+def test_shactr_keystream_parity(length):
+    key, nonce = b"k" * 32, b"n" * 16
+    on = _with_kernels(
+        True, lambda: shactr.keystream(key, nonce, length)
+    )
+    off = _with_kernels(
+        False, lambda: shactr.keystream(key, nonce, length)
+    )
+    assert on == off
+
+
+def test_shactr_encrypt_roundtrip_parity():
+    rng = random.Random(5)
+    key = bytes(rng.randrange(256) for _ in range(32))
+    nonce = bytes(rng.randrange(256) for _ in range(16))
+    for size in (0, 1, 63, 64, 65, 16384):
+        data = bytes(rng.randrange(256) for _ in range(size))
+        on = _with_kernels(True, lambda: shactr.encrypt(key, nonce, data))
+        off = _with_kernels(False, lambda: shactr.encrypt(key, nonce, data))
+        assert on == off
+        assert _with_kernels(
+            True, lambda: shactr.decrypt(key, nonce, on)
+        ) == data
+
+
+def test_shactr_counter_cache_overflow(monkeypatch):
+    # Requests beyond the cache cap must fall back to computing the tail
+    # without growing the cache past its bound.
+    monkeypatch.setattr(shactr, "_COUNTER_CACHE", [])
+    monkeypatch.setattr(shactr, "_COUNTER_CACHE_MAX", 8)
+    counters = shactr._counter_bytes(12)
+    assert counters == [c.to_bytes(8, "big") for c in range(12)]
+    assert len(shactr._COUNTER_CACHE) == 8
+    # A shorter follow-up request slices the cached prefix.
+    assert shactr._counter_bytes(3) == [
+        c.to_bytes(8, "big") for c in range(3)
+    ]

@@ -102,6 +102,7 @@ def make_deployment(
     km_batch_size: int = 1024,
     rng_seed: int = 7,
     metadata_dedup: bool = False,
+    crypto_workers: int = 0,
     key_manager_wrap=None,
     provider_wrap=None,
 ) -> Deployment:
@@ -138,6 +139,7 @@ def make_deployment(
         pipeline_depth=pipeline_depth,
         fingerprint_cache=cache,
         metadata_dedup=metadata_dedup,
+        crypto_workers=crypto_workers,
     )
     return Deployment(
         mode=mode,

@@ -1,0 +1,152 @@
+"""Batched sketch updates must replay the sequential semantics exactly.
+
+``CountMinSketch.update_batch`` (DESIGN.md §16) promises result-identity
+with per-item ``update`` calls — including within-batch collisions,
+where a later item's estimate must see the increments of earlier items
+that hashed to the same cells. The key-manager batch paths additionally
+promise that FTED retune boundaries fire at the same request indices as
+the sequential path, so ``t`` and every seed decision match bit-for-bit.
+"""
+
+import random
+
+from repro.core.ted import TedKeyManager
+from repro.sketch.countmin import CountMinSketch
+from repro.utils import kernels
+
+
+def _with_kernels(enabled, fn):
+    previous = kernels.set_kernels_enabled(enabled)
+    try:
+        return fn()
+    finally:
+        kernels.set_kernels_enabled(previous)
+
+
+def _collision_heavy_batch(rng, n, rows=4, width=64, distinct=12):
+    # A small pool over a small width forces many exact repeats and
+    # many partial (per-cell) collisions inside one batch.
+    pool = [
+        [rng.randrange(width) for _ in range(rows)] for _ in range(distinct)
+    ]
+    return [list(rng.choice(pool)) for _ in range(n)]
+
+
+def test_update_batch_matches_sequential_plain():
+    rng = random.Random(11)
+    batch = _collision_heavy_batch(rng, 400)
+    batched = CountMinSketch(rows=4, width=64)
+    sequential = CountMinSketch(rows=4, width=64)
+    est_batched = _with_kernels(True, lambda: batched.update_batch(batch))
+    est_sequential = _with_kernels(
+        False, lambda: [sequential.update(item) for item in batch]
+    )
+    assert est_batched == est_sequential
+    assert (batched._counters == sequential._counters).all()
+    assert batched.total == sequential.total
+
+
+def test_update_batch_conservative_falls_back_exactly():
+    rng = random.Random(13)
+    batch = _collision_heavy_batch(rng, 200)
+    batched = CountMinSketch(rows=4, width=64, conservative=True)
+    sequential = CountMinSketch(rows=4, width=64, conservative=True)
+    est_batched = _with_kernels(True, lambda: batched.update_batch(batch))
+    est_sequential = [sequential.update(item) for item in batch]
+    assert est_batched == est_sequential
+    assert (batched._counters == sequential._counters).all()
+
+
+def test_update_batch_empty_and_shape_checks():
+    sketch = CountMinSketch(rows=4, width=64)
+    assert _with_kernels(True, lambda: sketch.update_batch([])) == []
+    try:
+        _with_kernels(True, lambda: sketch.update_batch([[1, 2, 3]]))
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("wrong-arity item was accepted")
+
+
+def _run_generate(enabled, batches, **kwargs):
+    def body():
+        km = TedKeyManager(secret=b"kappa", rng=random.Random(99), **kwargs)
+        seeds = [km.generate_seeds(batch) for batch in batches]
+        return km, seeds
+
+    return _with_kernels(enabled, body)
+
+
+def test_generate_seeds_parity_bted_and_fted():
+    rng = random.Random(31)
+    # Batch sizes straddle the FTED retune boundary (37): mid-call
+    # retunes, exact-boundary calls, and empty calls all must agree.
+    batches = [
+        _collision_heavy_batch(rng, n, width=512, distinct=40)
+        for n in (1, 36, 38, 0, 100, 37)
+    ]
+    for kwargs in (
+        dict(t=4),
+        dict(blowup_factor=1.5, batch_size=37),
+    ):
+        km_fast, seeds_fast = _run_generate(True, batches, **kwargs)
+        km_ref, seeds_ref = _run_generate(False, batches, **kwargs)
+        assert seeds_fast == seeds_ref
+        assert km_fast.t == km_ref.t
+        assert km_fast.stats.requests == km_ref.stats.requests
+        assert km_fast.stats.t_history == km_ref.stats.t_history
+        assert (
+            km_fast.sketch._counters == km_ref.sketch._counters
+        ).all()
+        assert km_fast._freq_by_identity == km_ref._freq_by_identity
+        assert km_fast._requests_in_batch == km_ref._requests_in_batch
+
+
+def test_observe_batch_parity_replays_retunes():
+    rng = random.Random(37)
+    batches = [
+        _collision_heavy_batch(rng, n, width=512, distinct=40)
+        for n in (80, 37, 5)
+    ]
+
+    def run(enabled):
+        def body():
+            km = TedKeyManager(
+                secret=b"kappa",
+                blowup_factor=1.5,
+                batch_size=37,
+                rng=random.Random(1),
+            )
+            for batch in batches:
+                km.observe_batch(batch)
+            return km
+
+        return _with_kernels(enabled, body)
+
+    km_fast, km_ref = run(True), run(False)
+    assert km_fast.t == km_ref.t
+    assert (km_fast.sketch._counters == km_ref.sketch._counters).all()
+    assert km_fast._requests_in_batch == km_ref._requests_in_batch
+    assert km_fast.stats.t_history == km_ref.stats.t_history
+
+
+def test_estimate_batch_parity():
+    rng = random.Random(41)
+    batches = [
+        _collision_heavy_batch(rng, n, width=512, distinct=40)
+        for n in (0, 50, 13)
+    ]
+
+    def run(enabled):
+        def body():
+            km = TedKeyManager(
+                secret=b"kappa", blowup_factor=1.5, rng=random.Random(1)
+            )
+            return km, [km.estimate_batch(batch) for batch in batches]
+
+        return _with_kernels(enabled, body)
+
+    (km_fast, est_fast), (km_ref, est_ref) = run(True), run(False)
+    assert est_fast == est_ref
+    assert (km_fast.sketch._counters == km_ref.sketch._counters).all()
+    assert km_fast._freq_by_identity == km_ref._freq_by_identity

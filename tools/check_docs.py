@@ -40,6 +40,7 @@ DEFAULT_DOCS = (
     "EXPERIMENTS.md",
     "docs/RUNBOOK.md",
     "docs/METRICS.md",
+    "docs/PERFORMANCE.md",
 )
 
 _LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Before/after kernel perf delta on the load-smoke profile.
+
+Runs the ``examples/load_smoke.toml`` workload twice — once with the
+batched kernels disabled (``REPRO_KERNELS=off``, the per-byte/per-block
+reference implementations) and once with them enabled — and merges both
+reports into ``BENCH_load.json`` as the ``load-smoke-kernels-off`` /
+``load-smoke-kernels-on`` profile pair, plus a ``perf_delta`` summary
+with the upload-throughput speedup.
+
+Each run happens in a fresh subprocess (this script re-invokes itself
+with ``--child``) because the obs registry is process-global and
+cumulative: two runs in one process would pollute each other's
+percentiles and byte counters, and ``REPRO_KERNELS`` is read at import.
+
+Gates (exit 1 on failure, after writing the JSON so the artifact always
+carries the numbers):
+
+* ``--min-speedup`` — kernels-on upload MiB/s must be at least this
+  multiple of kernels-off (default 1.0: on must not be slower than off).
+* ``--max-regression`` — the measured speedup must not fall more than
+  this fraction below the ``perf_delta.upload_speedup`` already
+  committed in the output file (default 0.10); skipped when no baseline
+  exists yet. The comparison is on the on/off *ratio*, not absolute
+  MiB/s: the ratio is normalized by the same machine's same-moment
+  kernels-off pass, so the gate survives CI runners of very different
+  absolute speed.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_delta.py [--scale 0.15]
+        [--min-speedup 1.5] [--max-regression 0.10] [--out BENCH_load.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_PROFILE = REPO / "examples" / "load_smoke.toml"
+DEFAULT_OUT = REPO / "BENCH_load.json"
+
+BEFORE_NAME = "load-smoke-kernels-off"
+AFTER_NAME = "load-smoke-kernels-on"
+
+
+def _run_child(profile: Path, scale: float, json_out: Path) -> None:
+    """Child mode: one load run, report JSON to ``json_out``."""
+    from repro.loadgen.report import LoadReport
+    from repro.loadgen.runner import LoadRunner
+    from repro.loadgen.workload import WorkloadProfile
+
+    workload = WorkloadProfile.from_toml(profile).scaled(scale)
+    runner = LoadRunner(workload)
+    totals = runner.run()
+    report = LoadReport.collect(workload, totals, runner.tracker)
+    json_out.write_text(json.dumps(report.to_dict()))
+
+
+def _spawn(
+    profile: Path, scale: float, kernels: str, tmpdir: Path
+) -> dict:
+    """Run one isolated load pass with REPRO_KERNELS=``kernels``."""
+    json_out = tmpdir / f"report-{kernels}.json"
+    env = dict(os.environ)
+    env["REPRO_KERNELS"] = kernels
+    env["PYTHONPATH"] = str(REPO / "src")
+    # Children must not write the bench file themselves; the parent
+    # merges both reports at once.
+    env.pop("REPRO_BENCH_LOAD_OUT", None)
+    subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--child",
+            "--profile", str(profile),
+            "--scale", str(scale),
+            "--json-out", str(json_out),
+        ],
+        env=env,
+        check=True,
+        cwd=str(REPO),
+    )
+    return json.loads(json_out.read_text())
+
+
+def _upload_mibs(report: dict, label: str) -> float:
+    upload = report.get("per_op", {}).get("upload")
+    if not upload:
+        raise SystemExit(f"{label}: load run produced no uploads")
+    return float(upload["mib_per_second"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", type=Path, default=DEFAULT_PROFILE)
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.15")),
+        help="workload scale factor (default: REPRO_BENCH_SCALE or 0.15)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="required kernels-on / kernels-off upload MiB/s ratio",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.10,
+        help="tolerated fractional drop vs the committed kernels-on "
+             "baseline in --out (skipped when absent)",
+    )
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--json-out", type=Path, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.child:
+        _run_child(args.profile, args.scale, args.json_out)
+        return 0
+
+    document: dict = {}
+    if args.out.exists():
+        try:
+            document = json.loads(args.out.read_text())
+        except ValueError:
+            document = {}
+    baseline_speedup = document.get("perf_delta", {}).get("upload_speedup")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        print(f"== pass 1/2: kernels off (scale {args.scale}) ==")
+        before = _spawn(args.profile, args.scale, "off", tmpdir)
+        print(f"== pass 2/2: kernels on (scale {args.scale}) ==")
+        after = _spawn(args.profile, args.scale, "on", tmpdir)
+
+    before_mibs = _upload_mibs(before, "kernels-off")
+    after_mibs = _upload_mibs(after, "kernels-on")
+    speedup = after_mibs / before_mibs if before_mibs else float("inf")
+
+    before["profile"] = BEFORE_NAME
+    after["profile"] = AFTER_NAME
+    profiles = document.setdefault("profiles", {})
+    profiles[BEFORE_NAME] = before
+    profiles[AFTER_NAME] = after
+    document["perf_delta"] = {
+        "scale": args.scale,
+        "upload_mib_per_second_before": before_mibs,
+        "upload_mib_per_second_after": after_mibs,
+        "upload_speedup": round(speedup, 3),
+    }
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+    print(
+        f"upload throughput: {before_mibs:.2f} -> {after_mibs:.2f} MiB/s "
+        f"({speedup:.2f}x), wrote {args.out}"
+    )
+
+    failed = False
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the "
+            f"{args.min_speedup:.2f}x floor"
+        )
+        failed = True
+    if baseline_speedup:
+        floor = (1.0 - args.max_regression) * float(baseline_speedup)
+        if speedup < floor:
+            print(
+                f"FAIL: speedup {speedup:.2f}x regressed "
+                f">{args.max_regression:.0%} vs committed baseline "
+                f"{float(baseline_speedup):.2f}x"
+            )
+            failed = True
+        else:
+            print(
+                f"baseline check ok: {speedup:.2f}x vs committed "
+                f"{float(baseline_speedup):.2f}x (floor {floor:.2f}x)"
+            )
+    else:
+        print("no committed baseline entry; regression check skipped")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
