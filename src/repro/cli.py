@@ -3,6 +3,9 @@
 Gives downstream users the paper's workflows without writing Python:
 
 * ``serve-keymanager`` / ``serve-provider`` — run the TEDStore entities.
+* ``serve-shard`` — run one shard of a fleet (a KM sketch observer or a
+  provider storage leaf) as its own process and failure domain
+  (DESIGN.md §17); SIGTERM drains and seals before exit.
 * ``upload`` / ``download`` — move files through a running deployment.
 * ``generate-trace`` — write synthetic FSL/MS-like snapshots to disk.
 * ``analyze`` — trade-off analysis (KLD/blowup per scheme) on a trace file.
@@ -38,7 +41,9 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -84,24 +89,46 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
     auth_token = b""
     if getattr(args, "auth_token", None):
         auth_token = Path(args.auth_token).read_bytes().strip()
-    provider = RemoteProvider(
-        _address(args.provider),
-        # Pipelined uploads push data frames over dedicated
-        # connections so PUT traffic never queues behind control
-        # round trips (DESIGN.md §10).
-        data_connections=2 if pipelined else 0,
-        tenant=getattr(args, "tenant", "") or "default",
-        auth_token=auth_token,
-    )
-    shards = getattr(args, "shards", 1)
-    if shards > 1:
-        from repro.tedstore.ring import HashRing
-        from repro.tedstore.sharding import ShardRoutingProvider
+    ring_file = getattr(args, "ring_file", None)
+    if ring_file:
+        # Fleet mode: the ring's endpoint map names one provider
+        # process per shard; route sub-batches there directly with a
+        # circuit breaker per shard (DESIGN.md §17).
+        from repro.tedstore.fleet import MultiShardProvider
+        from repro.tedstore.ring import load_ring
 
-        provider = ShardRoutingProvider(
-            provider,
-            HashRing.build(shards, seed=getattr(args, "ring_seed", 0)),
+        ring = load_ring(ring_file)
+        if not ring.endpoints:
+            raise SystemExit(
+                f"{ring_file} has no endpoint map; fleet mode needs "
+                "per-shard endpoints (repro serve-shard)"
+            )
+        provider = MultiShardProvider(
+            ring,
+            tenant=getattr(args, "tenant", "") or "default",
+            auth_token=auth_token,
+            data_connections=2 if pipelined else 0,
+            heartbeat_interval=getattr(args, "heartbeat_interval", 0.0),
         )
+    else:
+        provider = RemoteProvider(
+            _address(args.provider),
+            # Pipelined uploads push data frames over dedicated
+            # connections so PUT traffic never queues behind control
+            # round trips (DESIGN.md §10).
+            data_connections=2 if pipelined else 0,
+            tenant=getattr(args, "tenant", "") or "default",
+            auth_token=auth_token,
+        )
+        shards = getattr(args, "shards", 1)
+        if shards > 1:
+            from repro.tedstore.ring import HashRing
+            from repro.tedstore.sharding import ShardRoutingProvider
+
+            provider = ShardRoutingProvider(
+                provider,
+                HashRing.build(shards, seed=getattr(args, "ring_seed", 0)),
+            )
     return TedStoreClient(
         RemoteKeyManager(_address(args.km)),
         provider,
@@ -115,6 +142,35 @@ def _make_client(args: argparse.Namespace) -> TedStoreClient:
         fingerprint_cache=cache,
         crypto_workers=crypto_workers,
     )
+
+
+def _run_server(handle, service) -> int:
+    """Serve until SIGTERM/SIGINT, then drain and close cleanly.
+
+    The shutdown order matters for crash-consistency guarantees:
+    ``handle.stop()`` first (stop accepting, drain in-flight requests),
+    ``service.close()`` second (seal open containers, snapshot durable
+    state, remove ``.tmp`` staging files). A ``repro serve-shard``
+    child killed with SIGTERM therefore leaves a storage root that
+    fsck reports clean — the contract docs/RUNBOOK.md relies on.
+    """
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        while not stop.is_set():
+            try:
+                stop.wait(1.0)
+            except KeyboardInterrupt:
+                stop.set()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        handle.stop()
+        service.close()
+    return 0
 
 
 def cmd_serve_keymanager(args: argparse.Namespace) -> int:
@@ -146,9 +202,18 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
             else HashRing.build(args.shards, seed=args.ring_seed)
         )
         service = ShardedKeyManager(
-            front, ring, rate_limiter=limiter, state_root=state_dir
+            front,
+            ring,
+            rate_limiter=limiter,
+            state_root=state_dir,
+            # Only consulted when the persisted ring publishes shard
+            # endpoints, i.e. the observers are serve-shard processes.
+            fleet_options={
+                "heartbeat_interval": args.heartbeat_interval
+            },
         )
-        shard_note = f", {len(service.ring)} KM shards"
+        unit = "shard processes" if service.ring.endpoints else "shards"
+        shard_note = f", {len(service.ring)} KM {unit}"
     else:
         state_store = None
         if state_dir is not None:
@@ -162,21 +227,17 @@ def cmd_serve_keymanager(args: argparse.Namespace) -> int:
     handle = serve_key_manager(service, host=args.host, port=args.port)
     print(
         f"key manager listening on {handle.address} "
-        f"(b={args.b}{shard_note})"
+        f"(b={args.b}{shard_note})",
+        flush=True,
     )
     if service.restore_report is not None:
         report = service.restore_report
         print(
             f"restored durable state: snapshot={report.snapshot_loaded}, "
-            f"deltas replayed={report.deltas_replayed}"
+            f"deltas replayed={report.deltas_replayed}",
+            flush=True,
         )
-    try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        service.close()
-        handle.stop()
-    return 0
+    return _run_server(handle, service)
 
 
 def cmd_serve_provider(args: argparse.Namespace) -> int:
@@ -210,15 +271,80 @@ def cmd_serve_provider(args: argparse.Namespace) -> int:
     )
     print(
         f"provider listening on {handle.address}, storage={args.storage}, "
-        f"dedup index {mode} across tenants{shard_note}"
+        f"dedup index {mode} across tenants{shard_note}",
+        flush=True,
     )
-    try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        service.close()
-        handle.stop()
-    return 0
+    return _run_server(handle, service)
+
+
+def cmd_serve_shard(args: argparse.Namespace) -> int:
+    """Run one shard of a fleet as its own process (DESIGN.md §17)."""
+    from repro.tedstore.network import parse_endpoint, serve_shard_observer
+    from repro.tedstore.ring import load_ring
+
+    root = Path(args.root)
+    ring_path = root / "ring.json"
+    ring = load_ring(ring_path) if ring_path.exists() else None
+    if ring is not None and args.shard not in ring.shards:
+        print(
+            f"shard {args.shard} not in ring {sorted(ring.shards)}",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = args.host, args.port
+    if port == 0 and ring is not None:
+        endpoint = ring.endpoint_for(args.shard)
+        if endpoint:
+            host, port = parse_endpoint(endpoint)
+    epoch = ring.epoch if ring is not None else 0
+    shard_dir = root / "shards" / str(args.shard)
+
+    if args.role == "km":
+        from repro.tedstore.sharding import (
+            ShardObserverService,
+            make_shard_observer,
+        )
+
+        front = TedKeyManager(
+            secret=args.secret.encode(),
+            blowup_factor=args.b,
+            batch_size=args.batch_size,
+            sketch_width=args.sketch_width,
+        )
+        service = ShardObserverService(
+            args.shard,
+            make_shard_observer(front),
+            state_dir=None if args.ephemeral else shard_dir,
+            ring_epoch=epoch,
+        )
+        handle = serve_shard_observer(service, host=host, port=port)
+        report = service.restore_report
+        print(
+            f"km shard {args.shard} listening on {handle.address} "
+            f"(epoch {epoch}, snapshot={report.snapshot_loaded}, "
+            f"deltas replayed={report.deltas_replayed})",
+            flush=True,
+        )
+    else:
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        service = ProviderService(
+            directory=shard_dir,
+            container_bytes=args.container_mb << 20,
+            cross_user_dedup=args.cross_user_dedup,
+        )
+        handle = serve_provider(
+            service,
+            host=host,
+            port=port,
+            shard_id=args.shard,
+            ring_epoch=epoch,
+        )
+        print(
+            f"provider shard {args.shard} listening on {handle.address}, "
+            f"storage={shard_dir} (epoch {epoch})",
+            flush=True,
+        )
+    return _run_server(handle, service)
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
@@ -731,6 +857,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="seed for the consistent-hash ring (must match the "
                  "servers')",
         )
+        p.add_argument(
+            "--ring-file", default=None, metavar="FILE",
+            help="fleet ring.json with per-shard endpoints: route "
+                 "chunk/recipe traffic to the serve-shard provider "
+                 "processes it names, one circuit breaker per shard "
+                 "(DESIGN.md §17); overrides --provider/--shards",
+        )
+        p.add_argument(
+            "--heartbeat-interval", type=float, default=0.0,
+            help="fleet-mode background health-probe cadence in "
+                 "seconds (0 disables; breakers still learn from "
+                 "call failures)",
+        )
 
     p = sub.add_parser("serve-keymanager", help="run a TED key manager")
     p.add_argument("--host", default="127.0.0.1")
@@ -759,7 +898,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the consistent-hash ring (ignored once a "
              "ring.json exists in --state-dir)",
     )
+    p.add_argument(
+        "--heartbeat-interval", type=float, default=0.0,
+        help="background health-probe cadence toward serve-shard "
+             "observer processes, in seconds; only used when the "
+             "persisted ring publishes endpoints (0 disables)",
+    )
     p.set_defaults(func=cmd_serve_keymanager)
+
+    p = sub.add_parser(
+        "serve-shard",
+        help="run one shard of a fleet as its own process "
+             "(DESIGN.md §17)",
+    )
+    p.add_argument(
+        "--role", choices=["km", "provider"], required=True,
+        help="km: a sketch-observer over <root>/shards/<K>; provider: "
+             "a storage leaf over the same layout",
+    )
+    p.add_argument("--shard", type=int, required=True, metavar="K",
+                   help="this process's shard id in the ring")
+    p.add_argument(
+        "--root", required=True,
+        help="deployment root holding ring.json and shards/<K>/ "
+             "(the KM state dir or the provider storage root)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port; 0 takes this shard's endpoint from "
+             "ring.json when one is published, else an ephemeral port",
+    )
+    p.add_argument("--secret", default="tedstore-secret",
+                   help="km role: must match the front's --secret")
+    p.add_argument("--b", type=float, default=1.05,
+                   help="km role: must match the front's --b")
+    p.add_argument("--batch-size", type=int, default=48_000,
+                   help="km role: must match the front's --batch-size")
+    p.add_argument("--sketch-width", type=int, default=2**21,
+                   help="km role: must match the front's --sketch-width")
+    p.add_argument("--container-mb", type=int, default=8,
+                   help="provider role: container size")
+    p.add_argument(
+        "--cross-user-dedup",
+        action=argparse.BooleanOptionalAction, default=True,
+        help="provider role: share the dedup index across tenants",
+    )
+    p.add_argument(
+        "--ephemeral", action="store_true",
+        help="km role: keep the sketch in memory only (no durable "
+             "store, no crash recovery)",
+    )
+    p.set_defaults(func=cmd_serve_shard)
 
     p = sub.add_parser("serve-provider", help="run a storage provider")
     p.add_argument("--host", default="127.0.0.1")

@@ -317,6 +317,88 @@ class TcpDeployment:
                 pass  # teardown after a faulted run; nothing to salvage
 
 
+class FleetDeployment:
+    """Connects each worker to a multi-process shard fleet (DESIGN.md §17).
+
+    The provider side routes over the ring's endpoint map — one
+    :class:`~repro.tedstore.fleet.MultiShardProvider` per worker, so
+    every client carries its own per-shard breakers and sees the fleet's
+    degraded-mode semantics (fail-fast typed errors on an open breaker)
+    instead of hanging. The KM side connects to the front's TCP address,
+    exactly like :class:`TcpDeployment`.
+
+    This is how the chaos harness and the ``chaos-smoke`` CI job measure
+    *degraded-mode throughput*: run a load profile against a fleet while
+    a shard is down and the breaker/retry tuning below decides the
+    worst-case stall per op.
+    """
+
+    def __init__(
+        self,
+        ring_path,
+        km_address: Tuple[str, int],
+        auth_token: bytes = b"",
+        heartbeat_interval: float = 0.0,
+        breaker_failures: int = 3,
+        breaker_reset: float = 5.0,
+        io_timeout: float = 60.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        from repro.tedstore.ring import load_ring
+
+        self.ring = load_ring(ring_path)
+        if not self.ring.endpoints:
+            raise ValueError(
+                f"{ring_path} publishes no shard endpoints; a fleet "
+                "deployment needs a per-shard endpoint map"
+            )
+        self.km_address = km_address
+        self.auth_token = auth_token
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_reset = float(breaker_reset)
+        self.io_timeout = float(io_timeout)
+        self.connect_timeout = float(connect_timeout)
+        self._transports: List[object] = []
+        self._lock = threading.Lock()
+
+    def client(
+        self, profile: WorkloadProfile, tenant: str, worker: int
+    ) -> TedStoreClient:
+        from repro.tedstore.fleet import MultiShardProvider
+        from repro.tedstore.network import RemoteKeyManager
+
+        km = RemoteKeyManager(self.km_address)
+        provider = MultiShardProvider(
+            self.ring,
+            tenant=tenant,
+            auth_token=self.auth_token,
+            heartbeat_interval=self.heartbeat_interval,
+            breaker_failures=self.breaker_failures,
+            breaker_reset=self.breaker_reset,
+            io_timeout=self.io_timeout,
+            connect_timeout=self.connect_timeout,
+        )
+        with self._lock:
+            self._transports.extend((km, provider))
+        return TedStoreClient(
+            km,
+            provider,
+            master_key=_tenant_master_key(tenant),
+            profile=get_profile("shactr"),
+            batch_size=4096,
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            transports, self._transports = self._transports, []
+        for transport in transports:
+            try:
+                transport.close()
+            except Exception:
+                pass  # teardown after a degraded run; nothing to salvage
+
+
 def _tenant_master_key(tenant: str) -> bytes:
     import hashlib
 
@@ -622,6 +704,7 @@ class LoadRunner:
 
 
 __all__ = [
+    "FleetDeployment",
     "InProcessDeployment",
     "LoadRunner",
     "PayloadForge",

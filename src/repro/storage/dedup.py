@@ -50,6 +50,25 @@ _RECOVERY_INDEX_DROPPED = _REGISTRY.counter(
 )
 
 
+class RingEpochRegressionError(ValueError):
+    """A peer reported a ring epoch *older* than one already observed.
+
+    Epochs only move forward (every membership change increments them),
+    so a lower epoch means the answering shard is serving a stale ring
+    config — e.g. restarted from an old snapshot or partitioned away
+    during a reshard. The client must not trust it, and must *not*
+    throw away its own cache: the cache reflects the newer placement,
+    which is still the authoritative one.
+    """
+
+    def __init__(self, reported: int, current: int) -> None:
+        super().__init__(
+            f"ring epoch moved backwards: {reported} < {current}"
+        )
+        self.reported = reported
+        self.current = current
+
+
 def record_dedup_store(size: int, unique: bool) -> None:
     """Record one store decision on the process-wide dedup instruments.
 
@@ -182,14 +201,17 @@ class FingerprintCache:
 
         Returns the number of entries invalidated; same-epoch calls are
         no-ops so the pipeline can consult this on every upload.
+
+        Raises:
+            RingEpochRegressionError: ``epoch`` is lower than the epoch
+                already observed. The cache is left untouched — the
+                stale peer is wrong, not the cache (DESIGN.md §17).
         """
         with self._lock:
             if epoch == self.epoch:
                 return 0
             if epoch < self.epoch:
-                raise ValueError(
-                    f"ring epoch moved backwards: {epoch} < {self.epoch}"
-                )
+                raise RingEpochRegressionError(epoch, self.epoch)
             invalidated = len(self._lru)
             self.epoch = epoch
             self.epoch_invalidations += invalidated

@@ -12,6 +12,20 @@ four failure modes a real deployment sees on the wire:
   re-decoded, so the caller sees either a ``ProtocolError`` or silently
   corrupted data, exactly as a damaged frame would present.
 
+Two further *stateful* fault kinds model whole-process failure domains
+for the chaos harness (``tools/chaos.py``, DESIGN.md §17). They are
+toggled, not drawn from the RNG, because a pause or partition is a
+condition with duration, not a per-call coin flip:
+
+* **pause** — :meth:`~FaultyProvider.pause` makes every call block
+  until :meth:`~FaultyProvider.resume`, the in-process analogue of
+  ``SIGSTOP`` on a shard process: the peer is alive but silent, which
+  is what drives client io-timeouts and opens circuit breakers.
+* **partition** — :meth:`~FaultyProvider.partition` makes every call
+  fail instantly with :class:`InjectedFault` until
+  :meth:`~FaultyProvider.heal`, the analogue of a network partition:
+  connections are refused outright, no timeout is spent.
+
 All randomness comes from one seeded RNG per wrapper, so a fault schedule
 replays identically run after run — degraded-path tests are deterministic,
 never flaky.
@@ -77,16 +91,67 @@ class _Injector:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._lock = threading.Lock()
+        # Pause/partition are duration conditions, not RNG draws. The
+        # event starts set (= running); pause() clears it so callers
+        # block in before() until resume() sets it again.
+        self._running = threading.Event()
+        self._running.set()
+        self._partitioned = False
         self.counters: Dict[str, int] = {
             "drops": 0,
             "closes": 0,
             "delays": 0,
             "corruptions": 0,
             "deliveries": 0,
+            "paused_calls": 0,
+            "partition_rejects": 0,
         }
+
+    def pause(self) -> None:
+        """Block every subsequent call until :meth:`resume` (SIGSTOP)."""
+        self._running.clear()
+
+    def resume(self) -> None:
+        """Release callers blocked by :meth:`pause` (SIGCONT)."""
+        self._running.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._running.is_set()
+
+    def partition(self) -> None:
+        """Fail every subsequent call instantly until :meth:`heal`."""
+        with self._lock:
+            self._partitioned = True
+
+    def heal(self) -> None:
+        """End a :meth:`partition`; calls flow to the inner stub again."""
+        with self._lock:
+            self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
 
     def before(self, op: str) -> None:
         """Fault point before the request reaches the inner stub."""
+        # Partition check precedes the pause wait: a partitioned peer
+        # refuses instantly, it does not sit in a connect stall.
+        with self._lock:
+            if self._partitioned:
+                self.counters["partition_rejects"] += 1
+                raise InjectedFault(f"injected partition before {op}")
+        if not self._running.is_set():
+            with self._lock:
+                self.counters["paused_calls"] += 1
+            self._running.wait()
+            # A pause often ends in a partition or kill; re-check so a
+            # resume-then-partition race can't slip a call through.
+            with self._lock:
+                if self._partitioned:
+                    self.counters["partition_rejects"] += 1
+                    raise InjectedFault(f"injected partition before {op}")
         delay = False
         with self._lock:
             if (
@@ -142,16 +207,46 @@ class _Injector:
         return response
 
 
-class FaultyKeyManager:
+class _FaultControls:
+    """Pause/partition toggles shared by every faulty wrapper."""
+
+    _injector: _Injector
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        return dict(self._injector.counters)
+
+    def pause(self) -> None:
+        """Freeze the wrapped peer: calls block until :meth:`resume`."""
+        self._injector.pause()
+
+    def resume(self) -> None:
+        """Unfreeze a :meth:`pause`-d peer."""
+        self._injector.resume()
+
+    @property
+    def paused(self) -> bool:
+        return self._injector.paused
+
+    def partition(self) -> None:
+        """Cut the wrapped peer off: calls fail until :meth:`heal`."""
+        self._injector.partition()
+
+    def heal(self) -> None:
+        """Reconnect a :meth:`partition`-ed peer."""
+        self._injector.heal()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._injector.partitioned
+
+
+class FaultyKeyManager(_FaultControls):
     """Fault-injecting wrapper around any ``KeyManagerTransport``."""
 
     def __init__(self, inner, plan: FaultPlan) -> None:
         self._inner = inner
         self._injector = _Injector(plan)
-
-    @property
-    def fault_counters(self) -> Dict[str, int]:
-        return dict(self._injector.counters)
 
     def keygen(self, request: m.KeyGenRequest) -> m.KeyGenResponse:
         self._injector.before("keygen")
@@ -177,16 +272,12 @@ class FaultyKeyManager:
             close()
 
 
-class FaultyProvider:
+class FaultyProvider(_FaultControls):
     """Fault-injecting wrapper around any ``ProviderTransport``."""
 
     def __init__(self, inner, plan: FaultPlan) -> None:
         self._inner = inner
         self._injector = _Injector(plan)
-
-    @property
-    def fault_counters(self) -> Dict[str, int]:
-        return dict(self._injector.counters)
 
     def put_chunks(self, request: m.PutChunks) -> m.PutChunksResponse:
         self._injector.before("put_chunks")
@@ -222,7 +313,7 @@ class FaultyProvider:
             close()
 
 
-class FaultyQuorumServer:
+class FaultyQuorumServer(_FaultControls):
     """Fault-injecting wrapper around a quorum key-manager replica.
 
     ``QuorumClient.derive_key`` treats :class:`InjectedFault` like any
@@ -245,10 +336,6 @@ class FaultyQuorumServer:
     @property
     def server_id(self) -> int:
         return self._inner.server_id
-
-    @property
-    def fault_counters(self) -> Dict[str, int]:
-        return dict(self._injector.counters)
 
     def sign_blinded(self, blinded_point):
         self._injector.before("sign_blinded")

@@ -71,6 +71,19 @@ MSG_HELLO_OK = 18
 # ``KeyError`` repr quotes). Old servers still answer with the legacy
 # ``MSG_ERROR "not found: ..."`` form, which new clients keep decoding.
 MSG_NOT_FOUND = 19
+# Health heartbeat (DESIGN.md §17). PING carries no payload; PONG names
+# the responder's role and shard and echoes its ring epoch so probes
+# double as a cheap staleness check (a shard answering with a *lower*
+# epoch than the client's ring is serving a stale config).
+MSG_PING = 20
+MSG_PONG = 21
+# KM sketch-observer shard protocol (DESIGN.md §17): the front fans each
+# keygen batch's per-shard sub-batch to its observer process, which
+# updates + logs its durable Count-Min shard and returns the frequency
+# estimates the front's seed selection needs. Carries the client stream
+# identity so observer-side replay of a retried batch stays idempotent.
+MSG_SHARD_OBSERVE = 22
+MSG_SHARD_ESTIMATES = 23
 
 #: Human-readable message-type names (span labels, error messages).
 MESSAGE_NAMES = {
@@ -93,6 +106,10 @@ MESSAGE_NAMES = {
     MSG_HELLO: "hello",
     MSG_HELLO_OK: "hello_ok",
     MSG_NOT_FOUND: "not_found",
+    MSG_PING: "ping",
+    MSG_PONG: "pong",
+    MSG_SHARD_OBSERVE: "shard_observe",
+    MSG_SHARD_ESTIMATES: "shard_estimates",
 }
 
 #: High bit of the type byte: the frame carries a trace-context section.
@@ -549,6 +566,100 @@ class HelloOk:
         flag = r.varint()
         r.expect_end()
         return cls(tenant=tenant, cross_user_dedup=bool(flag))
+
+
+@dataclass
+class Pong:
+    """Heartbeat reply: who answered and which ring epoch it serves.
+
+    ``shard`` is ``-1`` for unsharded services (the HELLO-era single
+    provider/KM), so a probe can tell "wrong process on this port"
+    from "shard came back".
+    """
+
+    role: str = ""
+    shard: int = -1
+    epoch: int = 0
+
+    def encode(self) -> bytes:
+        # shard is offset by one so -1 (unsharded) fits in a uvarint.
+        return (
+            _Writer()
+            .text(self.role)
+            .varint(self.shard + 1)
+            .varint(self.epoch)
+            .done()
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Pong":
+        r = _Reader(payload)
+        role = r.text()
+        shard = r.varint() - 1
+        epoch = r.varint()
+        r.expect_end()
+        return cls(role=role, shard=shard, epoch=epoch)
+
+
+@dataclass
+class ShardObserveRequest:
+    """One shard's slice of a sequenced keygen batch (front → observer).
+
+    ``client_id``/``sequence`` name the *front's* position in the
+    client's keygen stream; the observer logs them with the sub-batch
+    so a replay after a crash (same identity, same vectors) re-updates
+    the durable sketch idempotently, exactly like the in-process
+    shard stores (DESIGN.md §15).
+    """
+
+    client_id: str = ""
+    sequence: int = 0
+    hash_vectors: List[List[int]] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().text(self.client_id).varint(self.sequence)
+        w.varint(len(self.hash_vectors))
+        for vector in self.hash_vectors:
+            w.varint(len(vector))
+            for h in vector:
+                w.varint(h)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ShardObserveRequest":
+        r = _Reader(payload)
+        client_id = r.text()
+        sequence = r.varint()
+        count = r.varint()
+        vectors = []
+        for _ in range(count):
+            rows = r.varint()
+            vectors.append([r.varint() for _ in range(rows)])
+        r.expect_end()
+        return cls(
+            client_id=client_id, sequence=sequence, hash_vectors=vectors
+        )
+
+
+@dataclass
+class ShardObserveResponse:
+    """Per-chunk frequency estimates for one observed sub-batch."""
+
+    estimates: List[int] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        w = _Writer().varint(len(self.estimates))
+        for estimate in self.estimates:
+            w.varint(estimate)
+        return w.done()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ShardObserveResponse":
+        r = _Reader(payload)
+        count = r.varint()
+        estimates = [r.varint() for _ in range(count)]
+        r.expect_end()
+        return cls(estimates=estimates)
 
 
 # -- typed not-found ----------------------------------------------------------

@@ -325,6 +325,29 @@ class ServerHandle:
         self.stop()
 
 
+def _pong_frame(
+    role: str,
+    service: object,
+    shard_id: int,
+    epoch_override: Optional[int] = None,
+) -> bytes:
+    """A PONG frame naming the serving role/shard and its ring epoch.
+
+    ``epoch_override`` is for shard-leaf processes: the leaf service
+    itself has no ring (its store is one shard's directory), so the
+    serving process reports the deployment ring's epoch instead.
+    """
+    if epoch_override is not None:
+        epoch = int(epoch_override)
+    else:
+        epoch_fn = getattr(service, "ring_epoch", None)
+        epoch = int(epoch_fn()) if callable(epoch_fn) else 0
+    return m.frame(
+        m.MSG_PONG,
+        m.Pong(role=role, shard=shard_id, epoch=epoch).encode(),
+    )
+
+
 def serve_key_manager(
     service: KeyManagerService,
     host: str = "127.0.0.1",
@@ -345,6 +368,8 @@ def serve_key_manager(
     def dispatch(
         message_type: int, payload: bytes, peer: str, conn_state: Dict
     ) -> bytes:
+        if message_type == m.MSG_PING:
+            return _pong_frame("keymanager", service, -1)
         if message_type == m.MSG_KEYGEN_REQUEST:
             response = service.handle_keygen(
                 m.KeyGenRequest.decode(payload), client_id=peer
@@ -379,8 +404,17 @@ def serve_provider(
     *,
     idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
     max_inflight: Optional[int] = None,
+    shard_id: int = -1,
+    ring_epoch: Optional[int] = None,
 ) -> ServerHandle:
-    """Start a provider server; returns its handle."""
+    """Start a provider server; returns its handle.
+
+    ``shard_id`` names the failure domain a ``repro serve-shard``
+    process serves (echoed in PONG); ``-1`` means "the whole store".
+    ``ring_epoch`` overrides the epoch reported in PONG for shard-leaf
+    processes, whose service wraps a single shard directory and so has
+    no ring of its own.
+    """
     server = _Server(
         (host, port),
         _ServiceHandler,
@@ -393,6 +427,8 @@ def serve_provider(
         message_type: int, payload: bytes, peer: str, conn_state: Dict
     ) -> bytes:
         tenant = conn_state.get("tenant", DEFAULT_TENANT)
+        if message_type == m.MSG_PING:
+            return _pong_frame("provider", service, shard_id, ring_epoch)
         if message_type == m.MSG_HELLO:
             hello = m.Hello.decode(payload)
             requested = hello.tenant or DEFAULT_TENANT
@@ -445,6 +481,85 @@ def serve_provider(
 
     server.dispatch = dispatch  # type: ignore[attr-defined]
     return ServerHandle(server)
+
+
+def serve_shard_observer(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+    max_inflight: Optional[int] = None,
+) -> ServerHandle:
+    """Start a KM sketch-observer shard server (DESIGN.md §17).
+
+    ``service`` is a :class:`~repro.tedstore.sharding.ShardObserverService`
+    (duck-typed to keep this module free of a sharding import): one
+    durable Count-Min shard that answers ``MSG_SHARD_OBSERVE`` with the
+    frequency estimates the front's seed selection needs.
+    """
+    server = _Server(
+        (host, port),
+        _ServiceHandler,
+        idle_timeout=idle_timeout,
+        max_inflight=max_inflight,
+        entity="km_shard",
+    )
+
+    def dispatch(
+        message_type: int, payload: bytes, peer: str, conn_state: Dict
+    ) -> bytes:
+        if message_type == m.MSG_PING:
+            return _pong_frame(
+                "km_shard", service, service.shard_id, service.ring_epoch()
+            )
+        if message_type == m.MSG_SHARD_OBSERVE:
+            response = service.handle_observe(
+                m.ShardObserveRequest.decode(payload), peer=peer
+            )
+            return m.frame(m.MSG_SHARD_ESTIMATES, response.encode())
+        if message_type == m.MSG_STATS_REQUEST:
+            return m.frame(
+                m.MSG_STATS_RESPONSE,
+                m.encode_stats(
+                    service.stats()
+                    + server.stats_pairs()
+                    + _REGISTRY.snapshot_pairs()
+                ),
+            )
+        return m.frame(
+            m.MSG_ERROR, m.encode_error(f"unexpected message {message_type}")
+        )
+
+    server.dispatch = dispatch  # type: ignore[attr-defined]
+    return ServerHandle(server)
+
+
+def probe_endpoint(
+    address: Tuple[str, int], timeout: float = 2.0
+) -> m.Pong:
+    """One-shot PING/PONG health probe against ``address``.
+
+    Opens its own short-lived socket so probes never contend with (or
+    get queued behind) real traffic on a pooled connection — a paused
+    shard must not stall the health monitor's whole round. Raises on
+    any failure: refused, timeout, or a non-PONG reply.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall(m.frame(m.MSG_PING, b""))
+        reply_type, reply = m.read_frame(lambda n: _recv_exact(sock, n))
+    if reply_type != m.MSG_PONG:
+        raise m.ProtocolError(f"unexpected probe reply type {reply_type}")
+    return m.Pong.decode(reply)
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    """Split a ``host:port`` ring endpoint into an address tuple."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"malformed endpoint {endpoint!r}")
+    return host or "127.0.0.1", int(port)
 
 
 class _Connection:
@@ -506,14 +621,22 @@ class _Connection:
         sock = socket.create_connection(
             self._address, timeout=self._connect_timeout
         )
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
-        if self._hello is not None:
-            try:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            if self._hello is not None:
                 self._handshake(sock)
-            except BaseException:
-                self._drop_socket()
-                raise
+        except BaseException:
+            # A failure anywhere past create_connection — including the
+            # server crashing mid-HELLO — must close the half-open
+            # socket, or it leaks and the next reconnect would skip the
+            # tenant rebind on a socket the server never acknowledged.
+            self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
 
     def _handshake(self, sock: socket.socket) -> None:
         """Bind the fresh socket to our tenant (runs on every connect).
@@ -672,6 +795,15 @@ class _Connection:
             raise ServerBusy(m.decode_error(reply))
         return reply_type, reply
 
+    def ping(self) -> m.Pong:
+        """One PING/PONG heartbeat over this connection."""
+        reply_type, payload = self.call(m.MSG_PING, b"")
+        if reply_type != m.MSG_PONG:
+            raise m.ProtocolError(
+                f"unexpected ping reply type {reply_type}"
+            )
+        return m.Pong.decode(payload)
+
     def stats_pairs(self) -> List[Tuple[str, int]]:
         """Client wire counters as stats-message pairs."""
         with self._lock:
@@ -726,6 +858,10 @@ class RemoteKeyManager:
             )
         return response
 
+    def ping(self) -> m.Pong:
+        """Heartbeat; raises if the key manager is unreachable."""
+        return self._conn.ping()
+
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
         return m.decode_stats(payload) + self._conn.stats_pairs()
@@ -767,6 +903,8 @@ class RemoteProvider:
         data_connections: int = 0,
         tenant: str = DEFAULT_TENANT,
         auth_token: bytes = b"",
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
     ) -> None:
         if data_connections < 0:
             raise ValueError("data_connections cannot be negative")
@@ -778,23 +916,30 @@ class RemoteProvider:
         if self.tenant != DEFAULT_TENANT or auth_token:
             hello = m.Hello(tenant=self.tenant, auth_token=auth_token)
         self._hello = hello
-        self._conn = _Connection(
-            address,
-            retry_policy=retry_policy,
-            entity="provider",
-            propagate_trace=propagate_trace,
-            hello=hello,
-        )
-        self._data_conns = [
-            _Connection(
-                address,
-                retry_policy=retry_policy,
-                entity="provider",
-                propagate_trace=propagate_trace,
-                hello=hello,
-            )
-            for _ in range(data_connections)
-        ]
+        # Build the control + data pool transactionally: if any later
+        # connection fails (server dies mid-HELLO on conn k), the ones
+        # already connected must be closed, not leaked with the
+        # constructor's exception.
+        built: List[_Connection] = []
+        try:
+            for _ in range(1 + data_connections):
+                built.append(
+                    _Connection(
+                        address,
+                        retry_policy=retry_policy,
+                        entity="provider",
+                        propagate_trace=propagate_trace,
+                        hello=hello,
+                        connect_timeout=connect_timeout,
+                        io_timeout=io_timeout,
+                    )
+                )
+        except BaseException:
+            for conn in built:
+                conn.close()
+            raise
+        self._conn = built[0]
+        self._data_conns = built[1:]
         self._rr_lock = threading.Lock()
         self._rr_next = 0
 
@@ -835,6 +980,10 @@ class RemoteProvider:
         _, payload = self._conn.call(m.MSG_GET_RECIPES, request.encode())
         return m.PutRecipes.decode(payload)
 
+    def ping(self) -> m.Pong:
+        """Heartbeat; raises if the provider is unreachable."""
+        return self._conn.ping()
+
     def stats(self) -> List[Tuple[str, int]]:
         _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
         return m.decode_stats(payload) + self.wire_stats_pairs()
@@ -855,3 +1004,55 @@ class RemoteProvider:
         self._conn.close()
         for conn in self._data_conns:
             conn.close()
+
+
+class RemoteShardObserver:
+    """TCP client stub for one KM sketch-observer shard (DESIGN.md §17).
+
+    Used by the :class:`~repro.tedstore.sharding.ShardedKeyManager`
+    front when the ring publishes per-shard endpoints: each keygen
+    batch's sub-batches travel to their observer processes, which
+    return the frequency estimates the front's selection needs.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        retry_policy: Optional[RetryPolicy] = None,
+        propagate_trace: bool = True,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
+    ) -> None:
+        self.address = address
+        self._conn = _Connection(
+            address,
+            retry_policy=retry_policy,
+            entity="km_shard",
+            propagate_trace=propagate_trace,
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+        )
+
+    def observe(
+        self, request: m.ShardObserveRequest
+    ) -> m.ShardObserveResponse:
+        # Idempotent: the observer logs sub-batches under the client
+        # stream identity, so a replay re-applies the same delta the
+        # durable store already dedups by batch id (DESIGN.md §15).
+        _, payload = self._conn.call(m.MSG_SHARD_OBSERVE, request.encode())
+        return m.ShardObserveResponse.decode(payload)
+
+    def ping(self) -> m.Pong:
+        """Heartbeat; raises if the observer shard is unreachable."""
+        return self._conn.ping()
+
+    def stats(self) -> List[Tuple[str, int]]:
+        _, payload = self._conn.call(m.MSG_STATS_REQUEST, b"")
+        return m.decode_stats(payload) + self._conn.stats_pairs()
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Client-side retry/reconnect/timeout counters."""
+        return dict(self._conn.stats_pairs())
+
+    def close(self) -> None:
+        self._conn.close()

@@ -99,9 +99,14 @@ class RetryState:
     def admit_failure(self, exc: BaseException) -> float:
         """Record a failure; return the backoff delay before the retry.
 
+        When the remaining deadline is shorter than the next backoff,
+        the sleep is clamped to the remainder so the final attempt still
+        happens *inside* the budget instead of the call overshooting it
+        (or giving up with budget left on the table).
+
         Raises:
             RetriesExhausted: all attempts used.
-            DeadlineExceeded: the backoff would overrun the deadline.
+            DeadlineExceeded: the deadline has already elapsed.
         """
         self.failures += 1
         if self.failures >= self.policy.max_attempts:
@@ -110,11 +115,13 @@ class RetryState:
             ) from exc
         delay = self.policy.backoff_delay(self.failures)
         remaining = self.remaining()
-        if remaining is not None and delay >= remaining:
-            raise DeadlineExceeded(
-                f"deadline of {self.policy.deadline:.3f}s exceeded "
-                f"after {self.failures} attempts: {exc}"
-            ) from exc
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"deadline of {self.policy.deadline:.3f}s exceeded "
+                    f"after {self.failures} attempts: {exc}"
+                ) from exc
+            delay = min(delay, remaining)
         return delay
 
     def pause(self, delay: float) -> None:

@@ -27,6 +27,14 @@ write can never leave a half-ring behind. ``epoch`` increments on every
 membership change; caches keyed by placement (the client
 :class:`~repro.storage.dedup.FingerprintCache`) invalidate on epoch
 advance (DESIGN.md §15).
+
+For multi-process deployments (DESIGN.md §17) the ring optionally
+carries a per-shard **endpoint map** (``shard id -> "host:port"``).
+Endpoints describe *where* a shard is served, never *what* it owns:
+they are excluded from placement equality and from the serialized form
+when empty, so endpoint-less rings stay byte-identical to the PR 8
+format and an in-process deployment can adopt a ring written by a
+fleet (or vice versa) without a placement mismatch.
 """
 
 from __future__ import annotations
@@ -65,6 +73,9 @@ class HashRing:
             differently, rings with the same config place identically.
         epoch: membership generation, bumped by :meth:`add_shard` /
             :meth:`remove_shard` (and hence by ``repro reshard``).
+        endpoints: optional ``shard id -> "host:port"`` map naming where
+            each shard is served (multi-process deployments). Advisory
+            topology only — never part of placement or equality.
 
     Example:
         >>> ring = HashRing.build(3)
@@ -78,6 +89,7 @@ class HashRing:
         vnodes: int = DEFAULT_VNODES,
         seed: int = 0,
         epoch: int = 0,
+        endpoints: Optional[Dict[int, str]] = None,
     ) -> None:
         if not shards:
             raise ValueError("a ring needs at least one shard")
@@ -89,6 +101,14 @@ class HashRing:
         self.vnodes = int(vnodes)
         self.seed = int(seed)
         self.epoch = int(epoch)
+        self.endpoints: Dict[int, str] = {
+            int(k): str(v) for k, v in (endpoints or {}).items()
+        }
+        unknown = set(self.endpoints) - set(self.shards)
+        if unknown:
+            raise ValueError(
+                f"endpoints name shards not in the ring: {sorted(unknown)}"
+            )
         # Sorted (point, shard) pairs; ties broken by shard id so the
         # ring is a pure function of its config.
         points: List[Tuple[int, int]] = []
@@ -128,6 +148,22 @@ class HashRing:
             ":".join(str(int(h)) for h in short_hashes).encode("ascii")
         )
 
+    # -- endpoints ---------------------------------------------------------
+
+    def endpoint_for(self, shard: int) -> Optional[str]:
+        """The ``host:port`` serving ``shard``, if one is published."""
+        return self.endpoints.get(int(shard))
+
+    def with_endpoints(self, endpoints: Dict[int, str]) -> "HashRing":
+        """The same placement (same epoch) with a new endpoint map."""
+        return HashRing(
+            self.shards,
+            vnodes=self.vnodes,
+            seed=self.seed,
+            epoch=self.epoch,
+            endpoints=endpoints,
+        )
+
     # -- membership --------------------------------------------------------
 
     def add_shard(self, shard: Optional[int] = None) -> "HashRing":
@@ -141,6 +177,7 @@ class HashRing:
             vnodes=self.vnodes,
             seed=self.seed,
             epoch=self.epoch + 1,
+            endpoints=self.endpoints,
         )
 
     def remove_shard(self, shard: int) -> "HashRing":
@@ -154,11 +191,15 @@ class HashRing:
             vnodes=self.vnodes,
             seed=self.seed,
             epoch=self.epoch + 1,
+            endpoints={
+                k: v for k, v in self.endpoints.items() if k != shard
+            },
         )
 
     # -- config ------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
+    def placement_dict(self) -> Dict[str, object]:
+        """The placement-defining config (endpoints excluded)."""
         return {
             "version": _RING_VERSION,
             "seed": self.seed,
@@ -167,16 +208,31 @@ class HashRing:
             "shards": list(self.shards),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        data = self.placement_dict()
+        if self.endpoints:
+            # Omitted when empty so endpoint-less rings serialize
+            # byte-identically to the pre-endpoint (PR 8) format.
+            data["endpoints"] = {
+                str(k): v for k, v in sorted(self.endpoints.items())
+            }
+        return data
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HashRing":
         version = data.get("version")
         if version != _RING_VERSION:
             raise ValueError(f"unsupported ring config version: {version!r}")
+        endpoints = {
+            int(k): str(v)
+            for k, v in (data.get("endpoints") or {}).items()  # type: ignore[union-attr]
+        }
         return cls(
             data["shards"],  # type: ignore[arg-type]
             vnodes=int(data["vnodes"]),  # type: ignore[arg-type]
             seed=int(data["seed"]),  # type: ignore[arg-type]
             epoch=int(data["epoch"]),  # type: ignore[arg-type]
+            endpoints=endpoints,
         )
 
     def to_json(self) -> str:
@@ -187,7 +243,12 @@ class HashRing:
         return cls.from_dict(json.loads(text))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, HashRing) and self.to_dict() == other.to_dict()
+        # Placement equality only: two rings that agree on who owns what
+        # are "the same ring" even if one also knows where shards live.
+        return (
+            isinstance(other, HashRing)
+            and self.placement_dict() == other.placement_dict()
+        )
 
     def __len__(self) -> int:
         return len(self.shards)

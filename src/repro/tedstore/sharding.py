@@ -30,6 +30,18 @@ front's own durable needs are tiny — the tune trajectory — recorded in
 ``front.log``; everything else recovers from the shard states (requests
 = sum of shard requests, tracking map = union of shard maps).
 
+**Multi-process mode (DESIGN.md §17).** When the ring publishes a
+per-shard endpoint map, the front's observers are *processes*: each
+``repro serve-shard --role km`` child runs a
+:class:`ShardObserverService` over its own ``shards/<k>`` store, and
+the front fans sub-batches over guarded
+:class:`~repro.tedstore.fleet.RemoteKmShardPool` routes. Selection is
+untouched — the front still owns the RNG, ``t``, the tuner, and the
+tracking map — so seeds stay bit-identical while each shard becomes
+an independent failure domain. The front's restore path then replays
+``front.log`` alone (tune trajectory + request floor); observer
+sketches recover in their own processes.
+
 :class:`ShardRoutingProvider` is the provider-side client hook: a
 transport wrapper that splits chunk batches by ring placement so a
 client can talk to per-shard provider processes (or just meter
@@ -58,6 +70,8 @@ from repro.tedstore.messages import (
     KeyGenResponse,
     PutChunks,
     PutChunksResponse,
+    ShardObserveRequest,
+    ShardObserveResponse,
 )
 from repro.tedstore.ring import HashRing, load_ring, store_ring
 from repro.utils.varint import decode_uvarint, encode_uvarint
@@ -104,6 +118,96 @@ class _KmShard:
         self.store = store
 
 
+class ShardObserverService:
+    """One KM sketch-observer shard served as its own process.
+
+    The ``repro serve-shard --role km`` payload (DESIGN.md §17): owns
+    a single observer key manager plus its durable ``km_state`` store
+    (the same ``shards/<k>`` directory an in-process front would use,
+    so a deployment can move between in-process and fleet serving
+    without migrating state). Answers ``MSG_SHARD_OBSERVE`` by
+    updating the sketch and logging the sub-batch *before* the
+    estimates are released — the log-before-ack contract that makes a
+    front's replay of a retried batch idempotent after this process
+    is killed and restarted.
+
+    Args:
+        shard_id: this shard's id in the deployment ring.
+        key_manager: an observer KM (:func:`make_shard_observer`
+            geometry: ``probabilistic=False``, ``batch_size=None``).
+        state_dir: durable store directory; ``None`` = in-memory.
+        ring_epoch: the deployment ring's epoch, echoed in PONG so
+            probes catch a shard serving a stale ring.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        key_manager: TedKeyManager,
+        state_dir=None,
+        ring_epoch: int = 0,
+        snapshot_every: int = 64,
+        sync_every: int = 1,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.key_manager = key_manager
+        self._epoch = int(ring_epoch)
+        self._lock = threading.Lock()
+        self._last_sequence: Dict[str, int] = {}
+        self._store: Optional[KeyManagerStateStore] = None
+        self.restore_report = RestoreReport()
+        if state_dir is not None:
+            self._store = KeyManagerStateStore(
+                Path(state_dir),
+                snapshot_every=snapshot_every,
+                sync_every=sync_every,
+            )
+            self.restore_report = self._store.restore_into(key_manager)
+            self._last_sequence.update(self.restore_report.last_sequence)
+
+    def ring_epoch(self) -> int:
+        return self._epoch
+
+    def handle_observe(
+        self, request: ShardObserveRequest, peer: str = "local"
+    ) -> ShardObserveResponse:
+        """Observe one sub-batch; durable before the reply is released."""
+        with self._lock:
+            estimates = self.key_manager.estimate_batch(
+                request.hash_vectors
+            )
+            self._last_sequence[request.client_id] = request.sequence
+            if self._store is not None:
+                self._store.log_batch(
+                    request.client_id,
+                    request.sequence,
+                    request.hash_vectors,
+                    key_manager=self.key_manager,
+                    last_sequence=self._last_sequence,
+                )
+        return ShardObserveResponse(estimates=estimates)
+
+    def stats(self) -> List[Tuple[str, int]]:
+        km = self.key_manager
+        return [
+            ("requests", km.stats.requests),
+            ("shard_id", self.shard_id),
+            ("ring_epoch", self._epoch),
+        ]
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._store is not None:
+                self._store.snapshot(self.key_manager, self._last_sequence)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._store is not None:
+                self._store.snapshot(self.key_manager, self._last_sequence)
+                self._store.close()
+                self._store = None
+
+
 class ShardedKeyManager:
     """Ring-routed key-manager front, wire-compatible with the single KM.
 
@@ -121,6 +225,13 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
         rate_limiter: optional, same contract as the single service.
         state_root: directory for durable state (``ring.json``,
             ``front.log``, ``shards/<k>/``); ``None`` = in-memory.
+        shard_pool: a :class:`~repro.tedstore.fleet.RemoteKmShardPool`
+            (or duck-type) for multi-process mode. When ``None`` and
+            the ring publishes endpoints, one is built automatically
+            from ``fleet_options`` — endpoints in the ring mean the
+            observers live in their own processes (DESIGN.md §17).
+        fleet_options: kwargs for the auto-built pool (retry policy,
+            breaker tuning, heartbeat interval, timeouts).
 
     Example:
         >>> front = TedKeyManager(secret=b"kappa", t=5)
@@ -137,6 +248,8 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
         state_root=None,
         snapshot_every: int = 64,
         sync_every: int = 1,
+        shard_pool=None,
+        fleet_options: Optional[Dict] = None,
     ) -> None:
         self.key_manager = key_manager
         self.rate_limiter = rate_limiter
@@ -172,19 +285,27 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
         self.ring = ring
 
         self._shards: Dict[int, _KmShard] = {}
-        for shard_id in ring.shards:
-            store = None
-            if self._state_root is not None:
-                store = KeyManagerStateStore(
-                    self._state_root / SHARDS_DIRNAME / str(shard_id),
-                    snapshot_every=snapshot_every,
-                    sync_every=sync_every,
-                )
-            self._shards[shard_id] = _KmShard(
-                shard_id, make_shard_observer(key_manager), store
-            )
+        self._pool = shard_pool
+        if self._pool is None and ring.endpoints:
+            from repro.tedstore.fleet import RemoteKmShardPool
+
+            self._pool = RemoteKmShardPool(ring, **(fleet_options or {}))
         self._meter = ShardRouteMeter("km", ring.shards)
-        self.restore_report = self._restore()
+        if self._pool is not None:
+            self.restore_report = self._restore_remote()
+        else:
+            for shard_id in ring.shards:
+                store = None
+                if self._state_root is not None:
+                    store = KeyManagerStateStore(
+                        self._state_root / SHARDS_DIRNAME / str(shard_id),
+                        snapshot_every=snapshot_every,
+                        sync_every=sync_every,
+                    )
+                self._shards[shard_id] = _KmShard(
+                    shard_id, make_shard_observer(key_manager), store
+                )
+            self.restore_report = self._restore()
 
     # -- recovery ----------------------------------------------------------
 
@@ -249,7 +370,51 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
             self._shards[shard_id].key_manager.t = front.t
         return report
 
+    def _restore_remote(self) -> RestoreReport:
+        """Front-only restore for multi-process mode.
+
+        Observer sketches recover inside their own processes (the §12
+        km_state path); the front replays just ``front.log``: ``t``,
+        the tune count, and the request floor logged with each tune.
+        Tunes land exactly on batch boundaries, so the floor restores
+        the position-in-batch too. The FTED tracking map restarts
+        empty — identities observed before the restart rejoin the map
+        as they recur, which can only *under*-count one tune window's
+        frequencies relative to a never-restarted front (the next
+        window converges); the acceptable degradation is documented
+        in DESIGN.md §17.
+        """
+        report = RestoreReport()
+        front = self.key_manager
+        if self._state_root is not None:
+            front_log_path = self._state_root / FRONT_LOG_FILENAME
+            if front_log_path.exists():
+                last_t = None
+                last_requests = 0
+                tunes = 0
+                for _, key, value in WriteAheadLog.replay(front_log_path):
+                    if key == b"tune":
+                        last_t, offset = decode_uvarint(value, 0)
+                        last_requests, _ = decode_uvarint(value, offset)
+                        tunes += 1
+                if last_t is not None and front.is_fted:
+                    front.t = last_t
+                    front.stats.batches_tuned = tunes
+                if last_requests:
+                    front.stats.requests = last_requests
+                    if front.batch_size is not None:
+                        front._requests_in_batch = (
+                            last_requests % front.batch_size
+                        )
+                report.deltas_replayed = tunes
+            self._front_log = WriteAheadLog(front_log_path, scope="km.front")
+        return report
+
     # -- service interface -------------------------------------------------
+
+    def ring_epoch(self) -> int:
+        """The deployment ring epoch (echoed in PONG heartbeats)."""
+        return self.ring.epoch
 
     def handle_keygen(
         self,
@@ -331,21 +496,31 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
         estimates = [0] * len(vectors)
         for shard_id in sorted(groups):
             positions = groups[shard_id]
-            shard = self._shards[shard_id]
             sub_batch = [vectors[p] for p in positions]
             self._meter.record(shard_id, len(positions))
-            for position, estimate in zip(
-                positions, shard.key_manager.estimate_batch(sub_batch)
-            ):
-                estimates[position] = estimate
-            if shard.store is not None:
-                shard.store.log_batch(
-                    client_id,
-                    sequence,
-                    sub_batch,
-                    key_manager=shard.key_manager,
-                    last_sequence=self._last_sequence,
+            if self._pool is not None:
+                # Multi-process: the observer process updates + logs its
+                # durable sketch before replying (same ack contract). A
+                # dead observer raises ShardUnavailableError here; the
+                # client's retried batch re-observes at the healthy
+                # shards — over-counting, the fail-safe direction, and
+                # the same stance as retried wire batches (DESIGN.md §8).
+                sub_estimates = self._pool.observe(
+                    shard_id, client_id, sequence, sub_batch
                 )
+            else:
+                shard = self._shards[shard_id]
+                sub_estimates = shard.key_manager.estimate_batch(sub_batch)
+                if shard.store is not None:
+                    shard.store.log_batch(
+                        client_id,
+                        sequence,
+                        sub_batch,
+                        key_manager=shard.key_manager,
+                        last_sequence=self._last_sequence,
+                    )
+            for position, estimate in zip(positions, sub_estimates):
+                estimates[position] = estimate
         return estimates
 
     def _select(
@@ -382,7 +557,7 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
                     front._requests_in_batch = 0
                     tuned = True
                     since_tune = []
-        if tuned:
+        if tuned and self._pool is None:
             if front.is_fted:
                 for owner, identity, frequency in since_tune:
                     self._shards[owner].key_manager._freq_by_identity[
@@ -412,7 +587,9 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
                 + bytes(encode_uvarint(front.stats.requests)),
             )
             self._front_log.sync()
-        for shard_id in self.ring.shards:
+        # Remote observers never see t (estimates don't use it) and own
+        # their tracking maps; only in-process shard mirrors need sync.
+        for shard_id in self.ring.shards if self._pool is None else ():
             shard = self._shards[shard_id]
             shard.key_manager.t = front.t
             shard.key_manager._freq_by_identity.clear()
@@ -427,28 +604,47 @@ LocalKeyManager` duck-type against ``handle_keygen`` /
 
     def shard_key_managers(self) -> Dict[int, TedKeyManager]:
         """The shard observers, keyed by shard id (tests, parity gate)."""
+        if self._pool is not None:
+            raise RuntimeError(
+                "shard observers live in their own processes; query them "
+                "over the wire (stats / PING)"
+            )
         return {
             shard_id: self._shards[shard_id].key_manager
             for shard_id in self.ring.shards
         }
+
+    def shard_health(self) -> Dict[int, str]:
+        """Breaker state per shard (multi-process mode; else all closed)."""
+        if self._pool is not None:
+            return self._pool.shard_health()
+        return {shard_id: "closed" for shard_id in self.ring.shards}
 
     def routed_counts(self) -> Dict[int, int]:
         return self._meter.counts
 
     def stats(self) -> List[Tuple[str, int]]:
         km = self.key_manager
-        return [
+        pairs = [
             ("requests", km.stats.requests),
             ("batches_tuned", km.stats.batches_tuned),
             ("current_t", km.t),
             ("shards", len(self.ring)),
         ]
+        if self._pool is not None:
+            for shard_id, state in sorted(self.shard_health().items()):
+                pairs.append(
+                    (f"shard_{shard_id}_healthy", int(state == "closed"))
+                )
+        return pairs
 
     def close(self) -> None:
         with self._lock:
+            if self._pool is not None:
+                self._pool.close()
             for shard_id in self.ring.shards:
-                shard = self._shards[shard_id]
-                if shard.store is not None:
+                shard = self._shards.get(shard_id)
+                if shard is not None and shard.store is not None:
                     shard.store.snapshot(
                         shard.key_manager, self._last_sequence
                     )
@@ -523,6 +719,7 @@ __all__ = [
     "FRONT_LOG_FILENAME",
     "RING_FILENAME",
     "SHARDS_DIRNAME",
+    "ShardObserverService",
     "ShardRoutingProvider",
     "ShardedKeyManager",
     "make_shard_observer",

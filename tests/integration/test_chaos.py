@@ -1,0 +1,84 @@
+"""A small seeded chaos matrix, in-repo (the full one runs in CI).
+
+Drives ``tools/chaos.py``'s :func:`run_chaos` with a 2-shard fleet and
+the kill fault: every acceptance property of the harness — typed
+degraded-mode errors, post-restart convergence against a serial replay
+(summed sketch, unsealed recipes, chunk-union sandwich), clean fsck,
+failover metrics — is asserted inside the harness itself, so this test
+passing means the whole chain held.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "chaos_harness", REPO_ROOT / "tools" / "chaos.py"
+)
+chaos = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("chaos_harness", chaos)
+_spec.loader.exec_module(chaos)
+
+
+@pytest.mark.parametrize("target", ["provider", "km"])
+def test_kill_matrix_small(tmp_path, target):
+    report = chaos.run_chaos(
+        target=target,
+        shards=2,
+        seed=7,
+        faults=("kill",),
+        uploads_per_phase=2,
+        size_kb=24,
+        workdir=tmp_path / target,
+    )
+    assert report["ok"]
+    assert report["acked"] > 0
+    assert report["failovers"]["open"] >= 1
+    assert report["failovers"]["rejoin"] >= 1
+    assert report["max_attempt_seconds"] < 10.0
+    if target == "provider":
+        parity = report["parity"]
+        assert parity["sketch"] is True
+        assert parity["recipes"] == report["verified_downloads"]
+        assert (
+            parity["referenced_chunks"]
+            <= parity["unique_chunks"]
+            <= parity["serial_chunks"]
+        )
+
+
+def test_unknown_fault_rejected(tmp_path):
+    with pytest.raises(ValueError, match="fault"):
+        chaos.run_chaos(faults=("meteor",), workdir=tmp_path)
+
+
+def test_merge_bench_writes_profile(tmp_path, monkeypatch):
+    out = tmp_path / "BENCH_load.json"
+    monkeypatch.setenv("REPRO_BENCH_LOAD_OUT", str(out))
+    report = {
+        "target": "provider",
+        "shards": 3,
+        "seed": 1,
+        "faults": ["kill"],
+        "attempts": 10,
+        "acked": 8,
+        "typed_errors": 2,
+        "duration_seconds": 4.0,
+        "max_attempt_seconds": 1.5,
+        "mib_per_second": 0.5,
+    }
+    path = chaos.merge_bench(report)
+    assert path == out
+    import json
+
+    document = json.loads(out.read_text())
+    profile = document["profiles"]["chaos_provider"]
+    assert profile["ops_total"] == 10
+    assert profile["errors_total"] == 2
+    assert profile["breached"] is False

@@ -1,0 +1,218 @@
+"""Multi-process shard fleet end to end (DESIGN.md §17).
+
+Real ``repro serve-shard`` child processes, real sockets: upload/restore
+through a fleet, typed fail-fast when a shard dies, rejoin after
+restart, and the SIGTERM drain-and-seal shutdown path. The full seeded
+fault matrix lives in ``tools/chaos.py`` (exercised by
+``tests/integration/test_chaos.py`` and the CI ``chaos-smoke`` job);
+these tests pin the individual behaviours with one fleet per scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.ted import TedKeyManager
+from repro.crypto.cipher import get_profile
+from repro.storage.scrub import fsck_path
+from repro.tedstore.client import TedStoreClient
+from repro.tedstore.fleet import MultiShardProvider
+from repro.tedstore.health import ShardUnavailableError
+from repro.tedstore.inprocess import LocalKeyManager
+from repro.tedstore.keymanager import KeyManagerService
+from repro.tedstore.retry import DeadlineExceeded, RetryPolicy
+from repro.tedstore.ring import HashRing, store_ring
+from repro.traces.workload import unique_file
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "chaos_harness", REPO_ROOT / "tools" / "chaos.py"
+)
+chaos = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("chaos_harness", chaos)
+_spec.loader.exec_module(chaos)
+
+_W = 2**14
+_TYPED = (ShardUnavailableError, DeadlineExceeded, ConnectionError, OSError)
+
+
+class Fleet:
+    """N provider shard processes + in-process KM, one client."""
+
+    def __init__(self, tmp_path: Path, shards: int = 2) -> None:
+        self.root = tmp_path / "fleet"
+        self.root.mkdir()
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        ports = {k: chaos._free_port() for k in range(shards)}
+        self.ring = HashRing.build(shards).with_endpoints(
+            {k: f"127.0.0.1:{ports[k]}" for k in range(shards)}
+        )
+        store_ring(self.root / "ring.json", self.ring)
+        self.procs = {
+            k: chaos.ShardProc("provider", k, self.root, ports[k], log_dir)
+            for k in range(shards)
+        }
+        for proc in self.procs.values():
+            proc.start()
+        self.provider = MultiShardProvider(
+            self.ring,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.05, max_delay=0.2, deadline=8.0
+            ),
+            breaker_failures=2,
+            breaker_reset=0.5,
+            probe_timeout=1.0,
+            connect_timeout=1.5,
+            io_timeout=2.0,
+        )
+        self.client = TedStoreClient(
+            LocalKeyManager(
+                KeyManagerService(
+                    TedKeyManager(
+                        secret=b"fleet-secret",
+                        t=50,
+                        sketch_width=_W,
+                        rng=random.Random(5),
+                    )
+                )
+            ),
+            self.provider,
+            master_key=hashlib.sha256(b"fleet-master").digest(),
+            profile=get_profile("shactr"),
+            sketch_width=_W,
+            batch_size=512,
+        )
+
+    def wait_shard_closed(self, shard: int, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        route = self.provider.routes()[shard]
+        while time.monotonic() < deadline:
+            try:
+                route.probe()
+                route.breaker.record_success()
+            except Exception:
+                route.breaker.record_failure()
+            if self.provider.shard_health()[shard] == "closed":
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"shard {shard} never rejoined")
+
+    def close(self) -> None:
+        self.provider.close()
+        for proc in self.procs.values():
+            proc.stop_hard()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    deployment = Fleet(tmp_path)
+    yield deployment
+    deployment.close()
+
+
+def _assert_clean_leaves(root: Path, shards: int) -> None:
+    for shard in range(shards):
+        leaf = root / "shards" / str(shard)
+        stray = [p for p in leaf.rglob("*.tmp")]
+        assert stray == [], f"shard {shard} left tmp files: {stray}"
+        report = fsck_path(leaf)
+        assert report.clean, f"shard {shard} fsck: {report}"
+
+
+class TestFleetServing:
+    def test_upload_restore_and_clean_sigterm(self, fleet):
+        files = {f"f{i}": unique_file(30_000, client_id=i) for i in range(4)}
+        for name, data in files.items():
+            fleet.client.upload(name, data)
+        for name, data in files.items():
+            assert fleet.client.download(name) == data
+        # Chunks actually spread across both failure domains.
+        assert all(n > 0 for n in fleet.provider.routed_counts().values())
+
+        fleet.provider.close()
+        # SIGTERM runs the drain → ProviderService.close() path in every
+        # child: containers sealed, snapshots cut, no stray temp files.
+        rcs = {k: p.terminate() for k, p in fleet.procs.items()}
+        assert set(rcs.values()) == {0}
+        _assert_clean_leaves(fleet.root, len(fleet.procs))
+
+    def test_dead_shard_fails_fast_and_typed(self, fleet):
+        fleet.client.upload("before", unique_file(30_000, client_id=90))
+        fleet.procs[0].kill()
+        started = time.monotonic()
+        observed = []
+        for i in range(4):
+            try:
+                fleet.client.upload(f"during-{i}", unique_file(30_000, client_id=91 + i))
+            except _TYPED as exc:
+                observed.append(exc)
+        elapsed = time.monotonic() - started
+        assert observed, "no upload routed at the dead shard"
+        # Fail fast, never hang: by the time the breaker opens every
+        # further attempt costs microseconds, so the whole degraded
+        # stretch stays inside a couple of io-timeout budgets.
+        assert elapsed < 10.0
+        assert fleet.provider.shard_health()[0] == "open"
+        # With the breaker open, anything routed at shard 0 fails in
+        # microseconds — typed, before a single byte hits the wire.
+        from repro.tedstore import messages as m
+
+        owned_by_0 = next(
+            bytes([i]) * 32
+            for i in range(256)
+            if fleet.ring.shard_for_key(bytes([i]) * 32) == 0
+        )
+        fast_start = time.monotonic()
+        with pytest.raises(ShardUnavailableError):
+            fleet.provider.get_chunks(m.GetChunks(fingerprints=[owned_by_0]))
+        assert time.monotonic() - fast_start < 0.5
+
+    def test_restarted_shard_recovers_and_rejoins(self, fleet):
+        files = {f"f{i}": unique_file(30_000, client_id=i) for i in range(3)}
+        for name, data in files.items():
+            fleet.client.upload(name, data)
+        fleet.procs[0].kill()
+        with pytest.raises(_TYPED):
+            for i in range(4):
+                fleet.client.upload(f"kick-{i}", unique_file(30_000, client_id=80 + i))
+        fleet.procs[0].start()  # §12 crash recovery replays its state
+        fleet.wait_shard_closed(0)
+        fleet.client.upload("after", unique_file(30_000, client_id=99))
+        # §12 is convergence-on-retry: chunks that sat in shard 0's
+        # still-open container died with the process, so the client
+        # re-uploads (the provider dedups whatever did survive) and the
+        # store converges — then every pre-kill file restores.
+        for name, data in files.items():
+            fleet.client.upload(name, data)
+        for name, data in files.items():
+            assert fleet.client.download(name) == data
+        # Two serving banners: the original run and the §12 restart.
+        assert fleet.procs[0].banner().count("listening on") == 2
+
+    def test_stale_peer_epoch_is_a_typed_regression(self, fleet):
+        from repro.storage.dedup import RingEpochRegressionError
+
+        future = HashRing(
+            fleet.ring.shards,
+            seed=fleet.ring.seed,
+            epoch=fleet.ring.epoch + 2,
+            endpoints=fleet.ring.endpoints,
+        )
+        ahead = MultiShardProvider(future, heartbeat_interval=0.0)
+        try:
+            pongs = ahead.ping_all()
+            assert set(pongs) == set(fleet.procs)
+            for pong in pongs.values():
+                with pytest.raises(RingEpochRegressionError):
+                    ahead.check_peer_epoch(pong)
+        finally:
+            ahead.close()

@@ -209,3 +209,105 @@ def test_client_cache_invalidated_across_reshard(tmp_path):
             assert fingerprint not in seen
             seen.add(fingerprint)
     provider.close()
+
+
+def test_backwards_epoch_error_is_typed_and_carries_context():
+    """A stale peer must surface as RingEpochRegressionError — typed so
+    fleet callers can tell "peer serves an old ring" from every other
+    ValueError — while staying a ValueError for pre-§17 except blocks."""
+    from repro.storage.dedup import RingEpochRegressionError
+
+    cache = FingerprintCache(capacity=16)
+    cache.advance_epoch(3)
+    with pytest.raises(RingEpochRegressionError) as excinfo:
+        cache.advance_epoch(1)
+    assert excinfo.value.reported == 1
+    assert excinfo.value.current == 3
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_backwards_epoch_leaves_the_cache_untouched():
+    """The stale peer is wrong, not the cache: a regression must not
+    invalidate entries cached under the (newer, authoritative) epoch."""
+    from repro.storage.dedup import RingEpochRegressionError
+
+    cache = FingerprintCache(capacity=16)
+    cache.advance_epoch(3)
+    cache.insert(b"fp", b"seed", b"cipher")
+    with pytest.raises(RingEpochRegressionError):
+        cache.advance_epoch(2)
+    assert cache.epoch == 3
+    assert len(cache) == 1
+    assert cache.lookup(b"fp", b"seed") == b"cipher"
+    assert cache.stats()["epoch_invalidations"] == 0
+
+
+def test_forward_jump_under_concurrent_pipelined_uploads(tmp_path):
+    """A reshard lands while pipelined uploads are in flight: the epoch
+    advance must invalidate exactly once, post-jump uploads must rebuild
+    the cache under the new epoch, and nothing may raise."""
+    import threading
+
+    from repro.core.ted import TedKeyManager
+    from repro.crypto.cipher import SHACTR
+    from repro.tedstore.client import TedStoreClient
+    from repro.tedstore.inprocess import LocalKeyManager, LocalProvider
+    from repro.tedstore.keymanager import KeyManagerService
+    from repro.tedstore.provider import ProviderService
+    from repro.traces.workload import unique_file
+
+    class EpochShiftingProvider:
+        """LocalProvider plus a mutable advertised ring epoch."""
+
+        def __init__(self, inner):
+            self._inner = inner
+            self.epoch = 0
+
+        def ring_epoch(self):
+            return self.epoch
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    service = ProviderService(in_memory=True)
+    provider = EpochShiftingProvider(LocalProvider(service))
+    km = LocalKeyManager(
+        KeyManagerService(
+            TedKeyManager(secret=b"epoch-secret", t=50, sketch_width=2**14)
+        )
+    )
+    cache = FingerprintCache(capacity=1 << 10)
+    client = TedStoreClient(
+        km,
+        provider,
+        profile=SHACTR,
+        sketch_width=2**14,
+        batch_size=64,
+        workers=2,  # pipelined path: that's where the epoch gate runs
+        fingerprint_cache=cache,
+    )
+    barrier = threading.Barrier(3)
+    errors = []
+
+    def uploads(worker):
+        try:
+            barrier.wait(timeout=5.0)
+            for i in range(4):
+                client.upload(f"w{worker}-f{i}", unique_file(20_000))
+        except Exception as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=uploads, args=(w,)) for w in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=5.0)
+    provider.epoch = 4  # reshard lands mid-run (forward jump, skips 1-3)
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert errors == []
+    assert cache.epoch == 4
+    # Post-jump uploads repopulated the cache under the new epoch.
+    assert len(cache) > 0
+    service.close()

@@ -205,3 +205,82 @@ class TestQuorumUnderFaults:
         # A shared schedule would drop on identical request indices and
         # produce identical counts; distinct seeds must diverge.
         assert len(set(drops)) > 1
+
+
+class TestPauseAndPartition:
+    """Stateful whole-process fault kinds for the chaos harness."""
+
+    def test_pause_blocks_calls_until_resume(self):
+        import threading
+
+        _, prov = _stack()
+        prov.put_chunks(PutChunks(chunks=[(b"fp", b"data")]))
+        faulty = FaultyProvider(prov, FaultPlan())
+        faulty.pause()
+        assert faulty.paused
+        replies = []
+
+        def blocked_call():
+            replies.append(
+                faulty.get_chunks(GetChunks(fingerprints=[b"fp"]))
+            )
+
+        thread = threading.Thread(target=blocked_call)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # SIGSTOP analogue: alive but silent
+        assert replies == []
+        faulty.resume()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert replies[0].chunks == [b"data"]
+        assert faulty.fault_counters["paused_calls"] == 1
+
+    def test_partition_fails_instantly_until_heal(self):
+        km, _ = _stack()
+        faulty = FaultyKeyManager(km, FaultPlan())
+        request = KeyGenRequest(hash_vectors=[[1, 2, 3, 4]])
+        faulty.keygen(request)
+        faulty.partition()
+        assert faulty.partitioned
+        with pytest.raises(InjectedFault, match="partition"):
+            faulty.keygen(request)
+        with pytest.raises(InjectedFault):
+            faulty.stats()
+        faulty.heal()
+        assert not faulty.partitioned
+        assert len(faulty.keygen(request).seeds) == 1
+        assert faulty.fault_counters["partition_rejects"] == 2
+
+    def test_partition_wins_over_a_concurrent_resume(self):
+        """pause → partition → resume: woken callers see the partition."""
+        import threading
+
+        _, prov = _stack()
+        faulty = FaultyProvider(prov, FaultPlan())
+        faulty.pause()
+        errors = []
+
+        def blocked_call():
+            try:
+                faulty.stats()
+            except InjectedFault as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked_call)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()
+        faulty.partition()
+        faulty.resume()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+
+    def test_quorum_server_exposes_the_same_toggles(self):
+        servers, _ = deal_quorum(3, 5, rng=random.Random(1))
+        flaky = FaultyQuorumServer(servers[0], FaultPlan())
+        flaky.partition()
+        with pytest.raises(InjectedFault):
+            flaky.sign_blinded(b"point")
+        flaky.heal()

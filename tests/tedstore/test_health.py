@@ -1,0 +1,197 @@
+"""Shard health layer: circuit breakers, heartbeat monitor, typed errors."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.tedstore.health import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ShardHealthMonitor,
+    ShardUnavailableError,
+    healthy_shards,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _breaker(shard: int, **kwargs) -> CircuitBreaker:
+    clock = kwargs.pop("clock", None) or FakeClock()
+    defaults = dict(failure_threshold=3, reset_timeout=5.0, clock=clock)
+    defaults.update(kwargs)
+    breaker = CircuitBreaker("provider", shard, **defaults)
+    breaker._fake_clock = clock  # test hook
+    return breaker
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("km", 0, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("km", 0, reset_timeout=-1.0)
+
+
+class TestStateMachine:
+    def test_opens_after_consecutive_failures(self):
+        breaker = _breaker(900)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # below threshold
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = _breaker(901)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak restarted, never hit 3
+
+    def test_open_breaker_fails_fast_with_typed_error(self):
+        breaker = _breaker(902, failure_threshold=1)
+        breaker.record_failure()
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            breaker.admit()
+        assert excinfo.value.side == "provider"
+        assert excinfo.value.shard == 902
+        assert "open" in excinfo.value.reason
+        # Typed AND a ConnectionError, so existing retry/except paths
+        # that catch wire failures also catch a fast-failed shard.
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_half_open_after_reset_timeout(self):
+        breaker = _breaker(903, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        breaker._fake_clock.now = 4.9
+        assert breaker.state == OPEN
+        breaker._fake_clock.now = 5.0
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_trial(self):
+        breaker = _breaker(904, failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        breaker._fake_clock.now = 1.0
+        breaker.admit()  # the single trial slot
+        with pytest.raises(ShardUnavailableError, match="trial"):
+            breaker.admit()
+
+    def test_check_does_not_consume_the_trial_slot(self):
+        breaker = _breaker(907, failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        with pytest.raises(ShardUnavailableError):
+            breaker.check()  # open: same fail-fast as admit()
+        breaker._fake_clock.now = 1.0
+        breaker.check()
+        breaker.check()  # repeatable: nothing was claimed
+        breaker.admit()  # the real call still gets the trial slot
+        with pytest.raises(ShardUnavailableError, match="trial"):
+            breaker.check()  # trial in flight: check fails fast too
+
+    def test_trial_success_closes(self):
+        breaker = _breaker(905, failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        breaker._fake_clock.now = 1.0
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.admit()  # closed: unlimited admission again
+
+    def test_trial_failure_reopens_for_another_timeout(self):
+        breaker = _breaker(906, failure_threshold=3, reset_timeout=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        breaker._fake_clock.now = 1.0
+        breaker.admit()
+        breaker.record_failure()  # one trial failure suffices to re-open
+        assert breaker.state == OPEN
+        breaker._fake_clock.now = 1.5
+        with pytest.raises(ShardUnavailableError):
+            breaker.admit()
+        breaker._fake_clock.now = 2.0
+        assert breaker.state == HALF_OPEN
+
+
+class TestInstruments:
+    def test_breaker_state_and_health_gauges(self):
+        registry = obs_metrics.get_registry()
+        breaker = _breaker(910, failure_threshold=1)
+        state = registry.get("ted_breaker_state").labels(
+            side="provider", shard="910"
+        )
+        health = registry.get("ted_shard_health").labels(
+            side="provider", shard="910"
+        )
+        assert (state.value, health.value) == (0, 1)
+        breaker.record_failure()
+        assert (state.value, health.value) == (2, 0)
+        breaker._fake_clock.now = 5.0
+        assert breaker.state == HALF_OPEN
+        assert (state.value, health.value) == (1, 0)
+        breaker.record_success()
+        assert (state.value, health.value) == (0, 1)
+
+    def test_failover_counter_records_open_and_rejoin(self):
+        registry = obs_metrics.get_registry()
+        breaker = _breaker(911, failure_threshold=1)
+        opened = registry.get("ted_shard_failover_total").labels(
+            side="provider", shard="911", event="open"
+        )
+        rejoined = registry.get("ted_shard_failover_total").labels(
+            side="provider", shard="911", event="rejoin"
+        )
+        breaker.record_failure()
+        breaker.record_success()
+        assert opened.value == 1
+        assert rejoined.value == 1
+
+
+class TestMonitor:
+    def test_probe_and_breaker_shards_must_match(self):
+        with pytest.raises(ValueError):
+            ShardHealthMonitor(
+                probes={0: lambda: None}, breakers={1: _breaker(920)}
+            )
+
+    def test_run_once_feeds_breakers(self):
+        alive = {0: True, 1: False}
+
+        def probe(shard):
+            def inner():
+                if not alive[shard]:
+                    raise ConnectionError("down")
+
+            return inner
+
+        breakers = {
+            s: _breaker(930 + s, failure_threshold=2) for s in alive
+        }
+        monitor = ShardHealthMonitor(
+            probes={s: probe(s) for s in alive}, breakers=breakers
+        )
+        assert monitor.run_once() == {0: True, 1: False}
+        monitor.run_once()
+        assert breakers[0].state == CLOSED
+        assert breakers[1].state == OPEN  # two consecutive probe failures
+
+        # The shard restarts: the very next probe round rejoins it, no
+        # client traffic needed to drive the half-open trial.
+        alive[1] = True
+        breakers[1]._fake_clock.now = 10.0
+        assert monitor.run_once() == {0: True, 1: True}
+        assert breakers[1].state == CLOSED
+
+    def test_healthy_shards_snapshot(self):
+        healthy = _breaker(940)
+        dead = _breaker(941, failure_threshold=1)
+        dead.record_failure()
+        assert healthy_shards([healthy, dead]) == {940: True, 941: False}

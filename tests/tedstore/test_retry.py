@@ -121,6 +121,70 @@ class TestRetryCall:
             retry_call(slow_failure, policy)
         assert len(ft.sleeps) == 1
 
+    def test_backoff_clamps_to_remaining_deadline(self):
+        # 1.0s deadline, 10s backoff: the naive schedule would either
+        # overshoot the budget or give up with 0.4s still on the table.
+        # The clamp sleeps exactly the remainder and makes the final
+        # attempt *inside* the deadline.
+        ft = FakeTime()
+        policy = _policy(
+            fake_time=ft,
+            max_attempts=5,
+            base_delay=10.0,
+            max_delay=10.0,
+            deadline=1.0,
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(ft.now)
+            if len(attempts) == 1:
+                ft.now += 0.6
+                raise ConnectionError("first attempt burns 0.6s")
+            return "ok"
+
+        assert retry_call(flaky, policy) == "ok"
+        assert ft.sleeps == [pytest.approx(0.4)]  # remainder, not 10s
+        assert attempts[1] == pytest.approx(1.0)  # final attempt at T
+        assert ft.now <= 1.0 + 1e-9  # never overshot the budget
+
+    def test_elapsed_deadline_still_raises(self):
+        ft = FakeTime()
+        policy = _policy(
+            fake_time=ft, max_attempts=5, base_delay=0.1, deadline=1.0
+        )
+
+        def slow_death():
+            ft.now += 2.0  # one attempt blows the whole budget
+            raise ConnectionError("slow")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(slow_death, policy)
+        assert ft.sleeps == []  # nothing left to clamp to
+
+    def test_clamped_final_attempt_failure_is_deadline_exceeded(self):
+        ft = FakeTime()
+        policy = _policy(
+            fake_time=ft,
+            max_attempts=5,
+            base_delay=10.0,
+            max_delay=10.0,
+            deadline=1.0,
+        )
+        attempts = []
+
+        def always_fails():
+            attempts.append(ft.now)
+            ft.now += 0.6
+            raise ConnectionError("down")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(always_fails, policy)
+        # Attempt 1 at 0.0 burns to 0.6, clamp sleeps 0.4, attempt 2 at
+        # 1.0 fails with the budget gone — no third attempt.
+        assert len(attempts) == 2
+        assert ft.sleeps == [pytest.approx(0.4)]
+
     def test_non_retryable_exception_propagates(self):
         policy = _policy()
 

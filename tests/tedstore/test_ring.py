@@ -183,3 +183,71 @@ def test_invalid_configs_rejected():
         HashRing([0], vnodes=0)
     with pytest.raises(ValueError):
         HashRing.build(0)
+
+
+# -- per-shard endpoints (multi-process deployments, DESIGN.md §17) -----------
+
+
+def test_endpoints_round_trip_through_json():
+    ring = HashRing.build(3).with_endpoints(
+        {0: "10.0.0.1:7000", 1: "10.0.0.2:7000", 2: "10.0.0.3:7000"}
+    )
+    loaded = HashRing.from_json(ring.to_json())
+    assert loaded.endpoints == ring.endpoints
+    assert loaded.endpoint_for(1) == "10.0.0.2:7000"
+    assert loaded.endpoint_for(9) is None
+
+
+def test_endpointless_ring_serializes_byte_identically():
+    """N=1-style in-process rings keep the PR 8 on-disk format."""
+    ring = HashRing.build(3)
+    assert "endpoints" not in json.loads(ring.to_json())
+    with_eps = ring.with_endpoints({0: "h:1", 1: "h:2", 2: "h:3"})
+    stripped = with_eps.with_endpoints({})
+    assert stripped.to_json() == ring.to_json()
+
+
+def test_equality_is_placement_only():
+    """Endpoints say where shards live, never what they own."""
+    bare = HashRing.build(3)
+    mapped = bare.with_endpoints({0: "a:1", 1: "b:2", 2: "c:3"})
+    assert bare == mapped
+    assert mapped == HashRing.from_json(bare.to_json())
+
+
+def test_with_endpoints_preserves_epoch_and_placement():
+    ring = HashRing.build(3).add_shard()  # epoch 1
+    mapped = ring.with_endpoints({s: f"h:{s}" for s in ring.shards})
+    assert mapped.epoch == ring.epoch
+    keys = _keys(200)
+    assert [mapped.shard_for_key(k) for k in keys] == [
+        ring.shard_for_key(k) for k in keys
+    ]
+
+
+def test_endpoints_for_unknown_shards_rejected():
+    with pytest.raises(ValueError, match="not in the ring"):
+        HashRing([0, 1], endpoints={5: "h:9"})
+
+
+def test_membership_changes_carry_endpoints():
+    ring = HashRing.build(2).with_endpoints({0: "h:1", 1: "h:2"})
+    grown = ring.add_shard()
+    # The new shard has no endpoint yet (the operator publishes one
+    # when its process starts); the existing maps survive.
+    assert grown.endpoint_for(0) == "h:1"
+    assert grown.endpoint_for(2) is None
+    shrunk = grown.remove_shard(1)
+    assert 1 not in shrunk.endpoints
+    assert shrunk.endpoint_for(0) == "h:1"
+
+
+def test_store_and_load_ring_with_endpoints(tmp_path):
+    path = tmp_path / "ring.json"
+    ring = HashRing.build(2).with_endpoints(
+        {0: "127.0.0.1:7100", 1: "127.0.0.1:7101"}
+    )
+    store_ring(path, ring)
+    loaded = load_ring(path)
+    assert loaded == ring
+    assert loaded.endpoints == ring.endpoints
